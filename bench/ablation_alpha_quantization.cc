@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation A3 (ours): where does the paper's fixed-point scheme stop
+ * working? The INT32 update truncates alpha * delta / scale toward
+ * zero, so TD errors below scale/(alpha*scale) raw units apply *no*
+ * update — a dead zone that widens as alpha shrinks. At the paper's
+ * alpha = 0.1 the dead zone is |delta| < 10 raw = 1e-3 real
+ * (harmless); at alpha = 0.001 it is 0.1 real (fatal for frozen
+ * lake's value gaps). This sweep maps quality against alpha for FP32
+ * vs INT32 so users know the safe operating region.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "rlcore/evaluate.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swiftrl;
+    using common::TextTable;
+    using rlcore::Algorithm;
+    using rlcore::NumericFormat;
+    using rlcore::Sampling;
+
+    const common::CliFlags flags(argc, argv,
+                                 {"transitions", "episodes"});
+    const auto n = static_cast<std::size_t>(
+        flags.getInt("transitions", 1'000'000));
+    const auto episodes =
+        static_cast<int>(flags.getInt("episodes", 30));
+
+    bench::banner(
+        "Ablation A3: alpha vs INT32 quantisation dead zone", false,
+        "frozen lake, n=" + std::to_string(n) + ", episodes=" +
+            std::to_string(episodes) +
+            ", scale=10000, Q-learner-SEQ, CPU reference trainers");
+
+    auto env = rlenv::makeEnvironment("frozenlake");
+    const auto data = rlcore::collectRandomDataset(*env, n, 1);
+
+    TextTable t("Mean reward vs learning rate (optimum ~0.73)");
+    t.setHeader({"alpha", "dead zone (real units)", "FP32",
+                 "INT32", "INT32 healthy?"});
+    for (const float alpha :
+         {0.2f, 0.1f, 0.05f, 0.01f, 0.005f, 0.001f}) {
+        rlcore::Hyper h;
+        h.alpha = alpha;
+        h.episodes = episodes;
+
+        double mean[2];
+        int slot = 0;
+        for (const auto format :
+             {NumericFormat::Fp32, NumericFormat::Int32}) {
+            const auto q = rlcore::trainCpuReference(
+                Algorithm::QLearning, data, env->numStates(),
+                env->numActions(), h, Sampling::Seq, format);
+            auto eval_env = rlenv::makeEnvironment("frozenlake");
+            mean[slot++] = rlcore::evaluateGreedy(*eval_env, q, 1000,
+                                                  7)
+                               .meanReward;
+        }
+
+        // Smallest |delta| (in real units) that still moves Q:
+        // alpha_scaled * delta_raw >= scale.
+        const auto alpha_scaled = static_cast<double>(
+            static_cast<std::int32_t>(alpha * 10000.0f + 0.5f));
+        const double dead_zone =
+            alpha_scaled > 0.0
+                ? 1.0 / alpha_scaled
+                : std::numeric_limits<double>::infinity();
+
+        t.addRow({TextTable::num(alpha, 3),
+                  TextTable::num(dead_zone, 4),
+                  TextTable::num(mean[0], 3),
+                  TextTable::num(mean[1], 3),
+                  mean[1] > mean[0] - 0.1 ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nreading: the paper's alpha = 0.1 sits comfortably in "
+           "the healthy region (dead zone 1e-3). Below alpha ~0.005 "
+           "the truncated fixed-point step zeroes out small TD "
+           "errors and INT32 quality falls away from FP32 — choose "
+           "the scale factor jointly with the learning rate.\n";
+    return 0;
+}

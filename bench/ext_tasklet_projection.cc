@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension E2: tasklet (thread-level) scaling projection. SwiftRL
+ * runs a single hardware thread per PIM core ("this work focuses
+ * solely on PIM-core parallelism") and leaves tasklet parallelism as
+ * future work. The UPMEM pipeline retires at most one instruction per
+ * cycle and needs ~11 resident tasklets to get there; with t tasklets
+ * the effective per-instruction interval is ~ceil(11/t).
+ *
+ * This harness measures the single-tasklet kernels and projects the
+ * launch time at 2-16 tasklets with that first-order model (no WRAM
+ * port contention, perfect intra-core chunk split) — an upper bound
+ * on the paper's future-work headroom.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swiftrl;
+    using common::TextTable;
+    using rlcore::Algorithm;
+    using rlcore::NumericFormat;
+    using rlcore::Sampling;
+
+    const common::CliFlags flags(argc, argv,
+                                 {"transitions", "cores"});
+    const auto n = static_cast<std::size_t>(
+        flags.getInt("transitions", 100'000));
+    const auto cores =
+        static_cast<std::size_t>(flags.getInt("cores", 500));
+
+    bench::banner(
+        "Extension E2: tasklet-scaling projection (the paper's "
+        "future work)",
+        false,
+        "frozen lake, n=" + std::to_string(n) + ", cores=" +
+            std::to_string(cores) +
+            ", projection: interval(t) = ceil(11/t), ideal "
+            "intra-core split");
+
+    auto env = rlenv::makeEnvironment("frozenlake");
+    const auto data = rlcore::collectRandomDataset(*env, n, 1);
+
+    const pimsim::Cycles base_interval =
+        pimsim::DpuCostModel{}.pipelineInterval;
+
+    TextTable t("Measured multi-tasklet kernels vs the first-order "
+                "projection");
+    t.setHeader({"workload", "tasklets", "measured s",
+                 "measured speedup", "projected speedup"});
+    for (const auto format :
+         {NumericFormat::Fp32, NumericFormat::Int32}) {
+        double base = 0.0;
+        for (const unsigned tasklets : {1u, 2u, 4u, 8u, 11u, 16u}) {
+            auto system = bench::makePimSystem(cores);
+            PimTrainConfig cfg;
+            cfg.workload =
+                Workload{Algorithm::QLearning, Sampling::Seq, format};
+            cfg.hyper.episodes = 10;
+            cfg.tau = 10;
+            cfg.tasklets = tasklets;
+            PimTrainer trainer(system, cfg);
+            const auto r = trainer.train(data, env->numStates(),
+                                         env->numActions());
+            if (tasklets == 1)
+                base = r.time.kernel;
+
+            const double projected = static_cast<double>(
+                std::min<pimsim::Cycles>(tasklets, base_interval));
+            t.addRow({cfg.workload.name(),
+                      TextTable::num(static_cast<long long>(
+                          tasklets)),
+                      TextTable::num(r.time.kernel, 4),
+                      TextTable::speedup(base / r.time.kernel, 2),
+                      TextTable::speedup(projected, 2)});
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading: ~11 tasklets saturate the 14-stage "
+                 "pipeline for another ~11x on top of core-level "
+                 "scaling; beyond that, extra tasklets buy nothing "
+                 "(the issue bandwidth floors at 1 instruction/"
+                 "cycle). The measured speedup trails the projection "
+                 "slightly: sub-chunk imbalance and per-tasklet "
+                 "stream switching are simulated, WRAM-port "
+                 "contention is not.\n";
+    return 0;
+}

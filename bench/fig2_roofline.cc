@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 2 reproduction: the roofline placement of the Q-learner and
+ * SARSA-learner CPU workloads at 1M and 20M transitions on the
+ * i7-9700K measurement host.
+ *
+ * Check against the paper: all four points sit in the memory-bound
+ * region, left of the ridge point.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "roofline/roofline.hh"
+
+int
+main(int argc, char **argv)
+{
+    using swiftrl::common::CliFlags;
+    using swiftrl::common::TextTable;
+
+    const CliFlags flags(argc, argv, {"actions"});
+    const auto actions =
+        static_cast<swiftrl::rlcore::ActionId>(flags.getInt("actions", 4));
+
+    swiftrl::bench::banner(
+        "Figure 2: roofline model of RL training on i7-9700K", true,
+        "frozen-lake action count = " + std::to_string(actions));
+
+    const auto machine = swiftrl::baselines::i7_9700k();
+    swiftrl::roofline::RooflineModel model{machine};
+
+    std::cout << "machine roofs: peak "
+              << TextTable::num(machine.peakGflops, 0)
+              << " GFLOP/s, DRAM "
+              << TextTable::num(machine.memBandwidthBytes / 1e9, 1)
+              << " GB/s, ridge at "
+              << TextTable::num(model.ridgeIntensity(), 2)
+              << " flops/byte\n\n";
+
+    TextTable t("Roofline placement (paper: all four points "
+                "memory-bound)");
+    t.setHeader({"workload", "OI (flops/B)", "attainable GF/s",
+                 "achieved GF/s", "region"});
+    bool all_memory_bound = true;
+    for (const auto &p :
+         swiftrl::roofline::fig2Points(machine, actions)) {
+        t.addRow({p.label, TextTable::num(p.operationalIntensity, 3),
+                  TextTable::num(p.attainableGflops, 2),
+                  TextTable::num(p.achievedGflops, 2),
+                  p.memoryBound ? "memory-bound" : "compute-bound"});
+        all_memory_bound &= p.memoryBound;
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper claim check: all points memory-bound -> "
+              << (all_memory_bound ? "REPRODUCED" : "NOT reproduced")
+              << "\n";
+    return all_memory_bound ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 5 reproduction: strong scaling of all 12 RL workloads on the
+ * frozen lake environment across 125-2,000 PIM cores, with the
+ * execution time split into kernel / CPU->PIM / PIM->CPU /
+ * inter-PIM-core components (tau = 50, stride = 4).
+ */
+
+#include "bench/scaling_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    const swiftrl::common::CliFlags flags(
+        argc, argv, {"full", "transitions", "episodes", "tau"});
+
+    swiftrl::bench::ScalingFigureConfig fig;
+    fig.experimentName =
+        "Figure 5: strong scaling, frozen lake (125-2000 PIM cores)";
+    fig.envName = "frozenlake";
+    fig.fullScale = flags.getBool("full", false);
+    fig.transitions = static_cast<std::size_t>(flags.getInt(
+        "transitions", fig.fullScale ? 1'000'000 : 100'000));
+    fig.episodes =
+        static_cast<int>(flags.getInt("episodes", 2000));
+    fig.tau = static_cast<int>(flags.getInt("tau", 50));
+    return swiftrl::bench::runScalingFigure(fig);
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 6 reproduction: strong scaling of all 12 RL workloads on the
+ * taxi environment across 125-2,000 PIM cores. The paper's headline
+ * observations here: scaling mirrors frozen lake, but the
+ * inter-PIM-core share is much larger (~47x more Q-value bytes per
+ * synchronisation than frozen lake), peaking around 21% of total for
+ * Q-learner-STR-INT32 at 2,000 cores.
+ */
+
+#include "bench/scaling_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    const swiftrl::common::CliFlags flags(
+        argc, argv, {"full", "transitions", "episodes", "tau"});
+
+    swiftrl::bench::ScalingFigureConfig fig;
+    fig.experimentName =
+        "Figure 6: strong scaling, taxi (125-2000 PIM cores)";
+    fig.envName = "taxi";
+    fig.fullScale = flags.getBool("full", false);
+    fig.transitions = static_cast<std::size_t>(flags.getInt(
+        "transitions", fig.fullScale ? 5'000'000 : 200'000));
+    fig.episodes =
+        static_cast<int>(flags.getInt("episodes", 2000));
+    fig.tau = static_cast<int>(flags.getInt("tau", 50));
+
+    const int status = swiftrl::bench::runScalingFigure(fig);
+
+    // The 47x claim: taxi synchronises 500x6 Q-entries vs 16x4.
+    const double ratio = (500.0 * 6.0) / (16.0 * 4.0);
+    std::cout << "Q-value sync payload taxi/frozen-lake: "
+              << swiftrl::common::TextTable::speedup(ratio, 1)
+              << " (paper: ~47x)\n";
+    return status;
+}

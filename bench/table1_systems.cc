@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 1 reproduction: the evaluated system configurations — the
+ * modelled UPMEM-like PIM system and the two analytic comparison
+ * platforms — exactly as this repository parameterises them.
+ */
+
+#include <iostream>
+
+#include "baselines/platform_model.hh"
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using swiftrl::common::TextTable;
+    namespace baselines = swiftrl::baselines;
+
+    swiftrl::bench::banner("Table 1: evaluated system specifications",
+                           true, "static configuration inventory");
+
+    const auto pim_cfg = swiftrl::pimsim::PimConfig{};
+    const auto cpu = baselines::xeonSilver4110();
+    const auto gpu = baselines::rtx3090();
+
+    TextTable t("Evaluated systems (paper Table 1 vs. this model)");
+    t.setHeader({"metric", "UPMEM PIM (modelled)",
+                 "Xeon Silver 4110 (modelled)",
+                 "RTX 3090 (modelled)"});
+    t.addRow({"total cores", "2,524 available; 125-2000 used",
+              "8 (16 threads)", "82 SMs (10,496 lanes)"});
+    t.addRow({"frequency",
+              TextTable::num(pim_cfg.costModel.frequencyHz / 1e6, 0) +
+                  " MHz",
+              "2.4 GHz (3.0 turbo)", "1.70 GHz"});
+    t.addRow({"peak performance", "1,088 GOPS",
+              TextTable::num(cpu.peakGflops, 0) + " GFLOPS",
+              TextTable::num(gpu.peakGflops, 0) + " GFLOPS"});
+    t.addRow({"memory", "158 GB (64 MB MRAM/core)", "132 GB",
+              "24 GB"});
+    t.addRow({"aggregate bandwidth", "2,145 GB/s (near-bank)",
+              TextTable::num(cpu.memBandwidthBytes / 1e9, 1) + " GB/s",
+              TextTable::num(gpu.memBandwidthBytes / 1e9, 1) +
+                  " GB/s"});
+    t.addRow({"per-core scratchpad",
+              TextTable::num(static_cast<long long>(
+                  pim_cfg.wramBytesPerDpu / 1024)) +
+                  " KB WRAM",
+              "-", "-"});
+    t.print(std::cout);
+
+    const auto &m = pim_cfg.costModel;
+    TextTable c("Modelled DPU instruction costs (instructions/op; "
+                "1 instruction = " +
+                TextTable::num(static_cast<long long>(
+                    m.pipelineInterval)) +
+                " cycles at 1 tasklet)");
+    c.setHeader({"op class", "instructions"});
+    using swiftrl::pimsim::OpClass;
+    for (std::size_t i = 0; i < swiftrl::pimsim::kNumOpClasses; ++i) {
+        const auto op = static_cast<OpClass>(i);
+        c.addRow({swiftrl::pimsim::opClassName(op),
+                  TextTable::num(static_cast<long long>(
+                      m.instructions[i]))});
+    }
+    c.addRow({"mram dma",
+              TextTable::num(static_cast<long long>(
+                  m.mramDmaFixedCycles)) +
+                  " cycles + " +
+                  TextTable::num(m.mramDmaCyclesPerByte, 1) +
+                  " cycles/B"});
+    c.print(std::cout);
+    return 0;
+}

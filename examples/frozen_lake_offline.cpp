@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Frozen lake offline-RL study: train all 12 SwiftRL workload
+ * variants ({Q-learning, SARSA} x {SEQ, RAN, STR} x {FP32, INT32}) on
+ * one offline dataset and compare training quality and modelled PIM
+ * execution time side by side — the single-environment version of the
+ * paper's full evaluation.
+ *
+ * Run: ./build/examples/frozen_lake_offline [--transitions N]
+ *      [--episodes E] [--cores C]
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "swiftrl/swiftrl.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swiftrl;
+    using common::TextTable;
+
+    const common::CliFlags flags(argc, argv,
+                                 {"transitions", "episodes", "cores"});
+    const auto n = static_cast<std::size_t>(
+        flags.getInt("transitions", 200'000));
+    const auto episodes =
+        static_cast<int>(flags.getInt("episodes", 50));
+    const auto cores =
+        static_cast<std::size_t>(flags.getInt("cores", 128));
+
+    auto env = rlenv::makeEnvironment("frozenlake");
+    const auto data = rlcore::collectRandomDataset(*env, n, 1);
+    std::cout << "frozen lake offline study: " << n
+              << " transitions, " << episodes << " episodes, "
+              << cores << " PIM cores\n\n";
+
+    TextTable t("All 12 workload variants on one dataset");
+    t.setHeader({"workload", "mean reward", "kernel s", "total s"});
+    double fp32_seq_kernel = 0.0, int32_seq_kernel = 0.0;
+    for (const auto &workload : allWorkloads()) {
+        pimsim::PimConfig pim;
+        pim.numDpus = cores;
+        pimsim::PimSystem system(pim);
+
+        PimTrainConfig cfg;
+        cfg.workload = workload;
+        cfg.hyper.episodes = episodes;
+        cfg.tau = 25;
+        PimTrainer trainer(system, cfg);
+        const auto result =
+            trainer.train(data, env->numStates(), env->numActions());
+        const auto eval = rlcore::evaluateGreedy(*env, result.finalQ,
+                                                 1000, 7);
+
+        if (workload.algo == rlcore::Algorithm::QLearning &&
+            workload.sampling == rlcore::Sampling::Seq) {
+            if (workload.format == rlcore::NumericFormat::Fp32)
+                fp32_seq_kernel = result.time.kernel;
+            else
+                int32_seq_kernel = result.time.kernel;
+        }
+
+        t.addRow({workload.name(), TextTable::num(eval.meanReward, 4),
+                  TextTable::num(result.time.kernel, 3),
+                  TextTable::num(result.time.total(), 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\ntakeaways:\n"
+              << "  - every variant learns an equivalent policy "
+                 "(quality is format- and sampling-insensitive);\n"
+              << "  - the INT32 scaling optimisation speeds the "
+                 "Q-SEQ kernel up by "
+              << TextTable::speedup(fp32_seq_kernel /
+                                        int32_seq_kernel,
+                                    2)
+              << " by avoiding runtime FP32 emulation.\n";
+    return 0;
+}

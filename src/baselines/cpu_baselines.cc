@@ -1,0 +1,194 @@
+#include "baselines/cpu_baselines.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "rlcore/sampling.hh"
+#include "rlcore/seeds.hh"
+#include "rlcore/update_rules.hh"
+#include "swiftrl/partition.hh"
+
+namespace swiftrl::baselines {
+
+using rlcore::ActionId;
+using rlcore::Algorithm;
+using rlcore::Dataset;
+using rlcore::Hyper;
+using rlcore::NumericFormat;
+using rlcore::QTable;
+using rlcore::Sampling;
+using rlcore::StateId;
+
+namespace {
+
+/**
+ * Shared-table worker for CPU-V1. The Q-table is a vector of relaxed
+ * atomics: racing read-modify-write sequences may lose updates, which
+ * is exactly the asynchronous-Q-learning semantics the paper's CPU-V1
+ * has.
+ */
+void
+sharedTableWorker(Algorithm algo, const Dataset &data,
+                  std::size_t first, std::size_t count,
+                  ActionId num_actions,
+                  std::vector<std::atomic<float>> &q,
+                  const Hyper &hyper, Sampling sampling,
+                  std::uint64_t stream)
+{
+    if (count == 0)
+        return;
+    common::Lcg32 lcg(rlcore::deriveLcgSeed(hyper.seed, stream));
+    rlcore::SampleWalker walker(
+        count, sampling, static_cast<std::size_t>(hyper.stride));
+    const auto epsilon_milli = static_cast<std::uint32_t>(
+        static_cast<double>(hyper.epsilon) * 1000.0 + 0.5);
+
+    auto load = [&](StateId s, ActionId a) {
+        return q[static_cast<std::size_t>(s) *
+                     static_cast<std::size_t>(num_actions) +
+                 static_cast<std::size_t>(a)]
+            .load(std::memory_order_relaxed);
+    };
+    auto store = [&](StateId s, ActionId a, float v) {
+        q[static_cast<std::size_t>(s) *
+              static_cast<std::size_t>(num_actions) +
+          static_cast<std::size_t>(a)]
+            .store(v, std::memory_order_relaxed);
+    };
+
+    for (int ep = 0; ep < hyper.episodes; ++ep) {
+        walker.startEpisode();
+        for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t i =
+                first + walker.next([&](std::size_t bound) {
+                    return static_cast<std::size_t>(lcg.nextBounded(
+                        static_cast<std::uint32_t>(bound)));
+                });
+            const StateId s = data.states()[i];
+            const ActionId a = data.actions()[i];
+            const float r = data.rewards()[i];
+            const StateId s2 = data.nextStates()[i];
+            const bool terminal = data.terminals()[i] != 0;
+
+            float bootstrap = 0.0f;
+            if (!terminal) {
+                if (algo == Algorithm::QLearning) {
+                    bootstrap = load(s2, 0);
+                    for (ActionId a2 = 1; a2 < num_actions; ++a2)
+                        bootstrap = std::max(bootstrap, load(s2, a2));
+                } else {
+                    ActionId a2;
+                    if (lcg.nextBounded(1000) < epsilon_milli) {
+                        a2 = static_cast<ActionId>(lcg.nextBounded(
+                            static_cast<std::uint32_t>(num_actions)));
+                    } else {
+                        a2 = 0;
+                        float best = load(s2, 0);
+                        for (ActionId c = 1; c < num_actions; ++c) {
+                            const float v = load(s2, c);
+                            if (v > best) {
+                                best = v;
+                                a2 = c;
+                            }
+                        }
+                    }
+                    bootstrap = load(s2, a2);
+                }
+            }
+            const float target = r + hyper.gamma * bootstrap;
+            const float old_q = load(s, a);
+            store(s, a, old_q + hyper.alpha * (target - old_q));
+        }
+    }
+}
+
+} // namespace
+
+CpuTrainResult
+trainCpuV1(Algorithm algo, const Dataset &data, StateId num_states,
+           ActionId num_actions, const Hyper &hyper, Sampling sampling,
+           NumericFormat format, int threads)
+{
+    SWIFTRL_ASSERT(threads > 0, "need at least one thread");
+    SWIFTRL_ASSERT(!data.empty(), "training on an empty dataset");
+    // CPU-V1 trains in FP32 regardless of the PIM-side format; the
+    // format parameter is accepted for interface symmetry.
+    (void)format;
+
+    common::Stopwatch watch;
+    std::vector<std::atomic<float>> q(
+        static_cast<std::size_t>(num_states) *
+        static_cast<std::size_t>(num_actions));
+    for (auto &v : q)
+        v.store(0.0f, std::memory_order_relaxed);
+
+    const auto chunks = partitionDataset(
+        data.size(), static_cast<std::size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        const auto &chunk = chunks[static_cast<std::size_t>(t)];
+        pool.emplace_back(sharedTableWorker, algo, std::cref(data),
+                          chunk.first, chunk.count, num_actions,
+                          std::ref(q), std::cref(hyper), sampling,
+                          static_cast<std::uint64_t>(t));
+    }
+    for (auto &th : pool)
+        th.join();
+
+    CpuTrainResult result;
+    result.finalQ = QTable(num_states, num_actions);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        result.finalQ.values()[i] =
+            q[i].load(std::memory_order_relaxed);
+    }
+    result.wallSeconds = watch.seconds();
+    result.threads = threads;
+    return result;
+}
+
+CpuTrainResult
+trainCpuV2(Algorithm algo, const Dataset &data, StateId num_states,
+           ActionId num_actions, const Hyper &hyper, Sampling sampling,
+           NumericFormat format, int threads)
+{
+    SWIFTRL_ASSERT(threads > 0, "need at least one thread");
+    SWIFTRL_ASSERT(!data.empty(), "training on an empty dataset");
+
+    common::Stopwatch watch;
+    const auto chunks = partitionDataset(
+        data.size(), static_cast<std::size_t>(threads));
+
+    // Each worker trains a local table on its portion: exactly the
+    // reference trainer over a sub-dataset.
+    std::vector<QTable> locals(
+        static_cast<std::size_t>(threads), QTable(num_states, num_actions));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t]() {
+            const auto &chunk = chunks[static_cast<std::size_t>(t)];
+            Dataset portion;
+            for (std::size_t i = 0; i < chunk.count; ++i)
+                portion.append(data.get(chunk.first + i));
+            locals[static_cast<std::size_t>(t)] =
+                rlcore::trainCpuReference(
+                    algo, portion, num_states, num_actions, hyper,
+                    sampling, format,
+                    static_cast<std::uint64_t>(t));
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    CpuTrainResult result;
+    result.finalQ = QTable::average(locals);
+    result.wallSeconds = watch.seconds();
+    result.threads = threads;
+    return result;
+}
+
+} // namespace swiftrl::baselines

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The paper's CPU baselines (Sec. 4.4), implemented functionally:
+ *
+ *  - CPU-V1: multiple threads update one *shared* Q-table; each thread
+ *    sweeps its own portion of the dataset. Concurrent updates race
+ *    benignly (asynchronous/Hogwild-style tabular Q-learning); we use
+ *    relaxed atomics so the race is well-defined.
+ *  - CPU-V2: distributed version — each thread trains a *local*
+ *    Q-table on its portion; tables are averaged at the end (the same
+ *    aggregation the PIM implementation performs).
+ *
+ * Wall-clock timing of these functions measures this host, not the
+ * paper's Xeon 4110; the Fig. 7 reproduction therefore uses
+ * platform_model.hh for the time axis and these implementations for
+ * functional results. Both are reported.
+ */
+
+#ifndef SWIFTRL_BASELINES_CPU_BASELINES_HH
+#define SWIFTRL_BASELINES_CPU_BASELINES_HH
+
+#include "rlcore/dataset.hh"
+#include "rlcore/qtable.hh"
+#include "rlcore/trainers.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl::baselines {
+
+/** Result of a CPU baseline run. */
+struct CpuTrainResult
+{
+    rlcore::QTable finalQ;
+
+    /** Wall-clock seconds on this host (not the paper's Xeon). */
+    double wallSeconds = 0.0;
+
+    /** Threads used. */
+    int threads = 0;
+
+    CpuTrainResult() : finalQ(1, 1) {}
+};
+
+/**
+ * CPU-V1: shared Q-table, @p threads workers, each sweeping its own
+ * contiguous dataset portion every episode.
+ */
+CpuTrainResult trainCpuV1(rlcore::Algorithm algo,
+                          const rlcore::Dataset &data,
+                          rlcore::StateId num_states,
+                          rlcore::ActionId num_actions,
+                          const rlcore::Hyper &hyper,
+                          rlcore::Sampling sampling,
+                          rlcore::NumericFormat format, int threads);
+
+/**
+ * CPU-V2: per-thread local Q-tables over dataset portions, averaged
+ * once at the end.
+ */
+CpuTrainResult trainCpuV2(rlcore::Algorithm algo,
+                          const rlcore::Dataset &data,
+                          rlcore::StateId num_states,
+                          rlcore::ActionId num_actions,
+                          const rlcore::Hyper &hyper,
+                          rlcore::Sampling sampling,
+                          rlcore::NumericFormat format, int threads);
+
+} // namespace swiftrl::baselines
+
+#endif // SWIFTRL_BASELINES_CPU_BASELINES_HH

@@ -1,0 +1,164 @@
+#include "baselines/platform_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace swiftrl::baselines {
+
+using rlcore::ActionId;
+using rlcore::Algorithm;
+using rlcore::Sampling;
+
+PlatformSpec
+xeonSilver4110()
+{
+    PlatformSpec s;
+    s.name = "Intel Xeon Silver 4110";
+    s.peakGflops = 38.0;          // Table 1
+    s.memBandwidthBytes = 28.8e9; // Table 1
+    s.hwThreads = 16;             // 8 cores x 2-way SMT
+    s.cacheBytes = 11.0e6;        // 11 MB LLC
+    s.tdpWatts = 85.0;            // Table 1
+    return s;
+}
+
+PlatformSpec
+rtx3090()
+{
+    PlatformSpec s;
+    s.name = "NVIDIA RTX 3090";
+    s.peakGflops = 35580.0;        // Table 1
+    s.memBandwidthBytes = 936.2e9; // Table 1
+    s.hwThreads = 10496;           // SIMD lanes
+    s.cacheBytes = 6.0e6;          // L2
+    s.tdpWatts = 350.0;            // Table 1
+    return s;
+}
+
+PlatformSpec
+i7_9700k()
+{
+    PlatformSpec s;
+    s.name = "Intel i7-9700K";
+    s.peakGflops = 460.0;          // 8 cores x 4.6 GHz x AVX2 FMA
+    s.memBandwidthBytes = 41.6e9;  // dual-channel DDR4-2666
+    s.hwThreads = 8;
+    s.cacheBytes = 12.0e6;
+    s.tdpWatts = 95.0;
+    return s;
+}
+
+UpdateOpMix
+updateOpMix(Algorithm algo, ActionId num_actions)
+{
+    SWIFTRL_ASSERT(num_actions > 0, "empty action space");
+    UpdateOpMix mix;
+    // max/argmax over the next-state row: A-1 compares; target,
+    // delta, and step: 2 multiplies + 3 adds. SARSA replaces the max
+    // with an argmax of the same cost plus the epsilon draw
+    // (~2 cheap ops, counted as one flop-equivalent).
+    mix.flops = static_cast<double>(num_actions - 1) + 5.0 +
+                (algo == Algorithm::Sarsa ? 1.0 : 0.0);
+    // One packed 16-byte record streams from DRAM per update; the
+    // Q-table itself is small enough to live in cache on every
+    // platform considered.
+    mix.bytesStreamed = 16.0;
+    return mix;
+}
+
+double
+estimateCpuSeconds(const PlatformSpec &spec, const CpuModelParams &p,
+                   CpuVersion version, Algorithm algo,
+                   Sampling sampling, ActionId num_actions,
+                   std::size_t q_entries,
+                   std::size_t dataset_transitions, int episodes)
+{
+    SWIFTRL_ASSERT(dataset_transitions > 0 && episodes > 0,
+                   "empty workload");
+    const UpdateOpMix mix = updateOpMix(algo, num_actions);
+    const double updates = static_cast<double>(dataset_transitions) *
+                           static_cast<double>(episodes);
+
+    // Per-update serial latency on one thread.
+    double latency_ns = p.baseLatencyNs + mix.flops * p.flopLatencyNs;
+
+    if (version == CpuVersion::V1) {
+        // Shared-table coherence: threads ping-pong the Q-table's
+        // cache lines. Conflict probability grows as threads per
+        // line; tiny tables (frozen lake: 4 lines) saturate.
+        const double q_lines =
+            std::max(1.0, static_cast<double>(q_entries) * 4.0 / 64.0);
+        const double conflict = std::min(
+            1.0, static_cast<double>(spec.hwThreads) / q_lines);
+        latency_ns += conflict * p.coherencePenaltyNs;
+    }
+
+    const double dataset_bytes =
+        static_cast<double>(dataset_transitions) * 16.0;
+    if (sampling == Sampling::Ran && dataset_bytes > spec.cacheBytes)
+        latency_ns += p.cacheMissPenaltyNs;
+    if (sampling == Sampling::Str)
+        latency_ns += p.stridePenaltyNs;
+
+    const double thread_throughput = 1.0e9 / latency_ns; // updates/s
+    const double chip_throughput =
+        thread_throughput * static_cast<double>(spec.hwThreads) *
+        p.threadEfficiency;
+    const double latency_bound_sec = updates / chip_throughput;
+
+    // DRAM bandwidth floor (prefetch efficiency by pattern).
+    double bw_factor = 1.0;
+    if (sampling == Sampling::Str)
+        bw_factor = 0.6;
+    else if (sampling == Sampling::Ran)
+        bw_factor = 0.15; // whole lines fetched, no prefetch
+    const double bw_bound_sec =
+        updates * mix.bytesStreamed /
+        (spec.memBandwidthBytes * bw_factor);
+
+    return std::max(latency_bound_sec, bw_bound_sec);
+}
+
+double
+estimateGpuSeconds(const PlatformSpec &spec, const GpuModelParams &p,
+                   Algorithm algo, Sampling sampling,
+                   ActionId num_actions, std::size_t q_entries,
+                   std::size_t dataset_transitions, int episodes)
+{
+    SWIFTRL_ASSERT(dataset_transitions > 0 && episodes > 0,
+                   "empty workload");
+    const UpdateOpMix mix = updateOpMix(algo, num_actions);
+    const double updates = static_cast<double>(dataset_transitions) *
+                           static_cast<double>(episodes);
+
+    // Atomic contention cap: concurrent updates serialise per Q
+    // entry, so aggregate throughput tops out at entries/latency.
+    // Random sampling spreads conflicts slightly better than
+    // sequential chunk walks (neighbouring threads hit neighbouring
+    // records and thus correlated states).
+    const double spread = sampling == Sampling::Ran ? 1.2 : 1.0;
+    const double atomic_throughput =
+        static_cast<double>(q_entries) * spread * 1.0e9 /
+        p.atomicLatencyNs;
+
+    // Bandwidth and compute caps.
+    const double bw_throughput = spec.memBandwidthBytes *
+                                 p.bandwidthEfficiency /
+                                 mix.bytesStreamed;
+    const double compute_throughput = spec.peakGflops * 1.0e9 *
+                                      p.computeEfficiency / mix.flops;
+
+    const double throughput = std::min(
+        {atomic_throughput, bw_throughput, compute_throughput});
+    double seconds = updates / throughput;
+
+    // Per-episode kernel launches plus the one-time PCIe copy.
+    seconds += static_cast<double>(episodes) * p.launchOverheadSec;
+    seconds += static_cast<double>(dataset_transitions) * 16.0 /
+               p.pcieBytesPerSec;
+    return seconds;
+}
+
+} // namespace swiftrl::baselines

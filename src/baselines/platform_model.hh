@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Analytic timing models for the paper's comparison platforms
+ * (Table 1): the Intel Xeon Silver 4110 CPU and the NVIDIA RTX 3090
+ * GPU. Used for the Fig. 7 time axis, where the paper measured real
+ * hardware we do not have. See DESIGN.md Sec. 1 for the substitution
+ * rationale: the comparisons in Fig. 7 are architecture-shape
+ * arguments (prefetcher-friendly patterns favour the CPU, atomic
+ * contention on tiny Q-tables throttles the GPU, emulated FP32
+ * throttles the PIM), and each model encodes exactly those mechanisms
+ * with Table 1's published machine parameters.
+ *
+ * Every parameter is plain data; the ablation bench sweeps the
+ * sensitive ones.
+ */
+
+#ifndef SWIFTRL_BASELINES_PLATFORM_MODEL_HH
+#define SWIFTRL_BASELINES_PLATFORM_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "rlcore/trainers.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl::baselines {
+
+/** Published machine parameters (Table 1 of the paper). */
+struct PlatformSpec
+{
+    std::string name;
+
+    /** Peak FP32 throughput, GFLOP/s. */
+    double peakGflops = 0.0;
+
+    /** DRAM bandwidth, bytes/second. */
+    double memBandwidthBytes = 0.0;
+
+    /** Hardware threads (CPU) or SIMD lanes (GPU). */
+    int hwThreads = 0;
+
+    /** Last-level cache capacity in bytes (CPU models only). */
+    double cacheBytes = 0.0;
+
+    /** Component TDP in watts (Table 1's last row). */
+    double tdpWatts = 0.0;
+};
+
+/**
+ * First-order energy estimate: execution time at component TDP.
+ * The paper reports TDPs (Table 1) but no energy numbers; this gives
+ * the energy-proportional comparison its Key Takeaways imply.
+ */
+inline double
+energyJoules(double seconds, double tdp_watts)
+{
+    return seconds * tdp_watts;
+}
+
+/** The paper's Xeon Silver 4110 (Table 1). */
+PlatformSpec xeonSilver4110();
+
+/** The paper's RTX 3090 (Table 1). */
+PlatformSpec rtx3090();
+
+/** The roofline host of Fig. 2, an Intel i7-9700K. */
+PlatformSpec i7_9700k();
+
+/** Work per Q-update, derived from the algorithm and action count. */
+struct UpdateOpMix
+{
+    /** Floating-point operations per update (FP32 path). */
+    double flops = 0.0;
+
+    /** Dataset bytes streamed from DRAM per update. */
+    double bytesStreamed = 0.0;
+};
+
+/** Op mix of one tabular update. */
+UpdateOpMix updateOpMix(rlcore::Algorithm algo,
+                        rlcore::ActionId num_actions);
+
+/** Tunable constants of the CPU latency model. */
+struct CpuModelParams
+{
+    /** Loop/dependency-chain overhead per update, nanoseconds. */
+    double baseLatencyNs = 18.0;
+
+    /** Serial latency contribution per FP op in the chain. */
+    double flopLatencyNs = 2.0;
+
+    /**
+     * Cache-line ping-pong penalty for CPU-V1's shared Q-table,
+     * applied in proportion to the thread-per-line conflict ratio.
+     */
+    double coherencePenaltyNs = 200.0;
+
+    /** Per-update DRAM-miss penalty for RAN sampling when the
+     *  dataset exceeds the LLC (no prefetcher help). */
+    double cacheMissPenaltyNs = 70.0;
+
+    /** Extra per-update cost of stride access (partial prefetch). */
+    double stridePenaltyNs = 6.0;
+
+    /** Parallel efficiency across hardware threads. */
+    double threadEfficiency = 0.70;
+};
+
+/** The paper's two CPU baseline variants. */
+enum class CpuVersion
+{
+    V1, ///< shared Q-table
+    V2, ///< thread-local Q-tables, final averaging
+};
+
+/**
+ * Estimated training-phase seconds on a CPU platform.
+ *
+ * @param dataset_transitions N (chunk sweeps cover N updates/episode).
+ * @param q_entries Q-table size in entries (coherence model input).
+ */
+double estimateCpuSeconds(const PlatformSpec &spec,
+                          const CpuModelParams &params,
+                          CpuVersion version, rlcore::Algorithm algo,
+                          rlcore::Sampling sampling,
+                          rlcore::ActionId num_actions,
+                          std::size_t q_entries,
+                          std::size_t dataset_transitions, int episodes);
+
+/** Tunable constants of the GPU contention model. */
+struct GpuModelParams
+{
+    /**
+     * Serialisation latency of an atomic read-modify-write to one
+     * Q-table entry in global memory: with a table of E entries the
+     * aggregate update throughput is at most E / atomicLatency.
+     */
+    double atomicLatencyNs = 400.0;
+
+    /** Kernel launch overhead per episode batch, seconds. */
+    double launchOverheadSec = 12.0e-6;
+
+    /** Achievable fraction of peak DRAM bandwidth. */
+    double bandwidthEfficiency = 0.5;
+
+    /** Achievable fraction of peak FLOP/s on this scalar workload. */
+    double computeEfficiency = 0.05;
+
+    /** Host->device PCIe bandwidth for the initial dataset copy. */
+    double pcieBytesPerSec = 24.0e9;
+};
+
+/** Estimated training-phase seconds on a GPU platform. */
+double estimateGpuSeconds(const PlatformSpec &spec,
+                          const GpuModelParams &params,
+                          rlcore::Algorithm algo,
+                          rlcore::Sampling sampling,
+                          rlcore::ActionId num_actions,
+                          std::size_t q_entries,
+                          std::size_t dataset_transitions, int episodes);
+
+} // namespace swiftrl::baselines
+
+#endif // SWIFTRL_BASELINES_PLATFORM_MODEL_HH

@@ -1,0 +1,100 @@
+#include "common/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace swiftrl::common {
+
+CliFlags::CliFlags(int argc, char **argv, std::vector<std::string> known)
+{
+    auto is_known = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            _positional.push_back(std::move(arg));
+            continue;
+        }
+        arg.erase(0, 2);
+        std::string name, value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            // --name value (when the next token is not a flag)
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (!is_known(name))
+            SWIFTRL_FATAL("unknown flag --", name);
+        _values[name] = value;
+    }
+}
+
+bool
+CliFlags::has(const std::string &name) const
+{
+    return _values.count(name) > 0;
+}
+
+std::string
+CliFlags::getString(const std::string &name,
+                    const std::string &fallback) const
+{
+    const auto it = _values.find(name);
+    return it == _values.end() ? fallback : it->second;
+}
+
+std::int64_t
+CliFlags::getInt(const std::string &name, std::int64_t fallback) const
+{
+    const auto it = _values.find(name);
+    if (it == _values.end())
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        SWIFTRL_FATAL("flag --", name, " expects an integer, got '",
+                      it->second, "'");
+    return v;
+}
+
+double
+CliFlags::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = _values.find(name);
+    if (it == _values.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        SWIFTRL_FATAL("flag --", name, " expects a number, got '",
+                      it->second, "'");
+    return v;
+}
+
+bool
+CliFlags::getBool(const std::string &name, bool fallback) const
+{
+    const auto it = _values.find(name);
+    if (it == _values.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    SWIFTRL_FATAL("flag --", name, " expects a boolean, got '", v, "'");
+}
+
+} // namespace swiftrl::common

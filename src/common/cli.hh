@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by bench and example
+ * binaries. Flags take the form --name=value or --name value; bare
+ * --name sets a boolean flag to true.
+ */
+
+#ifndef SWIFTRL_COMMON_CLI_HH
+#define SWIFTRL_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace swiftrl::common {
+
+/**
+ * Parsed command line. Unknown flags are fatal (catching typos in
+ * experiment parameters beats silently running the wrong sweep).
+ */
+class CliFlags
+{
+  public:
+    /**
+     * Parse argv.
+     *
+     * @param known the set of accepted flag names (without "--").
+     */
+    CliFlags(int argc, char **argv, std::vector<std::string> known);
+
+    /** True when the flag was passed on the command line. */
+    bool has(const std::string &name) const;
+
+    /** String value, or @p fallback when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer value, or @p fallback when absent. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Floating-point value, or @p fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean value; bare flag means true. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+  private:
+    std::map<std::string, std::string> _values;
+    std::vector<std::string> _positional;
+};
+
+} // namespace swiftrl::common
+
+#endif // SWIFTRL_COMMON_CLI_HH

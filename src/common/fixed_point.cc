@@ -1,0 +1,22 @@
+#include "common/fixed_point.hh"
+
+#include "common/logging.hh"
+
+namespace swiftrl::common {
+
+double
+fixedPointRange(std::int32_t scale_factor)
+{
+    SWIFTRL_ASSERT(scale_factor > 0);
+    return static_cast<double>(std::numeric_limits<std::int32_t>::max()) /
+           static_cast<double>(scale_factor);
+}
+
+double
+fixedPointResolution(std::int32_t scale_factor)
+{
+    SWIFTRL_ASSERT(scale_factor > 0);
+    return 1.0 / static_cast<double>(scale_factor);
+}
+
+} // namespace swiftrl::common

@@ -1,0 +1,65 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace swiftrl::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Inform};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Inform)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace swiftrl::common

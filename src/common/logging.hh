@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * fatal() for user errors that make continuing impossible, panic() for
+ * internal invariant violations (bugs), warn()/inform() for advisory
+ * messages that never stop execution.
+ */
+
+#ifndef SWIFTRL_COMMON_LOGGING_HH
+#define SWIFTRL_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace swiftrl::common {
+
+/** Verbosity levels for the message stream. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Global log verbosity; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Terminate because of a condition that is the user's fault (bad
+ * configuration, invalid arguments). Exits with status 1.
+ */
+#define SWIFTRL_FATAL(...) \
+    ::swiftrl::common::detail::fatalImpl( \
+        __FILE__, __LINE__, ::swiftrl::common::detail::concat(__VA_ARGS__))
+
+/**
+ * Terminate because of a condition that should never happen regardless
+ * of user input — an internal bug. Aborts (may dump core).
+ */
+#define SWIFTRL_PANIC(...) \
+    ::swiftrl::common::detail::panicImpl( \
+        __FILE__, __LINE__, ::swiftrl::common::detail::concat(__VA_ARGS__))
+
+/** Panic unless an internal invariant holds. */
+#define SWIFTRL_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::swiftrl::common::detail::panicImpl( \
+                __FILE__, __LINE__, \
+                ::swiftrl::common::detail::concat( \
+                    "assertion failed: " #cond " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Advisory: something may not behave as the user expects. */
+#define SWIFTRL_WARN(...) \
+    ::swiftrl::common::detail::warnImpl( \
+        ::swiftrl::common::detail::concat(__VA_ARGS__))
+
+/** Normal operating status message. */
+#define SWIFTRL_INFORM(...) \
+    ::swiftrl::common::detail::informImpl( \
+        ::swiftrl::common::detail::concat(__VA_ARGS__))
+
+/** Developer-facing trace message. */
+#define SWIFTRL_DEBUG(...) \
+    ::swiftrl::common::detail::debugImpl( \
+        ::swiftrl::common::detail::concat(__VA_ARGS__))
+
+} // namespace swiftrl::common
+
+#endif // SWIFTRL_COMMON_LOGGING_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Random number generators.
+ *
+ * Two families are provided:
+ *  - Lcg32: the linear congruential generator SwiftRL implements as a
+ *    custom PIM routine, because the C standard library's rand() is not
+ *    available on UPMEM DPUs (Sec. 3.2.1). Kernels running inside the
+ *    simulated PIM cores must use this generator so the simulation
+ *    exercises the same arithmetic the paper's DPU code does.
+ *  - SplitMix64 / XorShift128: fast host-side generators used for
+ *    dataset collection, environment dynamics, and evaluation rollouts.
+ *
+ * All generators are deterministic given a seed; every experiment in
+ * this repository reports its seeds.
+ */
+
+#ifndef SWIFTRL_COMMON_RNG_HH
+#define SWIFTRL_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace swiftrl::common {
+
+/**
+ * 32-bit linear congruential generator with the Numerical Recipes
+ * constants, replicating the custom rand() routine SwiftRL runs on the
+ * PIM cores. One multiply + one add per draw — cheap even on hardware
+ * that emulates 32-bit multiplication.
+ */
+class Lcg32
+{
+  public:
+    explicit Lcg32(std::uint32_t seed = 1u) : _state(seed) {}
+
+    /** Next raw 32-bit draw. */
+    std::uint32_t
+    next()
+    {
+        _state = _state * 1664525u + 1013904223u;
+        return _state;
+    }
+
+    /**
+     * Uniform draw in [0, bound) using the high bits (the low bits of
+     * an LCG have short periods).
+     *
+     * @param bound exclusive upper bound; must be > 0.
+     */
+    std::uint32_t
+    nextBounded(std::uint32_t bound)
+    {
+        const std::uint64_t wide =
+            static_cast<std::uint64_t>(next()) * bound;
+        return static_cast<std::uint32_t>(wide >> 32);
+    }
+
+    /** Uniform real draw in [0, 1). */
+    double
+    nextReal()
+    {
+        return static_cast<double>(next()) * (1.0 / 4294967296.0);
+    }
+
+    /** Current internal state (for checkpointing / tests). */
+    std::uint32_t state() const { return _state; }
+
+    /** Reseed the generator. */
+    void seed(std::uint32_t s) { _state = s; }
+
+  private:
+    std::uint32_t _state;
+};
+
+/**
+ * SplitMix64: robust seeding/stream-splitting generator. Used to derive
+ * independent per-core and per-agent seeds from one experiment seed.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : _state(seed)
+    {}
+
+    /** Next 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+/**
+ * xorshift128+ host generator: fast, good-quality stream for Monte
+ * Carlo environment dynamics and sampling.
+ */
+class XorShift128
+{
+  public:
+    /** Seed via SplitMix64 so any 64-bit seed yields a good state. */
+    explicit XorShift128(std::uint64_t seed = 0xdeadbeefcafef00dull);
+
+    /** Next 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform draw in [0, bound) with Lemire rejection (unbiased). */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform real draw in [0, 1). */
+    double nextReal();
+
+    /** Derive an independent child generator (for per-worker streams). */
+    XorShift128 split();
+
+  private:
+    std::uint64_t _s0;
+    std::uint64_t _s1;
+};
+
+} // namespace swiftrl::common
+
+#endif // SWIFTRL_COMMON_RNG_HH

@@ -1,0 +1,89 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace swiftrl::common {
+
+RunningStat::RunningStat()
+    : _min(std::numeric_limits<double>::infinity()),
+      _max(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStat::add(double x)
+{
+    ++_count;
+    _sum += x;
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+log2ScalingExponent(const std::vector<double> &x,
+                    const std::vector<double> &y)
+{
+    SWIFTRL_ASSERT(x.size() == y.size() && x.size() >= 2,
+                   "need at least two matched points");
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = static_cast<double>(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        SWIFTRL_ASSERT(x[i] > 0 && y[i] > 0,
+                       "log-log fit requires positive data");
+        const double lx = std::log2(x[i]);
+        const double ly = std::log2(y[i]);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    const double denom = n * sxx - sx * sx;
+    SWIFTRL_ASSERT(denom != 0.0, "degenerate x values");
+    return (n * sxy - sx * sy) / denom;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    SWIFTRL_ASSERT(!samples.empty(), "percentile of empty sample set");
+    SWIFTRL_ASSERT(p >= 0.0 && p <= 100.0, "p must be in [0, 100]");
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+} // namespace swiftrl::common

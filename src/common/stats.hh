@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Streaming summary statistics used by evaluation rollouts and bench
+ * harnesses (mean reward, execution-time spreads, scaling slopes).
+ */
+
+#ifndef SWIFTRL_COMMON_STATS_HH
+#define SWIFTRL_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace swiftrl::common {
+
+/**
+ * Welford-style running accumulator: numerically stable mean/variance
+ * without storing samples.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return _count; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return _mean; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return _min; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return _max; }
+
+    /** Sum of all observations. */
+    double sum() const { return _sum; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min;
+    double _max;
+
+  public:
+    RunningStat();
+};
+
+/**
+ * Least-squares slope of log2(y) against log2(x) — the scaling
+ * exponent. A strong-scaling experiment with perfect linear speedup
+ * has exponent -1 (time halves when cores double).
+ */
+double log2ScalingExponent(const std::vector<double> &x,
+                           const std::vector<double> &y);
+
+/** Percentile of a sample set (linear interpolation, p in [0, 100]). */
+double percentile(std::vector<double> samples, double p);
+
+} // namespace swiftrl::common
+
+#endif // SWIFTRL_COMMON_STATS_HH

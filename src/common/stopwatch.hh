@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock stopwatch for the host-side baselines. All PIM-side
+ * numbers come from the simulator's integer cycle clock, never from
+ * this class.
+ */
+
+#ifndef SWIFTRL_COMMON_STOPWATCH_HH
+#define SWIFTRL_COMMON_STOPWATCH_HH
+
+#include <chrono>
+
+namespace swiftrl::common {
+
+/** Monotonic wall-clock timer. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : _start(Clock::now()) {}
+
+    /** Restart the timer. */
+    void reset() { _start = Clock::now(); }
+
+    /** Elapsed time in seconds. */
+    double
+    seconds() const
+    {
+        const auto d = Clock::now() - _start;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point _start;
+};
+
+} // namespace swiftrl::common
+
+#endif // SWIFTRL_COMMON_STOPWATCH_HH

@@ -1,0 +1,114 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace swiftrl::common {
+
+TextTable::TextTable(std::string title) : _title(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    SWIFTRL_ASSERT(_header.empty() || row.size() == _header.size(),
+                   "row width ", row.size(), " != header width ",
+                   _header.size());
+    SWIFTRL_ASSERT(!row.empty(), "empty rows are reserved for rules");
+    _rows.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    _rows.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    const std::size_t cols =
+        _header.empty()
+            ? (_rows.empty() ? 0 : _rows.front().size())
+            : _header.size();
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    if (!_header.empty())
+        widen(_header);
+    for (const auto &row : _rows) {
+        if (!row.empty())
+            widen(row);
+    }
+
+    std::size_t total = cols == 0 ? 0 : 3 * (cols - 1);
+    for (auto w : width)
+        total += w;
+
+    auto rule = [&]() { os << std::string(total, '-') << "\n"; };
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << " | ";
+        }
+        os << "\n";
+    };
+
+    os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        rule();
+    }
+    for (const auto &row : _rows) {
+        if (row.empty())
+            rule();
+        else
+            emit(row);
+    }
+    os.flush();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::num(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::speedup(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v << "x";
+    return oss.str();
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << fraction * 100.0 << "%";
+    return oss.str();
+}
+
+} // namespace swiftrl::common

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table printer. Every bench binary in bench/ renders its
+ * figure/table reproduction through this, so all outputs share one
+ * format that is easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef SWIFTRL_COMMON_TABLE_HH
+#define SWIFTRL_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swiftrl::common {
+
+/**
+ * A column-aligned ASCII table with a title, a header row, and data
+ * rows. Cells are strings; helpers format numbers consistently.
+ */
+class TextTable
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TextTable(std::string title);
+
+    /** Set the header row (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+
+    /** Render with column alignment to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Fixed-precision formatting helper. */
+    static std::string num(double v, int precision = 3);
+
+    /** Integer formatting helper. */
+    static std::string num(long long v);
+
+    /** Format a ratio as "N.NNx". */
+    static std::string speedup(double v, int precision = 2);
+
+    /** Format a fraction as a percentage "NN.N%". */
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    /** Rows; an empty row vector encodes a horizontal rule. */
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace swiftrl::common
+
+#endif // SWIFTRL_COMMON_TABLE_HH

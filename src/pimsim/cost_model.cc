@@ -1,0 +1,83 @@
+#include "pimsim/cost_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace swiftrl::pimsim {
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "int_alu";
+      case OpClass::Int8Mul: return "int8_mul";
+      case OpClass::Int32Mul: return "int32_mul";
+      case OpClass::Int32Div: return "int32_div";
+      case OpClass::Fp32Add: return "fp32_add";
+      case OpClass::Fp32Mul: return "fp32_mul";
+      case OpClass::Fp32Div: return "fp32_div";
+      case OpClass::Fp32Cmp: return "fp32_cmp";
+      case OpClass::WramAccess: return "wram_access";
+      case OpClass::Branch: return "branch";
+      case OpClass::NumClasses: break;
+    }
+    SWIFTRL_PANIC("unknown op class");
+}
+
+std::array<Cycles, kNumOpClasses>
+DpuCostModel::defaultInstructions()
+{
+    std::array<Cycles, kNumOpClasses> t{};
+    t[static_cast<std::size_t>(OpClass::IntAlu)] = 1;
+    t[static_cast<std::size_t>(OpClass::Int8Mul)] = 2;
+    t[static_cast<std::size_t>(OpClass::Int32Mul)] = 16;
+    t[static_cast<std::size_t>(OpClass::Int32Div)] = 64;
+    t[static_cast<std::size_t>(OpClass::Fp32Add)] = 110;
+    t[static_cast<std::size_t>(OpClass::Fp32Mul)] = 150;
+    t[static_cast<std::size_t>(OpClass::Fp32Div)] = 380;
+    t[static_cast<std::size_t>(OpClass::Fp32Cmp)] = 60;
+    t[static_cast<std::size_t>(OpClass::WramAccess)] = 1;
+    t[static_cast<std::size_t>(OpClass::Branch)] = 1;
+    return t;
+}
+
+Cycles
+DpuCostModel::dmaCycles(std::uint32_t bytes) const
+{
+    SWIFTRL_ASSERT(bytes > 0, "zero-byte DMA");
+    SWIFTRL_ASSERT(bytes <= mramDmaMaxBytes,
+                   "DMA of ", bytes, " bytes exceeds hardware maximum ",
+                   mramDmaMaxBytes);
+    SWIFTRL_ASSERT(bytes % mramDmaAlignBytes == 0,
+                   "DMA of ", bytes, " bytes violates ", mramDmaAlignBytes,
+                   "-byte alignment");
+    const double streaming =
+        mramDmaCyclesPerByte * static_cast<double>(bytes);
+    return mramDmaFixedCycles +
+           static_cast<Cycles>(std::llround(std::ceil(streaming)));
+}
+
+void
+validate(const DpuCostModel &model)
+{
+    if (model.frequencyHz <= 0.0)
+        SWIFTRL_FATAL("DPU frequency must be positive");
+    if (model.pipelineInterval == 0)
+        SWIFTRL_FATAL("pipeline interval must be at least 1 cycle");
+    if (model.mramDmaAlignBytes == 0 ||
+        model.mramDmaMaxBytes % model.mramDmaAlignBytes != 0) {
+        SWIFTRL_FATAL("DMA max size must be a multiple of the alignment");
+    }
+    if (model.mramDmaCyclesPerByte < 0.0)
+        SWIFTRL_FATAL("DMA per-byte cost cannot be negative");
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        if (model.instructions[i] == 0) {
+            SWIFTRL_FATAL("op class ",
+                          opClassName(static_cast<OpClass>(i)),
+                          " must cost at least one instruction");
+        }
+    }
+}
+
+} // namespace swiftrl::pimsim

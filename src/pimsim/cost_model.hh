@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cycle cost model for a single simulated PIM core (UPMEM DPU).
+ *
+ * A DPU is an in-order 32-bit RISC core with a 14-stage pipeline,
+ * fine-grained multithreaded across up to 24 tasklets. SwiftRL runs a
+ * single tasklet per core, which cannot keep the pipeline full: each
+ * retired instruction effectively occupies ~11 cycles (the dispatch
+ * interval measured in the public UPMEM characterisation work). We
+ * model instruction cost as
+ *
+ *     cycles(op) = instructions(op) * pipelineInterval
+ *
+ * where instructions(op) is the number of (possibly emulated)
+ * instructions the op expands to, and MRAM DMA transfers are charged
+ * separately as fixed latency plus a per-byte component.
+ *
+ * All constants are plain data and can be overridden; the ablation
+ * bench sweeps them to show which conclusions are calibration-robust.
+ */
+
+#ifndef SWIFTRL_PIMSIM_COST_MODEL_HH
+#define SWIFTRL_PIMSIM_COST_MODEL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "pimsim/op_class.hh"
+
+namespace swiftrl::pimsim {
+
+/** Integer cycle count type used throughout the simulator. */
+using Cycles = std::uint64_t;
+
+/** Per-DPU instruction and memory cost parameters. */
+struct DpuCostModel
+{
+    /** Core clock (SwiftRL's server runs its 2,524 DPUs at 425 MHz). */
+    double frequencyHz = 425.0e6;
+
+    /**
+     * Cycles each retired instruction occupies with a single tasklet
+     * (the 14-stage pipeline needs ~11 resident threads to reach one
+     * instruction per cycle).
+     */
+    Cycles pipelineInterval = 11;
+
+    /**
+     * Instruction expansion per op class. Defaults follow the UPMEM
+     * characterisation literature: native int ALU ops are single
+     * instructions, 32-bit multiply/divide are emulated in tens of
+     * instructions, FP32 arithmetic in tens-to-hundreds.
+     */
+    std::array<Cycles, kNumOpClasses> instructions = defaultInstructions();
+
+    /** Fixed MRAM->WRAM / WRAM->MRAM DMA setup latency, in cycles. */
+    Cycles mramDmaFixedCycles = 77;
+
+    /** DMA streaming cost in cycles per byte (0.5 = 2 bytes/cycle). */
+    double mramDmaCyclesPerByte = 0.5;
+
+    /** Largest single DMA transfer the hardware supports, in bytes. */
+    std::uint32_t mramDmaMaxBytes = 2048;
+
+    /** DMA transfers must be multiples of this many bytes. */
+    std::uint32_t mramDmaAlignBytes = 8;
+
+    /** Cycle cost of one op of class @p op. */
+    Cycles
+    cyclesFor(OpClass op) const
+    {
+        return instructions[static_cast<std::size_t>(op)] *
+               pipelineInterval;
+    }
+
+    /**
+     * Cycle cost of a single DMA transfer of @p bytes (after the
+     * caller has split transfers at mramDmaMaxBytes and padded to the
+     * DMA alignment).
+     */
+    Cycles dmaCycles(std::uint32_t bytes) const;
+
+    /** Convert a cycle count to seconds at the modelled clock. */
+    double
+    seconds(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / frequencyHz;
+    }
+
+    /** Default instruction-expansion table. */
+    static std::array<Cycles, kNumOpClasses> defaultInstructions();
+};
+
+/**
+ * Validate a cost model configuration; fatal on nonsensical values
+ * (zero frequency, zero pipeline interval, misaligned DMA sizes).
+ */
+void validate(const DpuCostModel &model);
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_COST_MODEL_HH

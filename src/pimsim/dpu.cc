@@ -1,0 +1,64 @@
+#include "pimsim/dpu.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace swiftrl::pimsim {
+
+Dpu::Dpu(std::size_t id, std::size_t mram_capacity)
+    : _id(id), _mramCapacity(mram_capacity)
+{
+}
+
+void
+Dpu::ensure(std::size_t end)
+{
+    if (end > _mramCapacity) {
+        SWIFTRL_FATAL("DPU ", _id, ": MRAM access up to byte ", end,
+                      " exceeds the ", _mramCapacity, "-byte bank");
+    }
+    if (end > _mram.size())
+        _mram.resize(end, 0);
+}
+
+void
+Dpu::mramWrite(std::size_t offset, const void *src, std::size_t bytes)
+{
+    ensure(offset + bytes);
+    std::memcpy(_mram.data() + offset, src, bytes);
+}
+
+void
+Dpu::mramRead(std::size_t offset, void *dst, std::size_t bytes) const
+{
+    if (offset + bytes > _mramCapacity) {
+        SWIFTRL_FATAL("DPU ", _id, ": MRAM read up to byte ",
+                      offset + bytes, " exceeds the ", _mramCapacity,
+                      "-byte bank");
+    }
+    // Reads of never-written MRAM return zeros, like fresh DRAM in the
+    // functional sense (real DRAM is undefined; zero keeps tests
+    // deterministic and surfaces uninitialised-data bugs loudly).
+    const std::size_t valid_end = _mram.size();
+    std::uint8_t *out = static_cast<std::uint8_t *>(dst);
+    const std::size_t copyable =
+        offset >= valid_end
+            ? 0
+            : std::min(bytes, valid_end - offset);
+    if (copyable > 0)
+        std::memcpy(out, _mram.data() + offset, copyable);
+    if (copyable < bytes)
+        std::memset(out + copyable, 0, bytes - copyable);
+}
+
+void
+Dpu::resetStats()
+{
+    _cycles = 0;
+    _opCounts = {};
+    _dmaBytes = 0;
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Execution context handed to a kernel running on one simulated PIM
+ * core. Kernels are ordinary C++ callables that compute functionally
+ * on host memory, but *every* priced operation goes through this
+ * context so the core's cycle clock advances exactly as the UPMEM cost
+ * model dictates:
+ *
+ *  - arithmetic helpers (fadd, imul32, ...) compute the value *and*
+ *    charge the op;
+ *  - mramToWram/wramToMram move data between the MRAM bank and a
+ *    kernel-owned staging buffer, charging DMA latency per transfer
+ *    (split at the hardware's 2,048-byte DMA limit and padded to
+ *    8-byte alignment);
+ *  - wramAlloc accounts the kernel's scratchpad footprint against the
+ *    64-KB WRAM capacity and is fatal on overflow — the simulated
+ *    equivalent of a DPU program that does not link.
+ *
+ * Kernels that need randomness must draw it through lcgNext(), the
+ * same linear congruential generator SwiftRL implements on the DPUs
+ * (rand() does not exist there), so the priced instruction stream and
+ * the functional result match the paper's implementation.
+ */
+
+#ifndef SWIFTRL_PIMSIM_KERNEL_CONTEXT_HH
+#define SWIFTRL_PIMSIM_KERNEL_CONTEXT_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "pimsim/cost_model.hh"
+#include "pimsim/dpu.hh"
+
+namespace swiftrl::pimsim {
+
+/** Per-core kernel execution context. See file comment. */
+class KernelContext
+{
+  public:
+    /**
+     * @param dpu core the kernel runs on.
+     * @param model instruction cost model.
+     * @param wram_capacity scratchpad size in bytes.
+     */
+    KernelContext(Dpu &dpu, const DpuCostModel &model,
+                  std::size_t wram_capacity);
+
+    /** Index of the core this kernel instance runs on. */
+    std::size_t dpuId() const { return _dpu.id(); }
+
+    /** Cycles consumed by this kernel instance so far. */
+    Cycles cycles() const { return _cycles; }
+
+    // --- scratchpad accounting ------------------------------------
+
+    /**
+     * Account a static WRAM allocation of @p bytes (Q-table, staging
+     * buffers). Fatal when the kernel's total footprint exceeds the
+     * scratchpad capacity.
+     */
+    void wramAlloc(std::size_t bytes);
+
+    /** Scratchpad bytes allocated by this kernel instance. */
+    std::size_t wramUsed() const { return _wramUsed; }
+
+    // --- MRAM DMA ---------------------------------------------------
+
+    /**
+     * DMA @p bytes from MRAM offset @p offset into @p dst (a staging
+     * buffer the kernel allocated). Splits at the hardware DMA limit
+     * and charges each piece's fixed+streaming cost; sub-8-byte tails
+     * are charged as a full aligned transfer, as the hardware would.
+     */
+    void mramToWram(std::size_t offset, void *dst, std::size_t bytes);
+
+    /** DMA @p bytes from @p src back to MRAM offset @p offset. */
+    void wramToMram(std::size_t offset, const void *src,
+                    std::size_t bytes);
+
+    // --- priced arithmetic -------------------------------------------
+
+    /** FP32 add (runtime-emulated on the modelled hardware). */
+    float fadd(float a, float b);
+
+    /** FP32 subtract (same emulation cost class as add). */
+    float fsub(float a, float b);
+
+    /** FP32 multiply. */
+    float fmul(float a, float b);
+
+    /** FP32 divide. */
+    float fdiv(float a, float b);
+
+    /** FP32 greater-than compare. */
+    bool fgt(float a, float b);
+
+    /** Native 32-bit integer add. */
+    std::int32_t iadd(std::int32_t a, std::int32_t b);
+
+    /** Native 32-bit integer subtract. */
+    std::int32_t isub(std::int32_t a, std::int32_t b);
+
+    /** Emulated 32-bit integer multiply (shift-and-add sequence). */
+    std::int64_t imul32(std::int32_t a, std::int32_t b);
+
+    /** Emulated 32-bit integer divide. */
+    std::int32_t idiv32(std::int32_t a, std::int32_t b);
+
+    /**
+     * Rescale a widened fixed-point product: truncating division of a
+     * 64-bit value by the compile-time scale constant, strength-
+     * reduced to a reciprocal multiply plus shifts (charged as one
+     * emulated multiply and two ALU ops).
+     */
+    std::int32_t rescale(std::int64_t value, std::int32_t scale);
+
+    /** Native 8-bit multiply. */
+    std::int32_t imul8(std::int8_t a, std::int8_t b);
+
+    /**
+     * Narrow multiply for the INT8 kernel path: a 16-bit-or-less
+     * value times an 8-bit-or-less constant, composed from two
+     * native 8-bit multiplies plus shift/add glue. Fatal when the
+     * operands do not fit the narrow composition — the "limited
+     * value range" caveat of Sec. 3.2.1 enforced at runtime.
+     */
+    std::int64_t imulSmall(std::int32_t a, std::int32_t b);
+
+    /**
+     * Power-of-two rescale: a single arithmetic right shift (floor
+     * division), one native instruction.
+     */
+    std::int32_t rescaleShift(std::int64_t value, int shift);
+
+    /** Native integer greater-than compare. */
+    bool igt(std::int32_t a, std::int32_t b);
+
+    /** WRAM load of one 32-bit word held in @p slot. */
+    std::int32_t wramLoadI32(const std::int32_t &slot);
+
+    /** WRAM store of one 32-bit word into @p slot. */
+    void wramStoreI32(std::int32_t &slot, std::int32_t value);
+
+    /** WRAM load of one FP32 word. */
+    float wramLoadF32(const float &slot);
+
+    /** WRAM store of one FP32 word. */
+    void wramStoreF32(float &slot, float value);
+
+    /** Loop/branch bookkeeping instruction. */
+    void branch(std::uint64_t count = 1);
+
+    /** Generic charge for address arithmetic etc. */
+    void aluOps(std::uint64_t count);
+
+    // --- PIM-side RNG -------------------------------------------------
+
+    /** Seed the core-local LCG (one ALU op). */
+    void lcgSeed(std::uint32_t seed);
+
+    /**
+     * Draw from the core-local LCG: one emulated 32-bit multiply plus
+     * one add, exactly the custom rand() routine of SwiftRL Sec. 3.2.1.
+     */
+    std::uint32_t lcgNext();
+
+    /** Bounded LCG draw in [0, bound): lcgNext plus reduction ops. */
+    std::uint32_t lcgNextBounded(std::uint32_t bound);
+
+    /**
+     * Current LCG state, read back by the host after a launch so the
+     * random stream continues across synchronisation rounds (real DPU
+     * programs keep it resident in WRAM between launches).
+     */
+    std::uint32_t lcgState() const { return _lcg.state(); }
+
+  private:
+    /** Charge @p count ops of class @p op. */
+    void charge(OpClass op, std::uint64_t count = 1);
+
+    /** Charge one DMA transfer of @p bytes (already split/padded). */
+    void chargeDma(std::size_t bytes);
+
+    Dpu &_dpu;
+    const DpuCostModel &_model;
+    std::size_t _wramCapacity;
+    std::size_t _wramUsed = 0;
+    Cycles _cycles = 0;
+    common::Lcg32 _lcg;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_KERNEL_CONTEXT_HH

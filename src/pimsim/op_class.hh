@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Instruction classes charged by the DPU cost model.
+ *
+ * The classes mirror what matters on UPMEM hardware (SwiftRL Sec. 2.2):
+ * 32-bit integer add/sub are native single instructions, 8-bit multiply
+ * is native, 32-bit multiply and divide are emulated by the runtime
+ * library with shift-and-add sequences, and every FP32 operation is
+ * emulated in software at a cost of tens to hundreds of instructions.
+ */
+
+#ifndef SWIFTRL_PIMSIM_OP_CLASS_HH
+#define SWIFTRL_PIMSIM_OP_CLASS_HH
+
+#include <cstddef>
+
+namespace swiftrl::pimsim {
+
+/** Operation classes the cost model prices individually. */
+enum class OpClass : std::size_t
+{
+    IntAlu,     ///< 32-bit add/sub/compare/shift/logical (native)
+    Int8Mul,    ///< 8-bit multiply (native mul_step-based)
+    Int32Mul,   ///< 32-bit multiply (runtime shift-and-add emulation)
+    Int32Div,   ///< 32-bit divide (runtime emulation)
+    Fp32Add,    ///< FP32 add/sub (runtime softfloat)
+    Fp32Mul,    ///< FP32 multiply (runtime softfloat)
+    Fp32Div,    ///< FP32 divide (runtime softfloat)
+    Fp32Cmp,    ///< FP32 compare (runtime softfloat)
+    WramAccess, ///< WRAM load or store (single instruction)
+    Branch,     ///< taken or not-taken branch / loop bookkeeping
+    NumClasses
+};
+
+/** Human-readable name for reports. */
+const char *opClassName(OpClass op);
+
+/** Number of distinct op classes. */
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_OP_CLASS_HH

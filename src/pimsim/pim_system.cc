@@ -1,0 +1,123 @@
+#include "pimsim/pim_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace swiftrl::pimsim {
+
+PimSystem::PimSystem(PimConfig config) : _config(std::move(config))
+{
+    if (_config.numDpus == 0)
+        SWIFTRL_FATAL("a PIM system needs at least one core");
+    if (_config.mramBytesPerDpu == 0 || _config.wramBytesPerDpu == 0)
+        SWIFTRL_FATAL("per-core memories must be non-empty");
+    validate(_config.costModel);
+    validate(_config.transferModel);
+
+    _dpus.reserve(_config.numDpus);
+    for (std::size_t i = 0; i < _config.numDpus; ++i)
+        _dpus.emplace_back(i, _config.mramBytesPerDpu);
+}
+
+const Dpu &
+PimSystem::dpu(std::size_t id) const
+{
+    SWIFTRL_ASSERT(id < _dpus.size(), "DPU id ", id, " out of range");
+    return _dpus[id];
+}
+
+double
+PimSystem::pushChunks(std::size_t offset,
+                      const std::vector<std::span<const std::uint8_t>>
+                          &per_dpu)
+{
+    SWIFTRL_ASSERT(per_dpu.size() == _dpus.size(),
+                   "pushChunks needs exactly one payload per core");
+    std::size_t max_bytes = 0;
+    for (std::size_t i = 0; i < per_dpu.size(); ++i) {
+        const auto &payload = per_dpu[i];
+        if (!payload.empty())
+            _dpus[i].mramWrite(offset, payload.data(), payload.size());
+        max_bytes = std::max(max_bytes, payload.size());
+    }
+    return _config.transferModel.scatterSeconds(max_bytes,
+                                                _dpus.size());
+}
+
+double
+PimSystem::pushBroadcast(std::size_t offset,
+                         std::span<const std::uint8_t> payload)
+{
+    for (auto &dpu : _dpus) {
+        if (!payload.empty())
+            dpu.mramWrite(offset, payload.data(), payload.size());
+    }
+    return _config.transferModel.broadcastSeconds(payload.size(),
+                                                  _dpus.size());
+}
+
+double
+PimSystem::gather(std::size_t offset, std::size_t bytes,
+                  std::vector<std::vector<std::uint8_t>> &out)
+{
+    out.assign(_dpus.size(), std::vector<std::uint8_t>(bytes));
+    for (std::size_t i = 0; i < _dpus.size(); ++i) {
+        if (bytes > 0)
+            _dpus[i].mramRead(offset, out[i].data(), bytes);
+    }
+    return _config.transferModel.pimToCpuSeconds(bytes, _dpus.size());
+}
+
+double
+PimSystem::launch(const Kernel &kernel, unsigned tasklets)
+{
+    SWIFTRL_ASSERT(kernel, "launch of an empty kernel");
+    SWIFTRL_ASSERT(tasklets >= 1 && tasklets <= 24,
+                   "UPMEM DPUs support 1-24 tasklets, got ",
+                   tasklets);
+    // Fine-grained multithreading: t resident tasklets retire t
+    // instructions per pipelineInterval window (saturating at one
+    // instruction per cycle), so balanced kernels finish
+    // min(t, interval) times sooner.
+    const Cycles speedup =
+        std::min<Cycles>(tasklets, _config.costModel.pipelineInterval);
+    Cycles slowest = 0;
+    for (auto &dpu : _dpus) {
+        KernelContext ctx(dpu, _config.costModel,
+                          _config.wramBytesPerDpu);
+        kernel(ctx);
+        const Cycles effective = ctx.cycles() / speedup;
+        dpu.addCycles(effective);
+        slowest = std::max(slowest, effective);
+    }
+    return _config.launchOverheadSec +
+           _config.costModel.seconds(slowest);
+}
+
+Cycles
+PimSystem::maxCycles() const
+{
+    Cycles m = 0;
+    for (const auto &dpu : _dpus)
+        m = std::max(m, dpu.cycles());
+    return m;
+}
+
+Cycles
+PimSystem::totalCycles() const
+{
+    Cycles t = 0;
+    for (const auto &dpu : _dpus)
+        t += dpu.cycles();
+    return t;
+}
+
+void
+PimSystem::resetStats()
+{
+    for (auto &dpu : _dpus)
+        dpu.resetStats();
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Host-side runtime for the simulated PIM system. The API mirrors the
+ * shape of the UPMEM SDK host library: allocate a set of cores, push
+ * data to their MRAM banks, launch a kernel on all cores in parallel,
+ * and gather results — with every call returning the modelled time it
+ * would take on the real machine.
+ */
+
+#ifndef SWIFTRL_PIMSIM_PIM_SYSTEM_HH
+#define SWIFTRL_PIMSIM_PIM_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pimsim/cost_model.hh"
+#include "pimsim/dpu.hh"
+#include "pimsim/kernel_context.hh"
+#include "pimsim/transfer_model.hh"
+
+namespace swiftrl::pimsim {
+
+/** Static configuration of a simulated PIM system. */
+struct PimConfig
+{
+    /** Number of PIM cores (SwiftRL sweeps 125..2000 of 2,524). */
+    std::size_t numDpus = 125;
+
+    /** MRAM bank capacity per core (UPMEM: 64 MB). */
+    std::size_t mramBytesPerDpu = 64ull * 1024 * 1024;
+
+    /** WRAM scratchpad per core (UPMEM: 64 KB). */
+    std::size_t wramBytesPerDpu = 64ull * 1024;
+
+    /** Fixed host-side overhead per kernel launch, seconds. */
+    double launchOverheadSec = 15.0e-6;
+
+    /** TDP of the full PIM server (Table 1: 280 W for 2,524 DPUs). */
+    double systemTdpWatts = 280.0;
+
+    /** DPU count the TDP figure refers to. */
+    std::size_t tdpReferenceDpus = 2524;
+
+    /** Power draw attributable to the cores actually in use. */
+    double
+    wattsInUse(std::size_t dpus_in_use) const
+    {
+        return systemTdpWatts * static_cast<double>(dpus_in_use) /
+               static_cast<double>(tdpReferenceDpus);
+    }
+
+    /** Instruction/DMA cost model. */
+    DpuCostModel costModel;
+
+    /** Host<->PIM transfer timing model. */
+    TransferModel transferModel;
+};
+
+/** A kernel is a callable executed once per core, in parallel. */
+using Kernel = std::function<void(KernelContext &)>;
+
+/**
+ * The simulated PIM machine. Functionally, kernels execute on the
+ * host; temporally, every operation advances integer cycle clocks per
+ * the cost model, and every host API call returns modelled seconds.
+ */
+class PimSystem
+{
+  public:
+    /** Build a system; fatal on invalid configuration. */
+    explicit PimSystem(PimConfig config);
+
+    /** Number of cores in the system. */
+    std::size_t numDpus() const { return _dpus.size(); }
+
+    /** Static configuration. */
+    const PimConfig &config() const { return _config; }
+
+    /** Access one core (tests and diagnostics). */
+    const Dpu &dpu(std::size_t id) const;
+
+    // --- host<->PIM data movement ------------------------------------
+
+    /**
+     * Push a distinct payload to each core's MRAM at @p offset
+     * (the dataset-chunk distribution step).
+     *
+     * @param offset destination MRAM byte offset, same on every core.
+     * @param per_dpu one payload per core; sizes may differ (the last
+     *        chunk of an uneven partition is shorter). Timing uses the
+     *        largest payload, as rank transfers serialise on it.
+     * @return modelled transfer seconds.
+     */
+    double pushChunks(std::size_t offset,
+                      const std::vector<std::span<const std::uint8_t>>
+                          &per_dpu);
+
+    /** Push one identical payload to every core's MRAM at @p offset. */
+    double pushBroadcast(std::size_t offset,
+                         std::span<const std::uint8_t> payload);
+
+    /**
+     * Gather @p bytes from every core's MRAM at @p offset into
+     * @p out (resized to numDpus() payloads).
+     * @return modelled transfer seconds.
+     */
+    double gather(std::size_t offset, std::size_t bytes,
+                  std::vector<std::vector<std::uint8_t>> &out);
+
+    // --- kernel launch -----------------------------------------------
+
+    /**
+     * Run @p kernel once per core. Cores execute in parallel on the
+     * modelled machine, so the launch lasts as long as the slowest
+     * core's kernel instance (plus fixed launch overhead).
+     *
+     * @param tasklets resident hardware threads per core. The DPU
+     *        pipeline issues one instruction per cycle round-robin
+     *        across tasklets, while each tasklet can issue only once
+     *        per pipelineInterval cycles; with balanced tasklet work
+     *        the launch therefore speeds up by min(tasklets,
+     *        pipelineInterval). The kernel is responsible for
+     *        splitting its work across tasklets (see
+     *        swiftrl::KernelParams::tasklets).
+     * @return modelled seconds for the launch.
+     */
+    double launch(const Kernel &kernel, unsigned tasklets = 1);
+
+    // --- accounting ---------------------------------------------------
+
+    /** Cycles consumed by the slowest core across all launches. */
+    Cycles maxCycles() const;
+
+    /** Sum of cycles over all cores (energy-proportional metric). */
+    Cycles totalCycles() const;
+
+    /** Reset all per-core clocks and statistics (MRAM kept). */
+    void resetStats();
+
+  private:
+    PimConfig _config;
+    std::vector<Dpu> _dpus;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_PIM_SYSTEM_HH

@@ -1,0 +1,39 @@
+#include "pimsim/profiles.hh"
+
+namespace swiftrl::pimsim {
+
+PimProfile
+upmemProfile()
+{
+    PimProfile p;
+    p.name = "upmem-like";
+    p.costModel = DpuCostModel{}; // the repository default
+    return p;
+}
+
+PimProfile
+fpCapableProfile()
+{
+    PimProfile p;
+    p.name = "fp-capable-pim";
+    p.costModel = DpuCostModel{};
+    auto &instr = p.costModel.instructions;
+    // Native FP pipeline: an FP op is a short issue sequence rather
+    // than a softfloat library call.
+    instr[static_cast<std::size_t>(OpClass::Fp32Add)] = 2;
+    instr[static_cast<std::size_t>(OpClass::Fp32Mul)] = 2;
+    instr[static_cast<std::size_t>(OpClass::Fp32Div)] = 12;
+    instr[static_cast<std::size_t>(OpClass::Fp32Cmp)] = 1;
+    // A full-width multiplier handles 32-bit integers directly.
+    instr[static_cast<std::size_t>(OpClass::Int32Mul)] = 2;
+    instr[static_cast<std::size_t>(OpClass::Int32Div)] = 12;
+    return p;
+}
+
+std::vector<PimProfile>
+allProfiles()
+{
+    return {upmemProfile(), fpCapableProfile()};
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Named DPU cost-model profiles.
+ *
+ * SwiftRL's Sec. 2.2 surveys the real-PIM landscape: UPMEM's DPUs
+ * have no FP hardware at all (everything emulated), while Samsung
+ * HBM-PIM and SK hynix AiM ship native (16-bit) floating-point MAC
+ * units but are far less programmable. These profiles let the same
+ * kernels be costed under either regime, answering the portability
+ * question the paper raises ("our proposed optimization strategies
+ * are versatile and can be deployed on other real PIM hardware"):
+ * would the INT32 scaling optimisation still matter on FP-capable
+ * PIM? (bench/ext_pim_profiles measures it.)
+ */
+
+#ifndef SWIFTRL_PIMSIM_PROFILES_HH
+#define SWIFTRL_PIMSIM_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "pimsim/cost_model.hh"
+
+namespace swiftrl::pimsim {
+
+/** A named cost-model configuration. */
+struct PimProfile
+{
+    std::string name;
+    DpuCostModel costModel;
+};
+
+/**
+ * The UPMEM-like default: 425 MHz in-order core, single-tasklet
+ * pipeline interval 11, all FP32 emulated in software, 32-bit
+ * multiply emulated via shift-and-add.
+ */
+PimProfile upmemProfile();
+
+/**
+ * An HBM-PIM/AiM-like profile: near-bank FP MAC hardware makes FP32
+ * arithmetic a short native sequence (modelling the FP16-MAC units
+ * with an FP32 result path), and the multiplier handles 32-bit
+ * integers natively. Clock and memory system kept equal to the UPMEM
+ * profile so differences isolate the arithmetic capability.
+ */
+PimProfile fpCapableProfile();
+
+/** All named profiles. */
+std::vector<PimProfile> allProfiles();
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_PROFILES_HH

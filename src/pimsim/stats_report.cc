@@ -1,0 +1,94 @@
+#include "pimsim/stats_report.hh"
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace swiftrl::pimsim {
+
+StatsReport
+StatsReport::fromSystem(const PimSystem &system)
+{
+    StatsReport r;
+    r.numDpus = system.numDpus();
+    const auto &model = system.config().costModel;
+
+    Cycles total_cycles = 0;
+    for (std::size_t i = 0; i < system.numDpus(); ++i) {
+        const Dpu &dpu = system.dpu(i);
+        for (std::size_t c = 0; c < kNumOpClasses; ++c)
+            r.opCounts[c] += dpu.opCounts()[c];
+        r.dmaBytes += dpu.dmaBytes();
+        r.maxCycles = std::max(r.maxCycles, dpu.cycles());
+        total_cycles += dpu.cycles();
+    }
+    r.meanCycles = static_cast<double>(total_cycles) /
+                   static_cast<double>(r.numDpus);
+    r.imbalance = r.meanCycles > 0.0
+                      ? static_cast<double>(r.maxCycles) / r.meanCycles
+                      : 0.0;
+
+    std::uint64_t arithmetic_ops = 0;
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+        r.opCycles[c] = r.opCounts[c] *
+                        model.cyclesFor(static_cast<OpClass>(c));
+        r.totalOps += r.opCounts[c];
+        const auto op = static_cast<OpClass>(c);
+        if (op != OpClass::WramAccess && op != OpClass::Branch)
+            arithmetic_ops += r.opCounts[c];
+    }
+    r.arithmeticIntensity =
+        r.dmaBytes > 0 ? static_cast<double>(arithmetic_ops) /
+                             static_cast<double>(r.dmaBytes)
+                       : 0.0;
+
+    r.seconds = model.seconds(r.maxCycles);
+    r.energyJoules =
+        r.seconds * system.config().wattsInUse(r.numDpus);
+    return r;
+}
+
+double
+StatsReport::cycleFraction(OpClass op) const
+{
+    Cycles total = 0;
+    for (const auto c : opCycles)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(
+               opCycles[static_cast<std::size_t>(op)]) /
+           static_cast<double>(total);
+}
+
+void
+StatsReport::print(std::ostream &os, const std::string &title) const
+{
+    using common::TextTable;
+
+    TextTable t(title);
+    t.setHeader({"op class", "retired", "cycles", "cycle share"});
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+        if (opCounts[c] == 0)
+            continue;
+        const auto op = static_cast<OpClass>(c);
+        t.addRow({opClassName(op),
+                  TextTable::num(static_cast<long long>(opCounts[c])),
+                  TextTable::num(static_cast<long long>(opCycles[c])),
+                  TextTable::percent(cycleFraction(op), 1)});
+    }
+    t.addRule();
+    t.addRow({"dma bytes",
+              TextTable::num(static_cast<long long>(dmaBytes)), "-",
+              "-"});
+    t.addRow({"arith intensity (ops/DMA byte)",
+              TextTable::num(arithmeticIntensity, 3), "-", "-"});
+    t.addRow({"load imbalance (max/mean)",
+              TextTable::num(imbalance, 4), "-", "-"});
+    t.addRow({"slowest-core seconds", TextTable::num(seconds, 4), "-",
+              "-"});
+    t.addRow({"energy estimate (J)", TextTable::num(energyJoules, 3),
+              "-", "-"});
+    t.print(os);
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Post-run device statistics: aggregate what the simulated cores
+ * actually executed — retired ops per class, DMA traffic, load
+ * balance, measured arithmetic intensity, and an energy estimate —
+ * the gem5-style "stats dump" for this simulator. Benches and
+ * examples use it to explain *why* a kernel costs what it costs
+ * (e.g. the FP32 kernels' cycles are dominated by softfloat ops).
+ */
+
+#ifndef SWIFTRL_PIMSIM_STATS_REPORT_HH
+#define SWIFTRL_PIMSIM_STATS_REPORT_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "pimsim/pim_system.hh"
+
+namespace swiftrl::pimsim {
+
+/** Aggregated execution statistics of a PimSystem. */
+struct StatsReport
+{
+    /** Cores in the system. */
+    std::size_t numDpus = 0;
+
+    /** Retired ops per class, summed over all cores. */
+    std::array<std::uint64_t, kNumOpClasses> opCounts{};
+
+    /** Cycles attributable to each op class (count x cost). */
+    std::array<Cycles, kNumOpClasses> opCycles{};
+
+    /** MRAM DMA bytes moved, summed over all cores. */
+    std::uint64_t dmaBytes = 0;
+
+    /** Slowest core's cycle count. */
+    Cycles maxCycles = 0;
+
+    /** Mean cycles per core. */
+    double meanCycles = 0.0;
+
+    /** Load imbalance: max/mean cycles (1.0 = perfectly balanced). */
+    double imbalance = 0.0;
+
+    /** Total retired ops across all classes and cores. */
+    std::uint64_t totalOps = 0;
+
+    /**
+     * Measured arithmetic intensity: arithmetic ops (everything but
+     * WRAM accesses and branches) per MRAM DMA byte.
+     */
+    double arithmeticIntensity = 0.0;
+
+    /** Modelled seconds of the slowest core (kernel-time proxy). */
+    double seconds = 0.0;
+
+    /** Energy estimate: seconds x power attributable to the cores. */
+    double energyJoules = 0.0;
+
+    /** Snapshot the accumulated statistics of @p system. */
+    static StatsReport fromSystem(const PimSystem &system);
+
+    /** Fraction of total cycles spent in one op class. */
+    double cycleFraction(OpClass op) const;
+
+    /** Render as an aligned table. */
+    void print(std::ostream &os, const std::string &title) const;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_STATS_REPORT_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Host<->PIM data transfer timing model.
+ *
+ * UPMEM DPUs have no direct channel to each other; all data enters and
+ * leaves a DPU's MRAM bank through the host CPU over the memory
+ * channel. Transfers to DPUs in *different ranks* proceed in parallel,
+ * while DPUs within one rank share the rank's link. The model is
+ *
+ *   time = fixedLatency + max_over_ranks(bytes_in_rank) / rankBandwidth
+ *
+ * with separate CPU->PIM and PIM->CPU bandwidths (the UPMEM
+ * characterisation work measures the read-back direction slower).
+ * Inter-PIM-core "communication" (SwiftRL's tau-periodic Q-table
+ * synchronisation) is composed from one gather plus one broadcast.
+ */
+
+#ifndef SWIFTRL_PIMSIM_TRANSFER_MODEL_HH
+#define SWIFTRL_PIMSIM_TRANSFER_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swiftrl::pimsim {
+
+/** Timing parameters for host<->PIM transfers. */
+struct TransferModel
+{
+    /** DPUs that share one rank (8 chips x 8 banks in UPMEM DIMMs). */
+    std::size_t dpusPerRank = 64;
+
+    /** Sustained CPU->PIM bandwidth per rank, bytes/second. */
+    double cpuToPimBytesPerSec = 300.0e6;
+
+    /** Sustained PIM->CPU bandwidth per rank, bytes/second (the
+     *  read-back direction is measured markedly slower on UPMEM). */
+    double pimToCpuBytesPerSec = 60.0e6;
+
+    /** Fixed software/driver latency per parallel transfer call. */
+    double fixedLatencySec = 20.0e-6;
+
+    /**
+     * Host-side software overhead per DPU when scattering *distinct*
+     * payloads (the initial dataset-chunk distribution). Uniform-size
+     * pushes and gathers use the driver's fast batched path and do
+     * not pay this.
+     */
+    double scatterPerDpuSec = 100.0e-6;
+
+    /**
+     * Host-side reduction cost per Q-table entry per core during a
+     * synchronisation round (the averaging in Figure 4 (4)).
+     */
+    double hostReduceSecPerEntry = 1.2e-9;
+
+    /**
+     * Time for a parallel CPU->PIM copy of @p bytes_per_dpu to each of
+     * @p num_dpus DPUs (uniform-size payloads, fast batched path).
+     */
+    double cpuToPimSeconds(std::size_t bytes_per_dpu,
+                           std::size_t num_dpus) const;
+
+    /**
+     * Time for scattering *distinct* chunks of up to @p bytes_per_dpu
+     * to @p num_dpus DPUs: the batched-copy time plus the per-DPU
+     * software overhead of assembling the scatter list.
+     */
+    double scatterSeconds(std::size_t bytes_per_dpu,
+                          std::size_t num_dpus) const;
+
+    /**
+     * Time for a parallel PIM->CPU gather of @p bytes_per_dpu from
+     * each of @p num_dpus DPUs (e.g. partial Q-tables).
+     */
+    double pimToCpuSeconds(std::size_t bytes_per_dpu,
+                           std::size_t num_dpus) const;
+
+    /**
+     * Time for broadcasting one identical payload of @p bytes to
+     * @p num_dpus DPUs. Ranks receive in parallel; within a rank the
+     * payload is replicated to every DPU's MRAM bank.
+     */
+    double broadcastSeconds(std::size_t bytes, std::size_t num_dpus) const;
+
+    /**
+     * Time for one inter-PIM-core synchronisation round: gather
+     * @p bytes_per_dpu from every DPU, reduce on the host, broadcast
+     * the reduced payload back. This is the Comm_rounds cost of
+     * SwiftRL Sec. 4.2/4.3.
+     */
+    double syncRoundSeconds(std::size_t bytes_per_dpu,
+                            std::size_t num_dpus) const;
+
+  private:
+    /** DPUs resident in the fullest rank. */
+    std::size_t fullestRank(std::size_t num_dpus) const;
+};
+
+/** Validate transfer model parameters; fatal on nonsense. */
+void validate(const TransferModel &model);
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_TRANSFER_MODEL_HH

@@ -1,0 +1,64 @@
+#include "rlcore/collection.hh"
+
+#include "common/logging.hh"
+
+namespace swiftrl::rlcore {
+
+BehaviourPolicy
+makeRandomPolicy(ActionId num_actions)
+{
+    SWIFTRL_ASSERT(num_actions > 0, "empty action space");
+    return [num_actions](StateId, common::XorShift128 &rng) {
+        return randomAction(num_actions, rng);
+    };
+}
+
+BehaviourPolicy
+makeEpsilonGreedyPolicy(QTable q, float epsilon)
+{
+    SWIFTRL_ASSERT(epsilon >= 0.0f && epsilon <= 1.0f,
+                   "epsilon out of [0, 1]");
+    return [q = std::move(q), epsilon](StateId s,
+                                       common::XorShift128 &rng) {
+        return epsilonGreedy(q, s, epsilon, rng);
+    };
+}
+
+BehaviourPolicy
+makeBoltzmannPolicy(QTable q, float temperature)
+{
+    SWIFTRL_ASSERT(temperature > 0.0f, "temperature must be positive");
+    return [q = std::move(q), temperature](StateId s,
+                                           common::XorShift128 &rng) {
+        return boltzmann(q, s, temperature, rng);
+    };
+}
+
+Dataset
+collectPolicyDataset(rlenv::Environment &env,
+                     const BehaviourPolicy &policy,
+                     std::size_t num_transitions, std::uint64_t seed)
+{
+    SWIFTRL_ASSERT(policy, "collection needs a behaviour policy");
+    Dataset data;
+    common::XorShift128 rng(seed);
+    StateId state = env.reset(rng);
+
+    for (std::size_t i = 0; i < num_transitions; ++i) {
+        const ActionId action = policy(state, rng);
+        const rlenv::StepResult r = env.step(action, rng);
+
+        Transition t;
+        t.state = state;
+        t.action = action;
+        t.reward = r.reward;
+        t.nextState = r.nextState;
+        t.terminal = r.terminated;
+        data.append(t);
+
+        state = r.done() ? env.reset(rng) : r.nextState;
+    }
+    return data;
+}
+
+} // namespace swiftrl::rlcore

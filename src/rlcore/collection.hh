@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Offline dataset collection under arbitrary behaviour policies.
+ *
+ * SwiftRL collects with a uniform-random policy but notes that
+ * "other policies such as epsilon greedy and boltzmann can also be
+ * used to execute actions on the environment and log the
+ * experiences" (Sec. 3.2.1). This module provides that: a behaviour
+ * policy is any callable mapping the current state (plus the rollout
+ * RNG) to an action, and collection logs exactly `n` transitions with
+ * automatic episode resets — the same contract as
+ * collectRandomDataset.
+ */
+
+#ifndef SWIFTRL_RLCORE_COLLECTION_HH
+#define SWIFTRL_RLCORE_COLLECTION_HH
+
+#include <functional>
+
+#include "rlcore/dataset.hh"
+#include "rlcore/policy.hh"
+#include "rlcore/qtable.hh"
+#include "rlenv/environment.hh"
+
+namespace swiftrl::rlcore {
+
+/** A behaviour policy: state (+ rollout RNG) -> action. */
+using BehaviourPolicy =
+    std::function<ActionId(StateId, common::XorShift128 &)>;
+
+/** Uniform-random behaviour policy (the paper's default). */
+BehaviourPolicy makeRandomPolicy(ActionId num_actions);
+
+/**
+ * Epsilon-greedy behaviour policy over a (typically partially
+ * trained) Q-table. The table is copied so the policy stays valid
+ * after the source goes away.
+ */
+BehaviourPolicy makeEpsilonGreedyPolicy(QTable q, float epsilon);
+
+/** Boltzmann (softmax) behaviour policy at a fixed temperature. */
+BehaviourPolicy makeBoltzmannPolicy(QTable q, float temperature);
+
+/**
+ * Roll out @p policy in @p env and log exactly @p num_transitions
+ * experience tuples.
+ */
+Dataset collectPolicyDataset(rlenv::Environment &env,
+                             const BehaviourPolicy &policy,
+                             std::size_t num_transitions,
+                             std::uint64_t seed);
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_COLLECTION_HH

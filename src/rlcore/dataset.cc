@@ -1,0 +1,148 @@
+#include "rlcore/dataset.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+
+namespace swiftrl::rlcore {
+
+void
+Dataset::append(const Transition &t)
+{
+    _states.push_back(t.state);
+    _actions.push_back(t.action);
+    _rewards.push_back(t.reward);
+    _nextStates.push_back(t.nextState);
+    _terminals.push_back(t.terminal ? 1 : 0);
+}
+
+Transition
+Dataset::get(std::size_t i) const
+{
+    SWIFTRL_ASSERT(i < size(), "transition index ", i, " out of range");
+    Transition t;
+    t.state = _states[i];
+    t.action = _actions[i];
+    t.reward = _rewards[i];
+    t.nextState = _nextStates[i];
+    t.terminal = _terminals[i] != 0;
+    return t;
+}
+
+namespace {
+
+std::uint32_t
+packNextState(StateId next_state, bool terminal)
+{
+    SWIFTRL_ASSERT(next_state >= 0, "negative state id");
+    std::uint32_t bits = static_cast<std::uint32_t>(next_state);
+    SWIFTRL_ASSERT((bits & PackedTransition::kTerminalBit) == 0,
+                   "state id collides with the terminal flag bit");
+    if (terminal)
+        bits |= PackedTransition::kTerminalBit;
+    return bits;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+Dataset::packFp32(std::size_t first, std::size_t count) const
+{
+    SWIFTRL_ASSERT(first + count <= size(), "pack range out of bounds");
+    std::vector<std::uint8_t> out(count * sizeof(PackedTransition));
+    for (std::size_t i = 0; i < count; ++i) {
+        PackedTransition p;
+        p.state = _states[first + i];
+        p.action = _actions[first + i];
+        p.rewardBits = std::bit_cast<std::int32_t>(_rewards[first + i]);
+        p.nextStateBits = packNextState(_nextStates[first + i],
+                                        _terminals[first + i] != 0);
+        std::memcpy(out.data() + i * sizeof(PackedTransition), &p,
+                    sizeof(PackedTransition));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+Dataset::packInt32(std::size_t first, std::size_t count,
+                   std::int32_t scale) const
+{
+    SWIFTRL_ASSERT(first + count <= size(), "pack range out of bounds");
+    SWIFTRL_ASSERT(scale > 0, "scale factor must be positive");
+    std::vector<std::uint8_t> out(count * sizeof(PackedTransition));
+    for (std::size_t i = 0; i < count; ++i) {
+        PackedTransition p;
+        p.state = _states[first + i];
+        p.action = _actions[first + i];
+        const double scaled = static_cast<double>(_rewards[first + i]) *
+                              static_cast<double>(scale);
+        const double rounded =
+            scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+        p.rewardBits = static_cast<std::int32_t>(rounded);
+        p.nextStateBits = packNextState(_nextStates[first + i],
+                                        _terminals[first + i] != 0);
+        std::memcpy(out.data() + i * sizeof(PackedTransition), &p,
+                    sizeof(PackedTransition));
+    }
+    return out;
+}
+
+Transition
+Dataset::unpackFp32(const PackedTransition &p)
+{
+    Transition t;
+    t.state = p.state;
+    t.action = p.action;
+    t.reward = std::bit_cast<float>(p.rewardBits);
+    t.nextState = static_cast<StateId>(
+        p.nextStateBits & ~PackedTransition::kTerminalBit);
+    t.terminal = (p.nextStateBits & PackedTransition::kTerminalBit) != 0;
+    return t;
+}
+
+Transition
+Dataset::unpackInt32(const PackedTransition &p, std::int32_t scale)
+{
+    SWIFTRL_ASSERT(scale > 0, "scale factor must be positive");
+    Transition t;
+    t.state = p.state;
+    t.action = p.action;
+    t.reward = static_cast<float>(p.rewardBits) /
+               static_cast<float>(scale);
+    t.nextState = static_cast<StateId>(
+        p.nextStateBits & ~PackedTransition::kTerminalBit);
+    t.terminal = (p.nextStateBits & PackedTransition::kTerminalBit) != 0;
+    return t;
+}
+
+Dataset
+collectRandomDataset(rlenv::Environment &env,
+                     std::size_t num_transitions, std::uint64_t seed)
+{
+    Dataset data;
+    common::XorShift128 rng(seed);
+    StateId state = env.reset(rng);
+    const auto num_actions =
+        static_cast<std::uint64_t>(env.numActions());
+
+    for (std::size_t i = 0; i < num_transitions; ++i) {
+        const auto action =
+            static_cast<ActionId>(rng.nextBounded(num_actions));
+        const rlenv::StepResult r = env.step(action, rng);
+
+        Transition t;
+        t.state = state;
+        t.action = action;
+        t.reward = r.reward;
+        t.nextState = r.nextState;
+        t.terminal = r.terminated;
+        data.append(t);
+
+        state = r.done() ? env.reset(rng) : r.nextState;
+    }
+    return data;
+}
+
+} // namespace swiftrl::rlcore

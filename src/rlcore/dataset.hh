@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Offline experience dataset: collection with a behaviour policy,
+ * structure-of-arrays storage, and the packed binary layouts the PIM
+ * kernels consume from MRAM.
+ *
+ * The packed record is 16 bytes — four 32-bit words (s, a, r, s') —
+ * matching the DMA-friendly layout SwiftRL distributes across DRAM
+ * banks. The terminal flag is packed into the top bit of the
+ * next-state word (state spaces here are tiny; Gym's largest is 500).
+ */
+
+#ifndef SWIFTRL_RLCORE_DATASET_HH
+#define SWIFTRL_RLCORE_DATASET_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rlcore/types.hh"
+#include "rlenv/environment.hh"
+
+namespace swiftrl::rlcore {
+
+/** Packed 16-byte experience record (see file comment). */
+struct PackedTransition
+{
+    std::int32_t state;
+    std::int32_t action;
+    /**
+     * Reward bits: an IEEE-754 float for FP32 kernels, or a scaled
+     * fixed-point int32 for INT32 kernels. Same width either way.
+     */
+    std::int32_t rewardBits;
+    /** Next state with the terminal flag in bit 31. */
+    std::uint32_t nextStateBits;
+
+    /** Bit 31 of nextStateBits marks terminal transitions. */
+    static constexpr std::uint32_t kTerminalBit = 0x8000'0000u;
+};
+
+static_assert(sizeof(PackedTransition) == 16,
+              "PIM record layout must stay 16 bytes");
+
+/**
+ * Structure-of-arrays experience store. SoA keeps the host-side
+ * trainers bandwidth-friendly and makes the roofline byte counting
+ * exact.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** Number of stored transitions. */
+    std::size_t size() const { return _states.size(); }
+
+    /** True when empty. */
+    bool empty() const { return _states.empty(); }
+
+    /** Append one transition. */
+    void append(const Transition &t);
+
+    /** Reassemble transition @p i. */
+    Transition get(std::size_t i) const;
+
+    /** Column access for the host trainers. */
+    const std::vector<StateId> &states() const { return _states; }
+    const std::vector<ActionId> &actions() const { return _actions; }
+    const std::vector<float> &rewards() const { return _rewards; }
+    const std::vector<StateId> &nextStates() const { return _nextStates; }
+    const std::vector<std::uint8_t> &terminals() const
+    {
+        return _terminals;
+    }
+
+    /**
+     * Pack transitions [first, first+count) in the FP32 MRAM layout.
+     */
+    std::vector<std::uint8_t> packFp32(std::size_t first,
+                                       std::size_t count) const;
+
+    /**
+     * Pack transitions [first, first+count) in the INT32 MRAM layout:
+     * rewards quantised with the given fixed-point @p scale (the
+     * paper's scale-up-before-transfer step).
+     */
+    std::vector<std::uint8_t> packInt32(std::size_t first,
+                                        std::size_t count,
+                                        std::int32_t scale) const;
+
+    /** Decode one packed record (used by kernels and tests). */
+    static Transition unpackFp32(const PackedTransition &p);
+
+    /** Decode one packed INT32 record back to real-valued reward. */
+    static Transition unpackInt32(const PackedTransition &p,
+                                  std::int32_t scale);
+
+  private:
+    std::vector<StateId> _states;
+    std::vector<ActionId> _actions;
+    std::vector<float> _rewards;
+    std::vector<StateId> _nextStates;
+    std::vector<std::uint8_t> _terminals;
+};
+
+/**
+ * Collect an offline dataset by rolling out a uniform-random behaviour
+ * policy (SwiftRL collects its frozen lake and taxi logs this way,
+ * Sec. 3.2.1). Episodes reset automatically; collection stops at
+ * exactly @p num_transitions tuples.
+ *
+ * @param env environment to roll out in (its state is consumed).
+ * @param num_transitions tuples to log.
+ * @param seed RNG seed for both the policy and the dynamics.
+ */
+Dataset collectRandomDataset(rlenv::Environment &env,
+                             std::size_t num_transitions,
+                             std::uint64_t seed);
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_DATASET_HH

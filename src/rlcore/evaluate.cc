@@ -1,0 +1,51 @@
+#include "rlcore/evaluate.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace swiftrl::rlcore {
+
+EvalResult
+evaluateGreedy(rlenv::Environment &env, const QTable &q, int episodes,
+               std::uint64_t seed)
+{
+    SWIFTRL_ASSERT(episodes > 0, "need at least one evaluation episode");
+    SWIFTRL_ASSERT(q.numStates() == env.numStates() &&
+                       q.numActions() == env.numActions(),
+                   "Q-table shape does not match the environment");
+
+    common::XorShift128 rng(seed);
+    common::RunningStat reward_stat;
+    common::RunningStat step_stat;
+    int successes = 0;
+
+    for (int ep = 0; ep < episodes; ++ep) {
+        StateId state = env.reset(rng);
+        double total = 0.0;
+        int steps = 0;
+        while (true) {
+            const ActionId action = q.greedyAction(state);
+            const rlenv::StepResult r = env.step(action, rng);
+            total += static_cast<double>(r.reward);
+            ++steps;
+            if (r.done())
+                break;
+            state = r.nextState;
+        }
+        reward_stat.add(total);
+        step_stat.add(static_cast<double>(steps));
+        if (total > 0.0)
+            ++successes;
+    }
+
+    EvalResult result;
+    result.meanReward = reward_stat.mean();
+    result.stddev = reward_stat.stddev();
+    result.successRate =
+        static_cast<double>(successes) / static_cast<double>(episodes);
+    result.meanSteps = step_stat.mean();
+    result.episodes = episodes;
+    return result;
+}
+
+} // namespace swiftrl::rlcore

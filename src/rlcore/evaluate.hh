@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Policy evaluation: deploy a trained Q-table greedily in a live
+ * environment and measure the mean episodic reward — the training
+ * quality metric of SwiftRL Sec. 4.2.
+ */
+
+#ifndef SWIFTRL_RLCORE_EVALUATE_HH
+#define SWIFTRL_RLCORE_EVALUATE_HH
+
+#include <cstdint>
+
+#include "rlcore/qtable.hh"
+#include "rlenv/environment.hh"
+
+namespace swiftrl::rlcore {
+
+/** Aggregate results of an evaluation run. */
+struct EvalResult
+{
+    /** Mean total reward per episode. */
+    double meanReward = 0.0;
+
+    /** Sample standard deviation of episodic rewards. */
+    double stddev = 0.0;
+
+    /** Fraction of episodes with positive total reward. */
+    double successRate = 0.0;
+
+    /** Mean episode length in steps. */
+    double meanSteps = 0.0;
+
+    /** Number of evaluation episodes. */
+    int episodes = 0;
+};
+
+/**
+ * Roll out the greedy policy of @p q for @p episodes episodes.
+ *
+ * @param env environment (its episode state is consumed).
+ * @param q trained Q-table; shape must match the environment.
+ * @param episodes evaluation episodes (paper: 1,000).
+ * @param seed RNG seed for environment stochasticity.
+ */
+EvalResult evaluateGreedy(rlenv::Environment &env, const QTable &q,
+                          int episodes, std::uint64_t seed);
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_EVALUATE_HH

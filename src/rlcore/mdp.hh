@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Explicit MDP models and exact solvers. Two sources of models:
+ *
+ *  - exact analytic dynamics (FrozenLake's slip distribution is a
+ *    closed-form specification, so its MDP can be written down);
+ *  - empirical dynamics estimated by counting an offline dataset's
+ *    transitions — the "empirical MDP" that offline RL implicitly
+ *    solves.
+ *
+ * Value iteration over either model gives the quality *upper bound*
+ * the trained policies are measured against (EXPERIMENTS.md quotes
+ * the slippery frozen lake's 0.728 optimum from here), and the gap
+ * between the exact and empirical optima quantifies dataset-coverage
+ * effects (why 50k random transitions train worse than 1M — see
+ * tests/test_mdp.cc).
+ */
+
+#ifndef SWIFTRL_RLCORE_MDP_HH
+#define SWIFTRL_RLCORE_MDP_HH
+
+#include <vector>
+
+#include "rlcore/dataset.hh"
+#include "rlcore/qtable.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl::rlcore {
+
+/** One possible outcome of taking an action in a state. */
+struct Outcome
+{
+    double probability = 0.0;
+    StateId nextState = 0;
+    double reward = 0.0;
+    bool terminal = false;
+};
+
+/** A finite MDP in explicit tabular form. */
+class MdpModel
+{
+  public:
+    MdpModel(StateId num_states, ActionId num_actions);
+
+    StateId numStates() const { return _numStates; }
+    ActionId numActions() const { return _numActions; }
+
+    /** Outcomes of (s, a); empty when the pair was never observed. */
+    const std::vector<Outcome> &outcomes(StateId s, ActionId a) const;
+
+    /** Append one outcome to (s, a). */
+    void addOutcome(StateId s, ActionId a, const Outcome &outcome);
+
+    /** Sum of outcome probabilities for (s, a) (1.0 when modelled). */
+    double probabilityMass(StateId s, ActionId a) const;
+
+    /** Fraction of (s, a) pairs with at least one outcome. */
+    double coverage() const;
+
+  private:
+    std::size_t index(StateId s, ActionId a) const;
+
+    StateId _numStates;
+    ActionId _numActions;
+    std::vector<std::vector<Outcome>> _outcomes;
+};
+
+/**
+ * The exact FrozenLake MDP (4x4 map, slippery or deterministic),
+ * built from the environment's closed-form dynamics.
+ */
+MdpModel exactFrozenLakeModel(bool slippery);
+
+/**
+ * Maximum-likelihood empirical MDP from an offline dataset:
+ * P(s'|s,a) and E[r|s,a,s'] from transition counts.
+ */
+MdpModel empiricalModel(const Dataset &data, StateId num_states,
+                        ActionId num_actions);
+
+/** Result of value iteration. */
+struct ValueIterationResult
+{
+    QTable q;
+    int iterations = 0;
+    double residual = 0.0; ///< final max Bellman update magnitude
+
+    ValueIterationResult() : q(1, 1) {}
+};
+
+/**
+ * Value iteration to (near) fixed point.
+ *
+ * Unmodelled (s, a) pairs keep Q = 0 — the empirical-MDP convention.
+ *
+ * @param gamma discount factor.
+ * @param max_iterations iteration cap.
+ * @param tolerance stop when the max update falls below this.
+ */
+ValueIterationResult valueIteration(const MdpModel &model,
+                                    double gamma,
+                                    int max_iterations = 10000,
+                                    double tolerance = 1e-10);
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_MDP_HH

@@ -1,0 +1,75 @@
+#include "rlcore/policy.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace swiftrl::rlcore {
+
+ActionId
+randomAction(ActionId num_actions, common::XorShift128 &rng)
+{
+    SWIFTRL_ASSERT(num_actions > 0, "empty action space");
+    return static_cast<ActionId>(
+        rng.nextBounded(static_cast<std::uint64_t>(num_actions)));
+}
+
+ActionId
+epsilonGreedy(const QTable &q, StateId s, float epsilon,
+              common::XorShift128 &rng)
+{
+    SWIFTRL_ASSERT(epsilon >= 0.0f && epsilon <= 1.0f,
+                   "epsilon out of [0, 1]");
+    if (rng.nextReal() < static_cast<double>(epsilon))
+        return randomAction(q.numActions(), rng);
+    return q.greedyAction(s);
+}
+
+ActionId
+epsilonGreedyLcg(const QTable &q, StateId s, float epsilon,
+                 common::Lcg32 &lcg)
+{
+    SWIFTRL_ASSERT(epsilon >= 0.0f && epsilon <= 1.0f,
+                   "epsilon out of [0, 1]");
+    const auto epsilon_milli =
+        static_cast<std::uint32_t>(epsilon * 1000.0f + 0.5f);
+    if (lcg.nextBounded(1000) < epsilon_milli) {
+        return static_cast<ActionId>(lcg.nextBounded(
+            static_cast<std::uint32_t>(q.numActions())));
+    }
+    return q.greedyAction(s);
+}
+
+ActionId
+boltzmann(const QTable &q, StateId s, float temperature,
+          common::XorShift128 &rng)
+{
+    SWIFTRL_ASSERT(temperature > 0.0f, "temperature must be positive");
+    const ActionId n = q.numActions();
+    std::vector<double> weights(static_cast<std::size_t>(n));
+
+    // Shift by the max for numerical stability.
+    double max_q = -1e30;
+    for (ActionId a = 0; a < n; ++a)
+        max_q = std::max(max_q, static_cast<double>(q.at(s, a)));
+
+    double total = 0.0;
+    for (ActionId a = 0; a < n; ++a) {
+        const double w = std::exp(
+            (static_cast<double>(q.at(s, a)) - max_q) /
+            static_cast<double>(temperature));
+        weights[static_cast<std::size_t>(a)] = w;
+        total += w;
+    }
+
+    double draw = rng.nextReal() * total;
+    for (ActionId a = 0; a < n; ++a) {
+        draw -= weights[static_cast<std::size_t>(a)];
+        if (draw <= 0.0)
+            return a;
+    }
+    return n - 1; // floating-point tail
+}
+
+} // namespace swiftrl::rlcore

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Action-selection policies: uniform random (the behaviour policy used
+ * to collect the offline datasets), epsilon-greedy (SARSA's next-action
+ * rule and the standard exploration policy), and Boltzmann (mentioned
+ * by the paper as an alternative behaviour policy).
+ */
+
+#ifndef SWIFTRL_RLCORE_POLICY_HH
+#define SWIFTRL_RLCORE_POLICY_HH
+
+#include "common/rng.hh"
+#include "rlcore/qtable.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl::rlcore {
+
+/** Uniform random action. */
+ActionId randomAction(ActionId num_actions, common::XorShift128 &rng);
+
+/**
+ * Epsilon-greedy over Q(s, .): with probability @p epsilon a uniform
+ * random action, otherwise the greedy action.
+ */
+ActionId epsilonGreedy(const QTable &q, StateId s, float epsilon,
+                       common::XorShift128 &rng);
+
+/**
+ * Epsilon-greedy driven by the PIM-style LCG: the variant the SARSA
+ * kernels run on-core (SwiftRL Sec. 3.2.2), shared with the CPU
+ * reference so both follow identical random streams.
+ * Epsilon is tested as (draw % 1000) < epsilon * 1000 — integer-only
+ * arithmetic, as DPU code would do it.
+ */
+ActionId epsilonGreedyLcg(const QTable &q, StateId s, float epsilon,
+                          common::Lcg32 &lcg);
+
+/**
+ * Boltzmann (softmax) exploration with temperature @p temperature.
+ */
+ActionId boltzmann(const QTable &q, StateId s, float temperature,
+                   common::XorShift128 &rng);
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_POLICY_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Experience-sampling walkers for the three strategies SwiftRL
+ * evaluates (Sec. 3.2): SEQ (sequential pass), RAN (uniform random
+ * draws), and STR (stride-based walk, default stride 4).
+ *
+ * One walker definition is shared by the CPU reference trainers and
+ * the PIM kernels — the kernels supply a cycle-charged random source —
+ * so the two implementations visit *identical* index sequences and can
+ * be compared for exact functional equality in tests.
+ */
+
+#ifndef SWIFTRL_RLCORE_SAMPLING_HH
+#define SWIFTRL_RLCORE_SAMPLING_HH
+
+#include <cstddef>
+#include <utility>
+
+#include "common/logging.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl::rlcore {
+
+/**
+ * Stateful index generator over a chunk of @p n experiences.
+ *
+ * Per episode the trainer calls next() exactly n times. SEQ and STR
+ * visit every index exactly once per episode (STR in stride-phase
+ * order: 0, s, 2s, ..., then 1, s+1, ...); RAN draws uniformly with
+ * replacement from the supplied random source.
+ */
+class SampleWalker
+{
+  public:
+    /**
+     * @param n chunk length (must be > 0).
+     * @param strategy sampling strategy.
+     * @param stride stride for Sampling::Str (clamped into [1, n]).
+     */
+    SampleWalker(std::size_t n, Sampling strategy, std::size_t stride)
+        : _n(n), _strategy(strategy),
+          _stride(stride == 0 ? 1 : (stride > n ? n : stride))
+    {
+        SWIFTRL_ASSERT(n > 0, "cannot sample an empty chunk");
+        startEpisode();
+    }
+
+    /** Rewind the deterministic walks to the episode start. */
+    void
+    startEpisode()
+    {
+        _cursor = 0;
+        _phase = 0;
+    }
+
+    /**
+     * Produce the next sample index.
+     *
+     * @param rand_bounded callable (std::size_t bound) -> std::size_t
+     *        returning a uniform draw in [0, bound); only invoked for
+     *        Sampling::Ran, so deterministic strategies never consume
+     *        (or pay for) random numbers.
+     */
+    template <typename RandBounded>
+    std::size_t
+    next(RandBounded &&rand_bounded)
+    {
+        switch (_strategy) {
+          case Sampling::Seq: {
+            const std::size_t idx = _cursor;
+            _cursor = _cursor + 1 == _n ? 0 : _cursor + 1;
+            return idx;
+          }
+          case Sampling::Str: {
+            const std::size_t idx = _cursor;
+            _cursor += _stride;
+            if (_cursor >= _n) {
+                _phase = _phase + 1 == _stride ? 0 : _phase + 1;
+                _cursor = _phase;
+            }
+            return idx;
+          }
+          case Sampling::Ran:
+            return std::forward<RandBounded>(rand_bounded)(_n);
+        }
+        SWIFTRL_PANIC("unknown sampling strategy");
+    }
+
+    /** Chunk length. */
+    std::size_t chunkSize() const { return _n; }
+
+    /** Effective stride after clamping. */
+    std::size_t stride() const { return _stride; }
+
+  private:
+    std::size_t _n;
+    Sampling _strategy;
+    std::size_t _stride;
+    std::size_t _cursor = 0;
+    std::size_t _phase = 0;
+};
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_SAMPLING_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Seed derivation: one experiment seed fans out into independent
+ * per-core / per-agent / per-purpose streams. CPU reference trainers
+ * and PIM kernels derive their LCG seeds identically so single-core
+ * PIM runs are bit-equal to the reference.
+ */
+
+#ifndef SWIFTRL_RLCORE_SEEDS_HH
+#define SWIFTRL_RLCORE_SEEDS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace swiftrl::rlcore {
+
+/**
+ * Derive the 32-bit LCG seed for stream @p stream of experiment
+ * @p seed. Never returns 0 (a degenerate LCG state).
+ */
+inline std::uint32_t
+deriveLcgSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    common::SplitMix64 mix(seed ^ (stream * 0x9e3779b97f4a7c15ull + 1));
+    const auto s = static_cast<std::uint32_t>(mix.next());
+    return s == 0 ? 0x1234567u : s;
+}
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_SEEDS_HH

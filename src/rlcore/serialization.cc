@@ -1,0 +1,160 @@
+#include "rlcore/serialization.hh"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace swiftrl::rlcore {
+
+namespace {
+
+constexpr char kDatasetMagic[8] = {'S', 'W', 'R', 'L',
+                                   'D', 'S', '0', '1'};
+constexpr char kQTableMagic[8] = {'S', 'W', 'R', 'L',
+                                  'Q', 'T', '0', '1'};
+
+void
+writeAll(std::ofstream &out, const void *bytes, std::size_t length,
+         const std::string &path)
+{
+    out.write(static_cast<const char *>(bytes),
+              static_cast<std::streamsize>(length));
+    if (!out)
+        SWIFTRL_FATAL("write to '", path, "' failed");
+}
+
+void
+readAll(std::ifstream &in, void *bytes, std::size_t length,
+        const std::string &path)
+{
+    in.read(static_cast<char *>(bytes),
+            static_cast<std::streamsize>(length));
+    if (!in || in.gcount() != static_cast<std::streamsize>(length))
+        SWIFTRL_FATAL("'", path, "' is truncated or unreadable");
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *bytes, std::size_t length)
+{
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < length; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+void
+saveDataset(const Dataset &data, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        SWIFTRL_FATAL("cannot open '", path, "' for writing");
+
+    const auto payload = data.packFp32(0, data.size());
+    const std::uint64_t count = data.size();
+    const std::uint64_t checksum =
+        fnv1a(payload.data(), payload.size());
+
+    writeAll(out, kDatasetMagic, sizeof(kDatasetMagic), path);
+    writeAll(out, &count, sizeof(count), path);
+    writeAll(out, payload.data(), payload.size(), path);
+    writeAll(out, &checksum, sizeof(checksum), path);
+}
+
+Dataset
+loadDataset(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SWIFTRL_FATAL("cannot open '", path, "' for reading");
+
+    char magic[8];
+    readAll(in, magic, sizeof(magic), path);
+    if (std::memcmp(magic, kDatasetMagic, sizeof(magic)) != 0)
+        SWIFTRL_FATAL("'", path, "' is not a SwiftRL dataset file");
+
+    std::uint64_t count = 0;
+    readAll(in, &count, sizeof(count), path);
+
+    std::vector<std::uint8_t> payload(
+        count * sizeof(PackedTransition));
+    readAll(in, payload.data(), payload.size(), path);
+
+    std::uint64_t checksum = 0;
+    readAll(in, &checksum, sizeof(checksum), path);
+    if (checksum != fnv1a(payload.data(), payload.size()))
+        SWIFTRL_FATAL("'", path, "' failed its checksum; the file is "
+                      "corrupt");
+
+    Dataset data;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedTransition p;
+        std::memcpy(&p,
+                    payload.data() + i * sizeof(PackedTransition),
+                    sizeof(p));
+        data.append(Dataset::unpackFp32(p));
+    }
+    return data;
+}
+
+void
+saveQTable(const QTable &q, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        SWIFTRL_FATAL("cannot open '", path, "' for writing");
+
+    const std::int32_t ns = q.numStates();
+    const std::int32_t na = q.numActions();
+    const auto &values = q.values();
+    const std::uint64_t checksum =
+        fnv1a(values.data(), values.size() * sizeof(float));
+
+    writeAll(out, kQTableMagic, sizeof(kQTableMagic), path);
+    writeAll(out, &ns, sizeof(ns), path);
+    writeAll(out, &na, sizeof(na), path);
+    writeAll(out, values.data(), values.size() * sizeof(float),
+             path);
+    writeAll(out, &checksum, sizeof(checksum), path);
+}
+
+QTable
+loadQTable(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SWIFTRL_FATAL("cannot open '", path, "' for reading");
+
+    char magic[8];
+    readAll(in, magic, sizeof(magic), path);
+    if (std::memcmp(magic, kQTableMagic, sizeof(magic)) != 0)
+        SWIFTRL_FATAL("'", path, "' is not a SwiftRL Q-table file");
+
+    std::int32_t ns = 0, na = 0;
+    readAll(in, &ns, sizeof(ns), path);
+    readAll(in, &na, sizeof(na), path);
+    if (ns <= 0 || na <= 0)
+        SWIFTRL_FATAL("'", path, "' declares an invalid shape ", ns,
+                      "x", na);
+
+    std::vector<float> values(static_cast<std::size_t>(ns) *
+                              static_cast<std::size_t>(na));
+    readAll(in, values.data(), values.size() * sizeof(float), path);
+
+    std::uint64_t checksum = 0;
+    readAll(in, &checksum, sizeof(checksum), path);
+    if (checksum != fnv1a(values.data(),
+                          values.size() * sizeof(float))) {
+        SWIFTRL_FATAL("'", path, "' failed its checksum; the file is "
+                      "corrupt");
+    }
+    return QTable::fromFloats(ns, na, values);
+}
+
+} // namespace swiftrl::rlcore

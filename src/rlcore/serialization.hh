@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary persistence for offline datasets and trained Q-tables.
+ *
+ * Datasets are the expensive artefact of the offline-RL pipeline
+ * (Figure 1's one-time collection step) and Q-tables are the deployed
+ * policy; both need durable, versioned, integrity-checked files.
+ *
+ * Formats (little-endian):
+ *   dataset: magic "SWRLDS01" | u64 count | count x 16-byte packed
+ *            records (the FP32 MRAM layout) | u64 FNV-1a checksum
+ *   q-table: magic "SWRLQT01" | i32 states | i32 actions |
+ *            states*actions x f32 | u64 FNV-1a checksum
+ *
+ * All loads validate magic, length, and checksum and are fatal on
+ * mismatch (a corrupt dataset silently training a wrong policy is
+ * the worst failure mode).
+ */
+
+#ifndef SWIFTRL_RLCORE_SERIALIZATION_HH
+#define SWIFTRL_RLCORE_SERIALIZATION_HH
+
+#include <string>
+
+#include "rlcore/dataset.hh"
+#include "rlcore/qtable.hh"
+
+namespace swiftrl::rlcore {
+
+/** Write @p data to @p path; fatal on I/O failure. */
+void saveDataset(const Dataset &data, const std::string &path);
+
+/** Read a dataset; fatal on I/O failure or corruption. */
+Dataset loadDataset(const std::string &path);
+
+/** Write @p q to @p path; fatal on I/O failure. */
+void saveQTable(const QTable &q, const std::string &path);
+
+/** Read a Q-table; fatal on I/O failure or corruption. */
+QTable loadQTable(const std::string &path);
+
+/** FNV-1a 64-bit checksum (exposed for tests). */
+std::uint64_t fnv1a(const void *bytes, std::size_t length);
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_SERIALIZATION_HH

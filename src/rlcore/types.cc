@@ -1,0 +1,73 @@
+#include "rlcore/types.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace swiftrl::rlcore {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+const char *
+samplingName(Sampling s)
+{
+    switch (s) {
+      case Sampling::Seq: return "SEQ";
+      case Sampling::Ran: return "RAN";
+      case Sampling::Str: return "STR";
+    }
+    SWIFTRL_PANIC("unknown sampling strategy");
+}
+
+Sampling
+parseSampling(const std::string &name)
+{
+    const std::string n = lower(name);
+    if (n == "seq")
+        return Sampling::Seq;
+    if (n == "ran")
+        return Sampling::Ran;
+    if (n == "str")
+        return Sampling::Str;
+    SWIFTRL_FATAL("unknown sampling strategy '", name,
+                  "'; expected seq, ran, or str");
+}
+
+const char *
+numericFormatName(NumericFormat f)
+{
+    switch (f) {
+      case NumericFormat::Fp32: return "FP32";
+      case NumericFormat::Int32: return "INT32";
+      case NumericFormat::Int8: return "INT8";
+    }
+    SWIFTRL_PANIC("unknown numeric format");
+}
+
+NumericFormat
+parseNumericFormat(const std::string &name)
+{
+    const std::string n = lower(name);
+    if (n == "fp32")
+        return NumericFormat::Fp32;
+    if (n == "int32")
+        return NumericFormat::Int32;
+    if (n == "int8")
+        return NumericFormat::Int8;
+    SWIFTRL_FATAL("unknown numeric format '", name,
+                  "'; expected fp32, int32, or int8");
+}
+
+} // namespace swiftrl::rlcore

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CliffWalking: the classic 4x12 tabular benchmark (Sutton & Barto
+ * Example 6.6; Gym CliffWalking-v0). Not part of SwiftRL's
+ * evaluation, but a standard third environment for a tabular-RL
+ * library — and the canonical setting where Q-learning's and SARSA's
+ * learned policies *differ* (Q-learning walks the cliff edge, SARSA
+ * detours), which the integration tests exercise.
+ *
+ * The agent starts at the bottom-left, the goal is bottom-right, and
+ * the cells between them are a cliff: stepping in costs -100 and
+ * teleports the agent back to the start (no termination). Every step
+ * costs -1; reaching the goal terminates.
+ */
+
+#ifndef SWIFTRL_RLENV_CLIFF_WALKING_HH
+#define SWIFTRL_RLENV_CLIFF_WALKING_HH
+
+#include <string>
+
+#include "rlenv/environment.hh"
+
+namespace swiftrl::rlenv {
+
+/** CliffWalking (Discrete(48) states, Discrete(4) actions). */
+class CliffWalking : public Environment
+{
+  public:
+    /** Action encoding, identical to Gym. */
+    enum Action : ActionId { Up = 0, Right = 1, Down = 2, Left = 3 };
+
+    CliffWalking() = default;
+
+    std::string name() const override { return "cliffwalking"; }
+    StateId numStates() const override { return kStates; }
+    ActionId numActions() const override { return kActions; }
+    int maxEpisodeSteps() const override { return 200; }
+
+    StateId reset(common::XorShift128 &rng) override;
+    StepResult step(ActionId action, common::XorShift128 &rng) override;
+    StateId currentState() const override { return _state; }
+
+    /** True when @p state is a cliff cell. */
+    static bool isCliff(StateId state);
+
+    /** Grid dimensions. */
+    static constexpr StateId kRows = 4;
+    static constexpr StateId kCols = 12;
+    static constexpr StateId kStates = kRows * kCols;
+    static constexpr ActionId kActions = 4;
+
+    /** Start and goal cells (bottom row corners). */
+    static constexpr StateId kStart = (kRows - 1) * kCols;
+    static constexpr StateId kGoal = kRows * kCols - 1;
+
+  private:
+    StateId _state = kStart;
+    int _steps = 0;
+    bool _episodeDone = true;
+};
+
+} // namespace swiftrl::rlenv
+
+#endif // SWIFTRL_RLENV_CLIFF_WALKING_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Abstract episodic environment interface, mirroring the OpenAI Gym
+ * discrete-environment contract (reset/step, Discrete observation and
+ * action spaces, termination vs. time-limit truncation).
+ */
+
+#ifndef SWIFTRL_RLENV_ENVIRONMENT_HH
+#define SWIFTRL_RLENV_ENVIRONMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace swiftrl::rlenv {
+
+/** Discrete state/action index type. */
+using StateId = std::int32_t;
+
+/** Discrete action index type. */
+using ActionId = std::int32_t;
+
+/** Outcome of one environment step. */
+struct StepResult
+{
+    /** State observed after the transition. */
+    StateId nextState = 0;
+
+    /** Reward emitted by the transition. */
+    float reward = 0.0f;
+
+    /** Episode ended by reaching a terminal state. */
+    bool terminated = false;
+
+    /** Episode ended by hitting the step limit (Gym "truncated"). */
+    bool truncated = false;
+
+    /** True when the episode is over for either reason. */
+    bool done() const { return terminated || truncated; }
+};
+
+/**
+ * An episodic MDP with Discrete(numStates) observations and
+ * Discrete(numActions) actions. Stochasticity is injected through the
+ * caller-owned RNG so rollouts are reproducible and parallelisable.
+ */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Environment name (registry key). */
+    virtual std::string name() const = 0;
+
+    /** Size of the Discrete observation space. */
+    virtual StateId numStates() const = 0;
+
+    /** Size of the Discrete action space. */
+    virtual ActionId numActions() const = 0;
+
+    /** Gym TimeLimit: steps after which an episode truncates. */
+    virtual int maxEpisodeSteps() const = 0;
+
+    /** Begin a new episode; returns the initial state. */
+    virtual StateId reset(common::XorShift128 &rng) = 0;
+
+    /**
+     * Apply @p action from the current state.
+     * Panics if called on a finished episode (call reset first).
+     */
+    virtual StepResult step(ActionId action,
+                            common::XorShift128 &rng) = 0;
+
+    /** State the environment is currently in. */
+    virtual StateId currentState() const = 0;
+};
+
+} // namespace swiftrl::rlenv
+
+#endif // SWIFTRL_RLENV_ENVIRONMENT_HH

@@ -1,0 +1,31 @@
+#include "rlenv/registry.hh"
+
+#include "common/logging.hh"
+#include "rlenv/cliff_walking.hh"
+#include "rlenv/frozen_lake.hh"
+#include "rlenv/taxi.hh"
+
+namespace swiftrl::rlenv {
+
+std::unique_ptr<Environment>
+makeEnvironment(const std::string &name)
+{
+    if (name == "frozenlake")
+        return std::make_unique<FrozenLake>(true);
+    if (name == "frozenlake-det")
+        return std::make_unique<FrozenLake>(false);
+    if (name == "taxi")
+        return std::make_unique<Taxi>();
+    if (name == "cliffwalking")
+        return std::make_unique<CliffWalking>();
+    SWIFTRL_FATAL("unknown environment '", name, "'; known: frozenlake, ",
+                  "frozenlake-det, taxi, cliffwalking");
+}
+
+std::vector<std::string>
+environmentNames()
+{
+    return {"frozenlake", "frozenlake-det", "taxi", "cliffwalking"};
+}
+
+} // namespace swiftrl::rlenv

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Name-based environment factory, so benches and examples can select
+ * environments from the command line the way Gym does with ids.
+ */
+
+#ifndef SWIFTRL_RLENV_REGISTRY_HH
+#define SWIFTRL_RLENV_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rlenv/environment.hh"
+
+namespace swiftrl::rlenv {
+
+/**
+ * Instantiate an environment by name.
+ * Known names: "frozenlake" (slippery 4x4), "frozenlake-det", "taxi".
+ * Fatal on unknown names.
+ */
+std::unique_ptr<Environment> makeEnvironment(const std::string &name);
+
+/** All registered environment names. */
+std::vector<std::string> environmentNames();
+
+} // namespace swiftrl::rlenv
+
+#endif // SWIFTRL_RLENV_REGISTRY_HH

@@ -1,0 +1,71 @@
+#include "roofline/roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace swiftrl::roofline {
+
+using baselines::PlatformSpec;
+using baselines::updateOpMix;
+using rlcore::Algorithm;
+
+double
+RooflineModel::ridgeIntensity() const
+{
+    SWIFTRL_ASSERT(machine.memBandwidthBytes > 0,
+                   "machine needs a bandwidth roof");
+    return machine.peakGflops * 1.0e9 / machine.memBandwidthBytes;
+}
+
+double
+RooflineModel::attainable(double oi) const
+{
+    SWIFTRL_ASSERT(oi > 0, "operational intensity must be positive");
+    const double bw_roof =
+        oi * machine.memBandwidthBytes / 1.0e9; // GFLOP/s
+    return std::min(machine.peakGflops, bw_roof);
+}
+
+RooflinePoint
+RooflineModel::place(Algorithm algo, rlcore::ActionId num_actions,
+                     std::size_t dataset_transitions,
+                     const std::string &label) const
+{
+    const auto mix = updateOpMix(algo, num_actions);
+
+    RooflinePoint point;
+    point.label = label;
+    point.operationalIntensity = mix.flops / mix.bytesStreamed;
+    point.attainableGflops = attainable(point.operationalIntensity);
+    point.memoryBound =
+        point.operationalIntensity < ridgeIntensity();
+
+    // Achieved performance sits below the roof: scalar dependent
+    // chains cannot use the SIMD peak, and datasets past the LLC lose
+    // the partial reuse a smaller working set enjoys. The efficiency
+    // split reproduces Fig. 2's 1M-vs-20M separation.
+    const double dataset_bytes =
+        static_cast<double>(dataset_transitions) * 16.0;
+    const double cache_factor =
+        dataset_bytes <= machine.cacheBytes * 2.0 ? 0.85 : 0.55;
+    point.achievedGflops = point.attainableGflops * cache_factor;
+    return point;
+}
+
+std::vector<RooflinePoint>
+fig2Points(const PlatformSpec &machine, rlcore::ActionId num_actions)
+{
+    RooflineModel model{machine};
+    return {
+        model.place(Algorithm::QLearning, num_actions, 1'000'000,
+                    "Q-1M"),
+        model.place(Algorithm::QLearning, num_actions, 20'000'000,
+                    "Q-20M"),
+        model.place(Algorithm::Sarsa, num_actions, 1'000'000, "S-1M"),
+        model.place(Algorithm::Sarsa, num_actions, 20'000'000,
+                    "S-20M"),
+    };
+}
+
+} // namespace swiftrl::roofline

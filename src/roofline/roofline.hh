@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Roofline analysis of the RL training loops (paper Fig. 2): place the
+ * Q-learner and SARSA-learner CPU workloads on the roofline of the
+ * paper's measurement host (Intel i7-9700K) by counting their
+ * operational intensity analytically and bounding attainable
+ * performance by min(peak, OI x DRAM bandwidth).
+ *
+ * Operational intensity here is a property of the algorithm: flops per
+ * DRAM byte, with the Q-table assumed cache-resident and the
+ * experience stream coming from DRAM (datasets of 1M/20M transitions
+ * exceed every cache level).
+ */
+
+#ifndef SWIFTRL_ROOFLINE_ROOFLINE_HH
+#define SWIFTRL_ROOFLINE_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "baselines/platform_model.hh"
+#include "rlcore/trainers.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl::roofline {
+
+/** One workload's position on a roofline plot. */
+struct RooflinePoint
+{
+    /** Label, e.g. "Q-1M". */
+    std::string label;
+
+    /** Operational intensity, flops per DRAM byte. */
+    double operationalIntensity = 0.0;
+
+    /** Attainable performance at that OI, GFLOP/s. */
+    double attainableGflops = 0.0;
+
+    /** Estimated achieved performance, GFLOP/s. */
+    double achievedGflops = 0.0;
+
+    /** True when the bandwidth roof (not the compute roof) binds. */
+    bool memoryBound = false;
+};
+
+/** Roofs of the analysed machine. */
+struct RooflineModel
+{
+    baselines::PlatformSpec machine;
+
+    /** OI at which the two roofs intersect (the ridge point). */
+    double ridgeIntensity() const;
+
+    /** Attainable GFLOP/s at a given operational intensity. */
+    double attainable(double oi) const;
+
+    /**
+     * Place one workload. Cache effectiveness falls off as the
+     * dataset grows past the LLC, dropping achieved performance
+     * below the roof — the 1M-vs-20M separation in Fig. 2.
+     *
+     * @param dataset_transitions experience count (16 bytes each).
+     */
+    RooflinePoint place(rlcore::Algorithm algo,
+                        rlcore::ActionId num_actions,
+                        std::size_t dataset_transitions,
+                        const std::string &label) const;
+};
+
+/** The paper's Fig. 2 point set: {Q, SARSA} x {1M, 20M} on a host. */
+std::vector<RooflinePoint> fig2Points(
+    const baselines::PlatformSpec &machine,
+    rlcore::ActionId num_actions);
+
+} // namespace swiftrl::roofline
+
+#endif // SWIFTRL_ROOFLINE_ROOFLINE_HH

@@ -1,0 +1,31 @@
+#include "swiftrl/partition.hh"
+
+#include "common/logging.hh"
+
+namespace swiftrl {
+
+std::vector<Chunk>
+partitionDataset(std::size_t total, std::size_t parts)
+{
+    if (parts == 0)
+        SWIFTRL_FATAL("cannot partition across zero cores");
+    if (total < parts) {
+        SWIFTRL_FATAL("dataset of ", total, " transitions cannot give "
+                      "every one of ", parts, " cores a non-empty "
+                      "chunk; use fewer cores or more data");
+    }
+
+    std::vector<Chunk> chunks(parts);
+    const std::size_t base = total / parts;
+    const std::size_t extra = total % parts;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < parts; ++i) {
+        chunks[i].first = at;
+        chunks[i].count = base + (i < extra ? 1 : 0);
+        at += chunks[i].count;
+    }
+    SWIFTRL_ASSERT(at == total, "partition does not cover the dataset");
+    return chunks;
+}
+
+} // namespace swiftrl

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dataset partitioning: split the experience dataset into per-core
+ * contiguous chunks of near-equal size (SwiftRL's first execution
+ * step, Figure 4 (1)).
+ */
+
+#ifndef SWIFTRL_SWIFTRL_PARTITION_HH
+#define SWIFTRL_SWIFTRL_PARTITION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace swiftrl {
+
+/** A contiguous range of dataset indices assigned to one PIM core. */
+struct Chunk
+{
+    std::size_t first = 0;
+    std::size_t count = 0;
+
+    bool operator==(const Chunk &) const = default;
+};
+
+/**
+ * Split @p total transitions across @p parts cores.
+ *
+ * Chunks are contiguous, cover [0, total) exactly once, and differ in
+ * size by at most one transition. Fatal when total < parts — SwiftRL
+ * assigns every core a non-empty chunk, so a smaller dataset is a
+ * configuration error the user must fix (fewer cores or more data).
+ */
+std::vector<Chunk> partitionDataset(std::size_t total,
+                                    std::size_t parts);
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_PARTITION_HH

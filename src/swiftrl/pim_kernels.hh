@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The PIM-side training kernels: the code that would be compiled for
+ * the DPUs on real hardware. One launch trains a batch of whole
+ * episodes over the core's chunk of experiences.
+ *
+ * Kernel structure (per core, per launch):
+ *   1. DMA the Q-table from the MRAM bank into WRAM.
+ *   2. Restore the persistent LCG state.
+ *   3. For each episode: walk the chunk in the workload's sampling
+ *      order; for each experience, fetch it (block-cached DMA for
+ *      SEQ/STR, single-record DMA for RAN) and apply the update rule
+ *      through the cycle-charged ops provider.
+ *   4. DMA the Q-table back to MRAM, persist the LCG state.
+ *
+ * Functional results are bit-identical to rlcore::trainCpuReference by
+ * construction — both instantiate the same templates from
+ * rlcore/update_rules.hh.
+ */
+
+#ifndef SWIFTRL_SWIFTRL_PIM_KERNELS_HH
+#define SWIFTRL_SWIFTRL_PIM_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pimsim/kernel_context.hh"
+#include "rlcore/trainers.hh"
+#include "rlcore/types.hh"
+#include "swiftrl/workload.hh"
+
+namespace swiftrl {
+
+/** MRAM layout and launch parameters shared by every core. */
+struct KernelParams
+{
+    /** Workload variant to run. */
+    Workload workload;
+
+    /** Hyper-parameters (alpha, gamma, epsilon, stride, scale). */
+    rlcore::Hyper hyper;
+
+    /** Q-table shape. */
+    rlcore::StateId numStates = 0;
+    rlcore::ActionId numActions = 0;
+
+    /** MRAM byte offset of the Q-table region. */
+    std::size_t qOffset = 0;
+
+    /** MRAM byte offset of the packed transition chunk. */
+    std::size_t dataOffset = 0;
+
+    /**
+     * When true, the kernel counts per-(s,a) update visits in WRAM
+     * and writes them to MRAM at visitsOffset after training —
+     * enabling the host's visit-weighted aggregation (an extension
+     * beyond the paper; see PimTrainConfig::weightedAggregation).
+     */
+    bool trackVisits = false;
+
+    /** MRAM byte offset of the visit-count region. */
+    std::size_t visitsOffset = 0;
+
+    /** Whole episodes to run in this launch. */
+    int episodes = 0;
+
+    /** Per-core chunk lengths (in transitions). */
+    const std::vector<std::size_t> *chunkCounts = nullptr;
+
+    /**
+     * Persistent LCG states, one stream per (core, tasklet):
+     * lcgStates[core * tasklets + tasklet]. Read at launch entry,
+     * written back at exit.
+     */
+    std::vector<std::uint32_t> *lcgStates = nullptr;
+
+    /**
+     * Hardware threads per core (paper: 1; its future work). With
+     * t > 1 the chunk is split into t near-equal sub-chunks, each
+     * walked by its own tasklet in the workload's sampling order,
+     * updating the core's *shared* WRAM Q-table with round-robin
+     * interleaving (the pipeline's fine-grained multithreading).
+     */
+    unsigned tasklets = 1;
+
+    /** Transitions per SEQ/STR staging block (DMA limit / 16). */
+    std::size_t blockTransitions = 128;
+};
+
+/**
+ * Kernel entry point, executed once per core by PimSystem::launch.
+ * Dispatches on the workload's algorithm and numeric format.
+ */
+void runTrainingKernel(pimsim::KernelContext &ctx,
+                       const KernelParams &params);
+
+/** Bytes of one packed transition record. */
+inline constexpr std::size_t kTransitionBytes = 16;
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_PIM_KERNELS_HH

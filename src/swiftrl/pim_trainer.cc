@@ -1,0 +1,373 @@
+#include "swiftrl/pim_trainer.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "rlcore/seeds.hh"
+#include "swiftrl/partition.hh"
+#include "swiftrl/pim_kernels.hh"
+
+namespace swiftrl {
+
+using rlcore::ActionId;
+using rlcore::Dataset;
+using rlcore::NumericFormat;
+using rlcore::QTable;
+using rlcore::StateId;
+
+PimTrainer::PimTrainer(pimsim::PimSystem &system, PimTrainConfig config)
+    : _system(system), _config(std::move(config))
+{
+    if (_config.tau <= 0)
+        SWIFTRL_FATAL("synchronisation period tau must be positive");
+    if (_config.hyper.episodes <= 0)
+        SWIFTRL_FATAL("episode count must be positive");
+    if (_config.blockTransitions == 0)
+        SWIFTRL_FATAL("staging block must hold at least one transition");
+    if (_config.tasklets < 1 || _config.tasklets > 24)
+        SWIFTRL_FATAL("UPMEM DPUs support 1-24 tasklets, got ",
+                      _config.tasklets);
+}
+
+std::int32_t
+PimTrainer::fixedScale() const
+{
+    if (_config.workload.format == NumericFormat::Int8)
+        return 1 << _config.hyper.int8Shift;
+    return _config.hyper.scale;
+}
+
+std::size_t
+PimTrainer::dataOffset(std::size_t q_bytes) const
+{
+    // Transitions start at the next 8-byte boundary past the Q region.
+    return (q_bytes + 7) / 8 * 8;
+}
+
+std::vector<std::size_t>
+PimTrainer::distribute(const std::vector<const Dataset *> &sources,
+                       const std::vector<std::size_t> &firsts,
+                       const std::vector<std::size_t> &counts,
+                       TimeBreakdown &time)
+{
+    const std::size_t n = _system.numDpus();
+    SWIFTRL_ASSERT(sources.size() == n && firsts.size() == n &&
+                       counts.size() == n,
+                   "per-core distribution tables must cover all cores");
+
+    std::vector<std::vector<std::uint8_t>> packed(n);
+    std::vector<std::span<const std::uint8_t>> spans(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Dataset &src = *sources[i];
+        packed[i] =
+            _config.workload.format == NumericFormat::Fp32
+                ? src.packFp32(firsts[i], counts[i])
+                : src.packInt32(firsts[i], counts[i], fixedScale());
+        spans[i] = packed[i];
+    }
+
+    time.cpuToPim += _system.pushChunks(_dataOffsetCache, spans);
+    return counts;
+}
+
+void
+PimTrainer::initQTables(StateId ns, ActionId na, TimeBreakdown &time)
+{
+    const std::size_t q_bytes = static_cast<std::size_t>(ns) *
+                                static_cast<std::size_t>(na) * 4;
+    // Algorithm 1 initialises the Q-table with zeros; the host pushes
+    // the initial table with the dataset (both formats share a 4-byte
+    // zero encoding).
+    const std::vector<std::uint8_t> zeros(q_bytes, 0);
+    time.cpuToPim += _system.pushBroadcast(qOffset(), zeros);
+}
+
+std::vector<QTable>
+PimTrainer::gatherQTables(StateId ns, ActionId na, double &seconds)
+{
+    const std::size_t entries = static_cast<std::size_t>(ns) *
+                                static_cast<std::size_t>(na);
+    const std::size_t q_bytes = entries * 4;
+    std::vector<std::vector<std::uint8_t>> raw;
+    seconds += _system.gather(qOffset(), q_bytes, raw);
+    // INT32 kernels descale their tables to FP32 on-core before the
+    // transfer (Sec. 4.2); the conversion runs in parallel on all
+    // cores, so it costs one per-core table pass.
+    seconds += conversionSeconds(entries, /*to_float=*/true);
+
+    std::vector<QTable> tables;
+    tables.reserve(raw.size());
+    for (const auto &bytes : raw) {
+        QTable t(ns, na);
+        if (_config.workload.format == NumericFormat::Fp32) {
+            std::memcpy(t.values().data(), bytes.data(), q_bytes);
+        } else {
+            // Functional descale in double precision: exact for every
+            // raw value below 2^53, so a 1-core run roundtrips
+            // bit-perfectly (the modelled cost above is what the
+            // on-core float conversion would take).
+            const auto *fixed =
+                reinterpret_cast<const std::int32_t *>(bytes.data());
+            for (std::size_t i = 0; i < entries; ++i) {
+                t.values()[i] = static_cast<float>(
+                    static_cast<double>(fixed[i]) /
+                    static_cast<double>(fixedScale()));
+            }
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+double
+PimTrainer::broadcastQTable(const QTable &q)
+{
+    const std::size_t entries = q.entryCount();
+    std::vector<std::uint8_t> bytes(entries * 4);
+    if (_config.workload.format == NumericFormat::Fp32) {
+        std::memcpy(bytes.data(), q.values().data(), bytes.size());
+    } else {
+        const auto fixed = q.toFixed(fixedScale());
+        std::memcpy(bytes.data(), fixed.data(), bytes.size());
+    }
+    double seconds = _system.pushBroadcast(qOffset(), bytes);
+    // Re-quantisation back to raw fixed point happens on-core after
+    // the broadcast lands.
+    seconds += conversionSeconds(entries, /*to_float=*/false);
+    return seconds;
+}
+
+QTable
+PimTrainer::weightedAverage(
+    const std::vector<QTable> &tables,
+    const std::vector<std::vector<std::uint8_t>> &raw_counts,
+    const QTable &previous) const
+{
+    SWIFTRL_ASSERT(tables.size() == raw_counts.size(),
+                   "one count table per Q-table required");
+    QTable out(previous.numStates(), previous.numActions());
+    const std::size_t entries = out.entryCount();
+    std::vector<double> numerator(entries, 0.0);
+    std::vector<double> denominator(entries, 0.0);
+
+    for (std::size_t core = 0; core < tables.size(); ++core) {
+        SWIFTRL_ASSERT(raw_counts[core].size() == entries * 4,
+                       "count table size mismatch");
+        const auto *counts = reinterpret_cast<const std::uint32_t *>(
+            raw_counts[core].data());
+        for (std::size_t i = 0; i < entries; ++i) {
+            const double w = counts[i];
+            numerator[i] +=
+                w * static_cast<double>(tables[core].values()[i]);
+            denominator[i] += w;
+        }
+    }
+    for (std::size_t i = 0; i < entries; ++i) {
+        out.values()[i] =
+            denominator[i] > 0.0
+                ? static_cast<float>(numerator[i] / denominator[i])
+                : previous.values()[i];
+    }
+    return out;
+}
+
+double
+PimTrainer::conversionSeconds(std::size_t q_entries,
+                              bool to_float) const
+{
+    if (_config.workload.format == NumericFormat::Fp32)
+        return 0.0;
+    const auto &model = _system.config().costModel;
+    using pimsim::OpClass;
+    // Descale: int divide (or a shift for the power-of-two INT8
+    // scale) + int-to-float conversion per entry. Requantise: FP32
+    // multiply + float-to-int per entry.
+    const bool pow2 = _config.workload.format == NumericFormat::Int8;
+    const pimsim::Cycles descale_op =
+        pow2 ? model.cyclesFor(OpClass::IntAlu)
+             : model.cyclesFor(OpClass::Int32Div);
+    const pimsim::Cycles per_entry =
+        to_float ? descale_op + 2 * model.cyclesFor(OpClass::IntAlu)
+                 : model.cyclesFor(OpClass::Fp32Mul) +
+                       2 * model.cyclesFor(OpClass::IntAlu);
+    return model.seconds(per_entry *
+                         static_cast<pimsim::Cycles>(q_entries));
+}
+
+PimTrainResult
+PimTrainer::train(const Dataset &data, StateId num_states,
+                  ActionId num_actions)
+{
+    SWIFTRL_ASSERT(!data.empty(), "training on an empty dataset");
+    const std::size_t n = _system.numDpus();
+    const std::size_t entries =
+        static_cast<std::size_t>(num_states) *
+        static_cast<std::size_t>(num_actions);
+    const std::size_t q_bytes = entries * 4;
+    const std::size_t visits_offset = dataOffset(q_bytes);
+    _dataOffsetCache =
+        _config.weightedAggregation
+            ? dataOffset(visits_offset + q_bytes)
+            : visits_offset;
+
+    PimTrainResult result;
+    result.coresUsed = n;
+
+    // Step 1: partition and distribute the dataset (Figure 4 (1)).
+    const auto chunks = partitionDataset(data.size(), n);
+    std::vector<const Dataset *> sources(n, &data);
+    std::vector<std::size_t> firsts(n), counts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        firsts[i] = chunks[i].first;
+        counts[i] = chunks[i].count;
+    }
+    distribute(sources, firsts, counts, result.time);
+    initQTables(num_states, num_actions, result.time);
+
+    // Persistent LCG streams, one per (core, tasklet).
+    const std::size_t streams = n * _config.tasklets;
+    std::vector<std::uint32_t> lcg_states(streams);
+    for (std::size_t i = 0; i < streams; ++i)
+        lcg_states[i] = rlcore::deriveLcgSeed(_config.hyper.seed, i);
+
+    KernelParams params;
+    params.workload = _config.workload;
+    params.hyper = _config.hyper;
+    params.numStates = num_states;
+    params.numActions = num_actions;
+    params.qOffset = qOffset();
+    params.dataOffset = _dataOffsetCache;
+    params.chunkCounts = &counts;
+    params.lcgStates = &lcg_states;
+    params.blockTransitions = _config.blockTransitions;
+    params.tasklets = _config.tasklets;
+    params.trackVisits = _config.weightedAggregation;
+    params.visitsOffset = visits_offset;
+
+    // Steps 2 + synchronisation: train in rounds of tau episodes;
+    // after each round the cores exchange Q-values through the host
+    // (gather -> average -> broadcast).
+    QTable aggregated(num_states, num_actions);
+    int remaining = _config.hyper.episodes;
+    while (remaining > 0) {
+        params.episodes = std::min(_config.tau, remaining);
+        remaining -= params.episodes;
+
+        result.time.kernel += _system.launch(
+            [&params](pimsim::KernelContext &ctx) {
+                runTrainingKernel(ctx, params);
+            },
+            _config.tasklets);
+
+        double sync_seconds = 0.0;
+        auto tables =
+            gatherQTables(num_states, num_actions, sync_seconds);
+        const QTable previous = aggregated;
+        if (_config.weightedAggregation) {
+            // Extra gather of the per-core visit counts, then a
+            // count-weighted mean with fallback to the previous
+            // aggregate for entries no core visited this round.
+            std::vector<std::vector<std::uint8_t>> raw_counts;
+            sync_seconds += _system.gather(visits_offset,
+                                           entries * 4, raw_counts);
+            aggregated =
+                weightedAverage(tables, raw_counts, previous);
+        } else {
+            aggregated = QTable::average(tables);
+        }
+        result.roundDeltas.push_back(
+            QTable::maxAbsDifference(aggregated, previous));
+        // Host-side reduction cost of the averaging itself.
+        sync_seconds +=
+            _system.config().transferModel.hostReduceSecPerEntry *
+            static_cast<double>(entries) * static_cast<double>(n);
+        sync_seconds += broadcastQTable(aggregated);
+        result.time.interCore += sync_seconds;
+        ++result.commRounds;
+    }
+
+    // Steps 3+4: final retrieval. After the last synchronisation
+    // every core holds the aggregated table, so the deployed policy
+    // is that aggregate; the gather is still paid for (Figure 4 (3)).
+    double final_seconds = 0.0;
+    std::vector<std::vector<std::uint8_t>> discard;
+    final_seconds += _system.gather(qOffset(), entries * 4, discard);
+    final_seconds +=
+        conversionSeconds(entries, /*to_float=*/true);
+    result.time.pimToCpu += final_seconds;
+    result.finalQ = std::move(aggregated);
+    return result;
+}
+
+PimTrainResult
+PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
+                            StateId num_states, ActionId num_actions)
+{
+    const std::size_t n = _system.numDpus();
+    if (agent_data.size() != n) {
+        SWIFTRL_FATAL("multi-agent mode pins one agent per core: got ",
+                      agent_data.size(), " agents for ", n, " cores");
+    }
+    if (_config.workload.algo != rlcore::Algorithm::QLearning) {
+        SWIFTRL_FATAL("SwiftRL's multi-agent mode uses independent "
+                      "Q-learners");
+    }
+
+    const std::size_t entries =
+        static_cast<std::size_t>(num_states) *
+        static_cast<std::size_t>(num_actions);
+    const std::size_t q_bytes = entries * 4;
+    _dataOffsetCache = dataOffset(q_bytes);
+
+    PimTrainResult result;
+    result.coresUsed = n;
+
+    std::vector<const Dataset *> sources(n);
+    std::vector<std::size_t> firsts(n, 0), counts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (agent_data[i].empty())
+            SWIFTRL_FATAL("agent ", i, " has an empty dataset");
+        sources[i] = &agent_data[i];
+        counts[i] = agent_data[i].size();
+    }
+    distribute(sources, firsts, counts, result.time);
+    initQTables(num_states, num_actions, result.time);
+
+    const std::size_t streams = n * _config.tasklets;
+    std::vector<std::uint32_t> lcg_states(streams);
+    for (std::size_t i = 0; i < streams; ++i)
+        lcg_states[i] = rlcore::deriveLcgSeed(_config.hyper.seed, i);
+
+    KernelParams params;
+    params.workload = _config.workload;
+    params.hyper = _config.hyper;
+    params.numStates = num_states;
+    params.numActions = num_actions;
+    params.qOffset = qOffset();
+    params.dataOffset = _dataOffsetCache;
+    params.chunkCounts = &counts;
+    params.lcgStates = &lcg_states;
+    params.blockTransitions = _config.blockTransitions;
+    params.tasklets = _config.tasklets;
+
+    // Independent learners: all episodes in one launch, no
+    // synchronisation rounds (the aggregation step "would be
+    // unnecessary in this setting", Sec. 3.2.1).
+    params.episodes = _config.hyper.episodes;
+    result.time.kernel += _system.launch(
+        [&params](pimsim::KernelContext &ctx) {
+            runTrainingKernel(ctx, params);
+        },
+        _config.tasklets);
+
+    double final_seconds = 0.0;
+    result.perCore =
+        gatherQTables(num_states, num_actions, final_seconds);
+    result.time.pimToCpu += final_seconds;
+    // finalQ kept as the average for convenience (diagnostics only;
+    // each agent deploys its own table).
+    result.finalQ = QTable::average(result.perCore);
+    return result;
+}
+
+} // namespace swiftrl

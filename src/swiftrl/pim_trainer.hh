@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The SwiftRL training orchestrator: the host-side program that
+ * executes Figure 4's four steps on the (simulated) PIM machine —
+ * (1) distribute dataset chunks to the cores' DRAM banks,
+ * (2) run the training kernel on every core in parallel,
+ * (3) retrieve partial Q-tables, and
+ * (4) aggregate them on the host —
+ * with the tau-periodic inter-core synchronisation of Sec. 4.2 and the
+ * multi-agent independent-learner mode of Sec. 3.2.1.
+ */
+
+#ifndef SWIFTRL_SWIFTRL_PIM_TRAINER_HH
+#define SWIFTRL_SWIFTRL_PIM_TRAINER_HH
+
+#include <vector>
+
+#include "pimsim/pim_system.hh"
+#include "rlcore/dataset.hh"
+#include "rlcore/qtable.hh"
+#include "swiftrl/time_breakdown.hh"
+#include "swiftrl/workload.hh"
+
+namespace swiftrl {
+
+/** Configuration for one PIM training run. */
+struct PimTrainConfig
+{
+    /** Which of the 12 workload variants to run. */
+    Workload workload;
+
+    /** Hyper-parameters; hyper.episodes is the total episode count. */
+    rlcore::Hyper hyper;
+
+    /**
+     * Synchronisation period tau: episodes between inter-core
+     * Q-table averaging rounds (paper default 50). Comm_rounds =
+     * episodes / tau.
+     */
+    int tau = 50;
+
+    /** Transitions per SEQ/STR staging block. */
+    std::size_t blockTransitions = 128;
+
+    /**
+     * Hardware threads per PIM core (paper: 1, its stated future
+     * work beyond core-level parallelism). Each tasklet trains its
+     * own sub-chunk against the core's shared Q-table; the pipeline
+     * speeds up by min(tasklets, pipelineInterval).
+     */
+    unsigned tasklets = 1;
+
+    /**
+     * Extension beyond the paper: weight each core's Q-entries by
+     * its per-round visit counts during the synchronisation average,
+     * instead of the paper's plain mean. Entries no core visited
+     * keep their previous aggregated value. Plain averaging lets the
+     * Q = 0 of unvisited entries dilute learned values — fatal in
+     * negative-reward environments when chunks under-cover the state
+     * space (see tests/test_pim_trainer.cc's coverage
+     * characterisation); weighting fixes exactly that at the cost of
+     * one extra per-round gather of the count table.
+     */
+    bool weightedAggregation = false;
+};
+
+/** Output of a PIM training run. */
+struct PimTrainResult
+{
+    /** Aggregated final Q-table (average of all local tables). */
+    rlcore::QTable finalQ;
+
+    /** Per-core final tables; filled only in multi-agent mode. */
+    std::vector<rlcore::QTable> perCore;
+
+    /** Modelled execution time, split per Figures 5/6. */
+    TimeBreakdown time;
+
+    /** Inter-core communication rounds executed. */
+    int commRounds = 0;
+
+    /**
+     * Convergence trace: max |change| of the aggregated Q-table at
+     * each synchronisation round. Empty in multi-agent mode.
+     */
+    std::vector<float> roundDeltas;
+
+    /** PIM cores that participated. */
+    std::size_t coresUsed = 0;
+
+    PimTrainResult() : finalQ(1, 1) {}
+};
+
+/**
+ * Drives training of one workload on a PimSystem. The trainer owns no
+ * PIM state beyond a run; the same system can be reused (resetStats
+ * between runs for clean accounting).
+ */
+class PimTrainer
+{
+  public:
+    /** @param system machine to run on; must outlive the trainer. */
+    PimTrainer(pimsim::PimSystem &system, PimTrainConfig config);
+
+    /**
+     * Standard SwiftRL training: partition @p data across all cores,
+     * train with tau-periodic averaging, aggregate on the host.
+     */
+    PimTrainResult train(const rlcore::Dataset &data,
+                         rlcore::StateId num_states,
+                         rlcore::ActionId num_actions);
+
+    /**
+     * Multi-agent Q-learning (Sec. 3.2.1): one independent learner per
+     * core, each with its own dataset; no synchronisation and no final
+     * aggregation. @p agent_data must contain exactly one non-empty
+     * dataset per core.
+     */
+    PimTrainResult trainMultiAgent(
+        const std::vector<rlcore::Dataset> &agent_data,
+        rlcore::StateId num_states, rlcore::ActionId num_actions);
+
+    /** Configuration in use. */
+    const PimTrainConfig &config() const { return _config; }
+
+  private:
+    /** Pack + push per-core chunks; returns chunk lengths. */
+    std::vector<std::size_t> distribute(
+        const std::vector<const rlcore::Dataset *> &sources,
+        const std::vector<std::size_t> &firsts,
+        const std::vector<std::size_t> &counts, TimeBreakdown &time);
+
+    /** Zero the Q-table region on every core. */
+    void initQTables(rlcore::StateId ns, rlcore::ActionId na,
+                     TimeBreakdown &time);
+
+    /** Gather all per-core Q-tables (functional + timing). */
+    std::vector<rlcore::QTable> gatherQTables(
+        rlcore::StateId ns, rlcore::ActionId na, double &seconds);
+
+    /** Broadcast one Q-table to every core's MRAM Q region. */
+    double broadcastQTable(const rlcore::QTable &q);
+
+    /**
+     * Visit-count-weighted mean of per-core tables; entries with
+     * zero total visits keep @p previous's value.
+     */
+    rlcore::QTable weightedAverage(
+        const std::vector<rlcore::QTable> &tables,
+        const std::vector<std::vector<std::uint8_t>> &raw_counts,
+        const rlcore::QTable &previous) const;
+
+    /**
+     * Modelled on-core cost of converting a Q-table between raw INT32
+     * and FP32 wire format (the descale-before-transfer step); zero
+     * for FP32 workloads.
+     */
+    double conversionSeconds(std::size_t q_entries, bool to_float) const;
+
+    std::size_t qOffset() const { return 0; }
+    std::size_t dataOffset(std::size_t q_bytes) const;
+
+    /**
+     * Fixed-point scale for the active format: hyper.scale for INT32,
+     * 1 << hyper.int8Shift for the INT8 optimisation.
+     */
+    std::int32_t fixedScale() const;
+
+    pimsim::PimSystem &_system;
+    PimTrainConfig _config;
+
+    /** MRAM byte offset of the transition region for the active run. */
+    std::size_t _dataOffsetCache = 0;
+};
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_PIM_TRAINER_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The four-component execution time breakdown SwiftRL reports in its
+ * strong-scaling figures (Figures 5 and 6): PIM kernel time, initial
+ * CPU->PIM dataset transfer, final PIM->CPU result transfer, and
+ * inter-PIM-core communication (the tau-periodic Q-table exchange,
+ * which is routed through the host because PIM cores cannot talk to
+ * each other directly).
+ */
+
+#ifndef SWIFTRL_SWIFTRL_TIME_BREAKDOWN_HH
+#define SWIFTRL_SWIFTRL_TIME_BREAKDOWN_HH
+
+namespace swiftrl {
+
+/** Modelled execution time split, in seconds. */
+struct TimeBreakdown
+{
+    /** Time spent executing kernels on the PIM cores. */
+    double kernel = 0.0;
+
+    /** Initial dataset distribution, CPU -> PIM. */
+    double cpuToPim = 0.0;
+
+    /** Final result retrieval, PIM -> CPU. */
+    double pimToCpu = 0.0;
+
+    /** Q-value exchange between PIM cores (via the host). */
+    double interCore = 0.0;
+
+    /** Sum of all components. */
+    double
+    total() const
+    {
+        return kernel + cpuToPim + pimToCpu + interCore;
+    }
+
+    /** Fraction of total contributed by a component value. */
+    double
+    fractionOf(double component) const
+    {
+        const double t = total();
+        return t > 0.0 ? component / t : 0.0;
+    }
+
+    TimeBreakdown &
+    operator+=(const TimeBreakdown &other)
+    {
+        kernel += other.kernel;
+        cpuToPim += other.cpuToPim;
+        pimToCpu += other.pimToCpu;
+        interCore += other.interCore;
+        return *this;
+    }
+};
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_TIME_BREAKDOWN_HH

@@ -1,0 +1,58 @@
+#include "swiftrl/workload.hh"
+
+namespace swiftrl {
+
+std::string
+Workload::name() const
+{
+    using rlcore::Algorithm;
+    std::string out = algo == Algorithm::QLearning ? "Q-learner" : "SARSA";
+    out += "-";
+    out += rlcore::samplingName(sampling);
+    out += "-";
+    out += rlcore::numericFormatName(format);
+    return out;
+}
+
+std::vector<Workload>
+workloadsFor(rlcore::Algorithm algo)
+{
+    using rlcore::NumericFormat;
+    using rlcore::Sampling;
+    std::vector<Workload> out;
+    for (const auto format : {NumericFormat::Fp32, NumericFormat::Int32}) {
+        for (const auto sampling :
+             {Sampling::Seq, Sampling::Ran, Sampling::Str}) {
+            out.push_back(Workload{algo, sampling, format});
+        }
+    }
+    return out;
+}
+
+std::vector<Workload>
+allWorkloads()
+{
+    auto out = workloadsFor(rlcore::Algorithm::QLearning);
+    const auto sarsa = workloadsFor(rlcore::Algorithm::Sarsa);
+    out.insert(out.end(), sarsa.begin(), sarsa.end());
+    return out;
+}
+
+std::vector<Workload>
+extendedWorkloads()
+{
+    using rlcore::Algorithm;
+    using rlcore::NumericFormat;
+    using rlcore::Sampling;
+    auto out = allWorkloads();
+    for (const auto algo : {Algorithm::QLearning, Algorithm::Sarsa}) {
+        for (const auto sampling :
+             {Sampling::Seq, Sampling::Ran, Sampling::Str}) {
+            out.push_back(
+                Workload{algo, sampling, NumericFormat::Int8});
+        }
+    }
+    return out;
+}
+
+} // namespace swiftrl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload descriptors: the 12 PIM training variants SwiftRL
+ * implements and evaluates — {Q-learning, SARSA} x {SEQ, RAN, STR} x
+ * {FP32, INT32} — with the paper's naming convention.
+ */
+
+#ifndef SWIFTRL_SWIFTRL_WORKLOAD_HH
+#define SWIFTRL_SWIFTRL_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "rlcore/trainers.hh"
+#include "rlcore/types.hh"
+
+namespace swiftrl {
+
+/** One of the paper's 12 training workload variants. */
+struct Workload
+{
+    rlcore::Algorithm algo = rlcore::Algorithm::QLearning;
+    rlcore::Sampling sampling = rlcore::Sampling::Seq;
+    rlcore::NumericFormat format = rlcore::NumericFormat::Fp32;
+
+    /** Paper-style name, e.g. "Q-learner-SEQ-FP32", "SARSA-RAN-INT32". */
+    std::string name() const;
+
+    bool operator==(const Workload &) const = default;
+};
+
+/** All 12 variants, in the paper's presentation order. */
+std::vector<Workload> allWorkloads();
+
+/** The 6 variants of one algorithm. */
+std::vector<Workload> workloadsFor(rlcore::Algorithm algo);
+
+/**
+ * The paper's 12 variants plus the 6 INT8 custom-multiply variants
+ * (the optional UPMEM-specific optimisation of Sec. 3.2.1, applicable
+ * to limited-value-range environments such as frozen lake).
+ */
+std::vector<Workload> extendedWorkloads();
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_WORKLOAD_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cli.hh"
+
+namespace {
+
+using swiftrl::common::CliFlags;
+
+CliFlags
+parse(std::vector<const char *> argv, std::vector<std::string> known)
+{
+    argv.insert(argv.begin(), "prog");
+    return CliFlags(static_cast<int>(argv.size()),
+                    const_cast<char **>(argv.data()), std::move(known));
+}
+
+TEST(Cli, EmptyCommandLine)
+{
+    const auto flags = parse({}, {"episodes"});
+    EXPECT_FALSE(flags.has("episodes"));
+    EXPECT_EQ(flags.getInt("episodes", 7), 7);
+}
+
+TEST(Cli, EqualsSyntax)
+{
+    const auto flags = parse({"--episodes=42"}, {"episodes"});
+    EXPECT_TRUE(flags.has("episodes"));
+    EXPECT_EQ(flags.getInt("episodes", 0), 42);
+}
+
+TEST(Cli, SpaceSyntax)
+{
+    const auto flags = parse({"--env", "taxi"}, {"env"});
+    EXPECT_EQ(flags.getString("env", ""), "taxi");
+}
+
+TEST(Cli, BareFlagIsTrue)
+{
+    const auto flags = parse({"--full"}, {"full"});
+    EXPECT_TRUE(flags.getBool("full", false));
+}
+
+TEST(Cli, BooleanSpellings)
+{
+    EXPECT_TRUE(parse({"--x=yes"}, {"x"}).getBool("x", false));
+    EXPECT_TRUE(parse({"--x=1"}, {"x"}).getBool("x", false));
+    EXPECT_FALSE(parse({"--x=no"}, {"x"}).getBool("x", true));
+    EXPECT_FALSE(parse({"--x=0"}, {"x"}).getBool("x", true));
+}
+
+TEST(Cli, DoubleParsing)
+{
+    const auto flags = parse({"--alpha=0.25"}, {"alpha"});
+    EXPECT_DOUBLE_EQ(flags.getDouble("alpha", 0.0), 0.25);
+}
+
+TEST(Cli, NegativeNumbers)
+{
+    const auto flags = parse({"--reward=-8.6"}, {"reward"});
+    EXPECT_DOUBLE_EQ(flags.getDouble("reward", 0.0), -8.6);
+}
+
+TEST(Cli, PositionalArguments)
+{
+    const auto flags = parse({"one", "--x=1", "two"}, {"x"});
+    ASSERT_EQ(flags.positional().size(), 2u);
+    EXPECT_EQ(flags.positional()[0], "one");
+    EXPECT_EQ(flags.positional()[1], "two");
+}
+
+TEST(CliDeath, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(parse({"--bogus=1"}, {"env"}), ::testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(CliDeath, NonIntegerIsFatal)
+{
+    const auto flags = parse({"--n=abc"}, {"n"});
+    EXPECT_EXIT((void)flags.getInt("n", 0), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliDeath, NonBooleanIsFatal)
+{
+    const auto flags = parse({"--b=maybe"}, {"b"});
+    EXPECT_EXIT((void)flags.getBool("b", false),
+                ::testing::ExitedWithCode(1), "expects a boolean");
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the CliffWalking environment, including the classic
+ * Q-learning-vs-SARSA behavioural split it exists to demonstrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rlcore/dataset.hh"
+#include "rlcore/evaluate.hh"
+#include "rlcore/trainers.hh"
+#include "rlenv/cliff_walking.hh"
+#include "rlenv/registry.hh"
+
+namespace {
+
+using swiftrl::common::XorShift128;
+using swiftrl::rlenv::CliffWalking;
+using namespace swiftrl::rlcore;
+
+TEST(CliffWalking, SpacesMatchGym)
+{
+    CliffWalking env;
+    EXPECT_EQ(env.numStates(), 48);
+    EXPECT_EQ(env.numActions(), 4);
+    EXPECT_EQ(CliffWalking::kStart, 36);
+    EXPECT_EQ(CliffWalking::kGoal, 47);
+}
+
+TEST(CliffWalking, CliffCellsAreBottomRowInterior)
+{
+    for (swiftrl::rlenv::StateId s = 0; s < 48; ++s) {
+        const bool expected = s >= 37 && s <= 46;
+        EXPECT_EQ(CliffWalking::isCliff(s), expected) << "state " << s;
+    }
+}
+
+TEST(CliffWalking, ResetReturnsStart)
+{
+    CliffWalking env;
+    XorShift128 rng(1);
+    EXPECT_EQ(env.reset(rng), CliffWalking::kStart);
+}
+
+TEST(CliffWalking, NormalStepCostsOne)
+{
+    CliffWalking env;
+    XorShift128 rng(1);
+    env.reset(rng);
+    const auto r = env.step(CliffWalking::Up, rng);
+    EXPECT_EQ(r.nextState, 24); // one row up from 36
+    EXPECT_FLOAT_EQ(r.reward, -1.0f);
+    EXPECT_FALSE(r.done());
+}
+
+TEST(CliffWalking, BordersClamp)
+{
+    CliffWalking env;
+    XorShift128 rng(1);
+    env.reset(rng);
+    const auto r = env.step(CliffWalking::Left, rng);
+    EXPECT_EQ(r.nextState, CliffWalking::kStart);
+    EXPECT_FLOAT_EQ(r.reward, -1.0f);
+}
+
+TEST(CliffWalking, FallingTeleportsWithMinusHundred)
+{
+    CliffWalking env;
+    XorShift128 rng(1);
+    env.reset(rng);
+    const auto r = env.step(CliffWalking::Right, rng); // into cell 37
+    EXPECT_FLOAT_EQ(r.reward, -100.0f);
+    EXPECT_EQ(r.nextState, CliffWalking::kStart);
+    EXPECT_FALSE(r.terminated) << "falling does not end the episode";
+}
+
+TEST(CliffWalking, OptimalPathScoresMinusThirteen)
+{
+    // Up, 11x Right, Down: 13 steps along the cliff edge.
+    CliffWalking env;
+    XorShift128 rng(1);
+    env.reset(rng);
+    double total = 0.0;
+    total += env.step(CliffWalking::Up, rng).reward;
+    for (int i = 0; i < 11; ++i)
+        total += env.step(CliffWalking::Right, rng).reward;
+    const auto last = env.step(CliffWalking::Down, rng);
+    total += last.reward;
+    EXPECT_TRUE(last.terminated);
+    EXPECT_EQ(last.nextState, CliffWalking::kGoal);
+    EXPECT_DOUBLE_EQ(total, -13.0);
+}
+
+TEST(CliffWalking, TruncatesAtStepLimit)
+{
+    CliffWalking env;
+    XorShift128 rng(1);
+    env.reset(rng);
+    swiftrl::rlenv::StepResult r;
+    for (int i = 0; i < 200; ++i)
+        r = env.step(CliffWalking::Left, rng);
+    EXPECT_TRUE(r.truncated);
+}
+
+TEST(CliffWalking, RegisteredInRegistry)
+{
+    auto env = swiftrl::rlenv::makeEnvironment("cliffwalking");
+    EXPECT_EQ(env->name(), "cliffwalking");
+    EXPECT_EQ(env->numStates(), 48);
+}
+
+TEST(CliffWalking, QLearningFindsTheEdgePath)
+{
+    // The textbook result: off-policy Q-learning learns the optimal
+    // (cliff-edge) path, scoring -13 under greedy deployment.
+    CliffWalking env;
+    const auto data = collectRandomDataset(env, 100'000, 1);
+    Hyper h;
+    h.episodes = 40;
+    const auto q = trainCpuReference(Algorithm::QLearning, data, 48,
+                                     4, h, Sampling::Seq,
+                                     NumericFormat::Fp32);
+    CliffWalking eval_env;
+    const auto eval = evaluateGreedy(eval_env, q, 20, 7);
+    EXPECT_DOUBLE_EQ(eval.meanReward, -13.0);
+    EXPECT_DOUBLE_EQ(eval.meanSteps, 13.0);
+}
+
+TEST(CliffWalking, SarsaLearnsASaferOrEqualPath)
+{
+    // On-policy SARSA with exploration penalises the cliff edge; its
+    // greedy path is never better than Q-learning's and typically
+    // detours (more steps). Both must still reach the goal.
+    CliffWalking env;
+    const auto data = collectRandomDataset(env, 100'000, 1);
+    Hyper h;
+    h.episodes = 40;
+    h.epsilon = 0.05f; // exploration risk drives the detour
+    const auto q = trainCpuReference(Algorithm::QLearning, data, 48,
+                                     4, h, Sampling::Seq,
+                                     NumericFormat::Fp32);
+    const auto s = trainCpuReference(Algorithm::Sarsa, data, 48, 4, h,
+                                     Sampling::Seq,
+                                     NumericFormat::Fp32);
+    CliffWalking eval_q, eval_s;
+    const auto q_eval = evaluateGreedy(eval_q, q, 20, 7);
+    const auto s_eval = evaluateGreedy(eval_s, s, 20, 7);
+    EXPECT_DOUBLE_EQ(q_eval.meanReward, -13.0);
+    EXPECT_GT(s_eval.meanReward, -30.0); // reaches the goal quickly
+    EXPECT_LT(s_eval.meanReward, q_eval.meanReward);
+    EXPECT_GT(s_eval.meanSteps, q_eval.meanSteps);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the DPU instruction/DMA cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pimsim/cost_model.hh"
+
+namespace {
+
+using swiftrl::pimsim::Cycles;
+using swiftrl::pimsim::DpuCostModel;
+using swiftrl::pimsim::OpClass;
+using swiftrl::pimsim::opClassName;
+using swiftrl::pimsim::validate;
+
+TEST(CostModel, DefaultsValidate)
+{
+    DpuCostModel model;
+    validate(model); // must not terminate
+    SUCCEED();
+}
+
+TEST(CostModel, PaperClockRate)
+{
+    DpuCostModel model;
+    EXPECT_DOUBLE_EQ(model.frequencyHz, 425.0e6);
+}
+
+TEST(CostModel, NativeIntIsSingleInstruction)
+{
+    DpuCostModel model;
+    EXPECT_EQ(model.cyclesFor(OpClass::IntAlu),
+              model.pipelineInterval);
+}
+
+TEST(CostModel, EmulationOrdering)
+{
+    // The architectural facts the paper leans on: int add < int8 mul
+    // < int32 mul < fp32 add < fp32 mul < fp32 div.
+    DpuCostModel m;
+    EXPECT_LT(m.cyclesFor(OpClass::IntAlu),
+              m.cyclesFor(OpClass::Int8Mul));
+    EXPECT_LT(m.cyclesFor(OpClass::Int8Mul),
+              m.cyclesFor(OpClass::Int32Mul));
+    EXPECT_LT(m.cyclesFor(OpClass::Int32Mul),
+              m.cyclesFor(OpClass::Fp32Add));
+    EXPECT_LT(m.cyclesFor(OpClass::Fp32Add),
+              m.cyclesFor(OpClass::Fp32Mul));
+    EXPECT_LT(m.cyclesFor(OpClass::Fp32Mul),
+              m.cyclesFor(OpClass::Fp32Div));
+}
+
+TEST(CostModel, PipelineIntervalScalesEverything)
+{
+    DpuCostModel a;
+    DpuCostModel b;
+    b.pipelineInterval = 2 * a.pipelineInterval;
+    for (std::size_t i = 0; i < swiftrl::pimsim::kNumOpClasses; ++i) {
+        const auto op = static_cast<OpClass>(i);
+        EXPECT_EQ(b.cyclesFor(op), 2 * a.cyclesFor(op));
+    }
+}
+
+TEST(CostModel, SecondsConversion)
+{
+    DpuCostModel m;
+    m.frequencyHz = 425.0e6;
+    EXPECT_DOUBLE_EQ(m.seconds(425000000ull), 1.0);
+    EXPECT_DOUBLE_EQ(m.seconds(0), 0.0);
+}
+
+TEST(CostModel, DmaCostHasFixedAndStreamingParts)
+{
+    DpuCostModel m;
+    const Cycles small = m.dmaCycles(8);
+    const Cycles large = m.dmaCycles(2048);
+    EXPECT_GE(small, m.mramDmaFixedCycles);
+    // Streaming component: 2040 extra bytes at 0.5 cycles/byte.
+    EXPECT_EQ(large - small, 1020u);
+}
+
+TEST(CostModel, DmaIsMonotonicInSize)
+{
+    DpuCostModel m;
+    Cycles prev = 0;
+    for (std::uint32_t bytes = 8; bytes <= 2048; bytes += 8) {
+        const Cycles c = m.dmaCycles(bytes);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(CostModel, OpClassNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < swiftrl::pimsim::kNumOpClasses; ++i)
+        names.insert(opClassName(static_cast<OpClass>(i)));
+    EXPECT_EQ(names.size(), swiftrl::pimsim::kNumOpClasses);
+}
+
+TEST(CostModelDeath, OversizeDmaPanics)
+{
+    DpuCostModel m;
+    EXPECT_DEATH((void)m.dmaCycles(4096), "exceeds hardware maximum");
+}
+
+TEST(CostModelDeath, MisalignedDmaPanics)
+{
+    DpuCostModel m;
+    EXPECT_DEATH((void)m.dmaCycles(12), "alignment");
+}
+
+TEST(CostModelDeath, ZeroFrequencyIsFatal)
+{
+    DpuCostModel m;
+    m.frequencyHz = 0.0;
+    EXPECT_EXIT(validate(m), ::testing::ExitedWithCode(1),
+                "frequency");
+}
+
+TEST(CostModelDeath, ZeroOpCostIsFatal)
+{
+    DpuCostModel m;
+    m.instructions[0] = 0;
+    EXPECT_EXIT(validate(m), ::testing::ExitedWithCode(1),
+                "at least one instruction");
+}
+
+} // namespace

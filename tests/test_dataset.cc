@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for offline dataset collection and the packed MRAM layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rlcore/dataset.hh"
+#include "rlcore/trainers.hh"
+#include "rlenv/frozen_lake.hh"
+#include "rlenv/registry.hh"
+#include "rlenv/taxi.hh"
+
+namespace {
+
+using swiftrl::rlcore::collectRandomDataset;
+using swiftrl::rlcore::Dataset;
+using swiftrl::rlcore::PackedTransition;
+using swiftrl::rlcore::quantizeReward;
+using swiftrl::rlcore::Transition;
+
+TEST(Dataset, AppendAndGetRoundtrip)
+{
+    Dataset d;
+    Transition t;
+    t.state = 3;
+    t.action = 1;
+    t.reward = -0.5f;
+    t.nextState = 7;
+    t.terminal = true;
+    d.append(t);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d.get(0), t);
+}
+
+TEST(Dataset, CollectProducesExactCount)
+{
+    swiftrl::rlenv::FrozenLake env;
+    const auto data = collectRandomDataset(env, 5000, 42);
+    EXPECT_EQ(data.size(), 5000u);
+}
+
+TEST(Dataset, CollectIsDeterministicPerSeed)
+{
+    swiftrl::rlenv::FrozenLake env_a, env_b;
+    const auto a = collectRandomDataset(env_a, 1000, 7);
+    const auto b = collectRandomDataset(env_b, 1000, 7);
+    for (std::size_t i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.get(i), b.get(i));
+}
+
+TEST(Dataset, CollectDiffersAcrossSeeds)
+{
+    swiftrl::rlenv::FrozenLake env_a, env_b;
+    const auto a = collectRandomDataset(env_a, 1000, 7);
+    const auto b = collectRandomDataset(env_b, 1000, 8);
+    int differing = 0;
+    for (std::size_t i = 0; i < 1000; ++i)
+        differing += a.get(i) == b.get(i) ? 0 : 1;
+    EXPECT_GT(differing, 100);
+}
+
+TEST(Dataset, TrajectoriesChainUntilTerminal)
+{
+    swiftrl::rlenv::FrozenLake env;
+    const auto data = collectRandomDataset(env, 2000, 3);
+    for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+        const auto cur = data.get(i);
+        const auto nxt = data.get(i + 1);
+        if (!cur.terminal && nxt.state != cur.nextState) {
+            // A non-terminal break can only be a time-limit
+            // truncation restart; FrozenLake restarts at state 0.
+            EXPECT_EQ(nxt.state, 0);
+        }
+        if (cur.terminal) {
+            // After termination the next episode starts at 0.
+            EXPECT_EQ(nxt.state, 0);
+        }
+    }
+}
+
+TEST(Dataset, CollectCoversStateSpace)
+{
+    swiftrl::rlenv::FrozenLake env;
+    const auto data = collectRandomDataset(env, 20000, 1);
+    std::set<swiftrl::rlcore::StateId> visited;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        visited.insert(data.get(i).state);
+    // Random walks reach most reachable tiles (holes/goal are only
+    // next-states, never sources).
+    EXPECT_GE(visited.size(), 10u);
+}
+
+TEST(Dataset, PackFp32Roundtrip)
+{
+    Dataset d;
+    Transition t;
+    t.state = 12;
+    t.action = 3;
+    t.reward = 1.0f;
+    t.nextState = 15;
+    t.terminal = true;
+    d.append(t);
+
+    const auto bytes = d.packFp32(0, 1);
+    ASSERT_EQ(bytes.size(), sizeof(PackedTransition));
+    PackedTransition p;
+    std::memcpy(&p, bytes.data(), sizeof(p));
+    EXPECT_EQ(Dataset::unpackFp32(p), t);
+}
+
+TEST(Dataset, PackInt32QuantisesReward)
+{
+    Dataset d;
+    Transition t;
+    t.state = 1;
+    t.action = 2;
+    t.reward = -8.6f;
+    t.nextState = 3;
+    t.terminal = false;
+    d.append(t);
+
+    const auto bytes = d.packInt32(0, 1, 10000);
+    PackedTransition p;
+    std::memcpy(&p, bytes.data(), sizeof(p));
+    EXPECT_EQ(p.rewardBits, -86000);
+    const auto back = Dataset::unpackInt32(p, 10000);
+    EXPECT_NEAR(back.reward, -8.6f, 1e-4f);
+    EXPECT_EQ(back.state, t.state);
+    EXPECT_EQ(back.nextState, t.nextState);
+    EXPECT_FALSE(back.terminal);
+}
+
+TEST(Dataset, TerminalBitDoesNotCorruptState)
+{
+    Dataset d;
+    Transition t;
+    t.state = 0;
+    t.action = 0;
+    t.reward = 0.0f;
+    t.nextState = 499; // taxi's largest state id
+    t.terminal = true;
+    d.append(t);
+    const auto bytes = d.packFp32(0, 1);
+    PackedTransition p;
+    std::memcpy(&p, bytes.data(), sizeof(p));
+    EXPECT_TRUE(p.nextStateBits & PackedTransition::kTerminalBit);
+    EXPECT_EQ(Dataset::unpackFp32(p).nextState, 499);
+}
+
+TEST(Dataset, PackRangeSelectsSubsets)
+{
+    Dataset d;
+    for (int i = 0; i < 10; ++i) {
+        Transition t;
+        t.state = i;
+        d.append(t);
+    }
+    const auto bytes = d.packFp32(4, 3);
+    ASSERT_EQ(bytes.size(), 3 * sizeof(PackedTransition));
+    for (int i = 0; i < 3; ++i) {
+        PackedTransition p;
+        std::memcpy(&p, bytes.data() + static_cast<std::size_t>(i) *
+                            sizeof(PackedTransition),
+                    sizeof(p));
+        EXPECT_EQ(p.state, 4 + i);
+    }
+}
+
+TEST(Dataset, QuantizeRewardRounds)
+{
+    EXPECT_EQ(quantizeReward(1.0f, 10000), 10000);
+    EXPECT_EQ(quantizeReward(-1.0f, 10000), -10000);
+    EXPECT_EQ(quantizeReward(0.00004f, 10000), 0);
+    EXPECT_EQ(quantizeReward(0.00006f, 10000), 1);
+    EXPECT_EQ(quantizeReward(20.0f, 10000), 200000);
+    EXPECT_EQ(quantizeReward(-10.0f, 10000), -100000);
+}
+
+TEST(Dataset, TaxiCollectionHasPaperRewardStructure)
+{
+    swiftrl::rlenv::Taxi env;
+    const auto data = collectRandomDataset(env, 20000, 5);
+    bool saw_step = false, saw_illegal = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const float r = data.get(i).reward;
+        ASSERT_TRUE(r == -1.0f || r == -10.0f || r == 20.0f)
+            << "unexpected reward " << r;
+        saw_step |= r == -1.0f;
+        saw_illegal |= r == -10.0f;
+    }
+    EXPECT_TRUE(saw_step);
+    EXPECT_TRUE(saw_illegal);
+}
+
+TEST(DatasetDeath, PackOutOfRangePanics)
+{
+    Dataset d;
+    d.append(Transition{});
+    EXPECT_DEATH((void)d.packFp32(0, 2), "out of bounds");
+}
+
+TEST(DatasetDeath, GetOutOfRangePanics)
+{
+    Dataset d;
+    EXPECT_DEATH((void)d.get(0), "out of range");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the per-core state (MRAM bank, cycle counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pimsim/dpu.hh"
+
+namespace {
+
+using swiftrl::pimsim::Dpu;
+using swiftrl::pimsim::OpClass;
+
+TEST(Dpu, IdentityAndCapacity)
+{
+    Dpu dpu(7, 1024);
+    EXPECT_EQ(dpu.id(), 7u);
+    EXPECT_EQ(dpu.mramCapacity(), 1024u);
+    EXPECT_EQ(dpu.cycles(), 0u);
+}
+
+TEST(Dpu, MramRoundtrip)
+{
+    Dpu dpu(0, 4096);
+    const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    dpu.mramWrite(100, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    dpu.mramRead(100, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(Dpu, UnwrittenMramReadsAsZero)
+{
+    Dpu dpu(0, 4096);
+    std::vector<std::uint8_t> out(16, 0xff);
+    dpu.mramRead(0, out.data(), out.size());
+    for (const auto b : out)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Dpu, PartiallyWrittenReadMixesDataAndZeros)
+{
+    Dpu dpu(0, 4096);
+    const std::uint8_t byte = 0xab;
+    dpu.mramWrite(0, &byte, 1);
+    std::vector<std::uint8_t> out(4, 0xff);
+    dpu.mramRead(0, out.data(), out.size());
+    EXPECT_EQ(out[0], 0xab);
+    EXPECT_EQ(out[1], 0);
+    EXPECT_EQ(out[3], 0);
+}
+
+TEST(Dpu, CyclesAccumulate)
+{
+    Dpu dpu(0, 64);
+    dpu.addCycles(10);
+    dpu.addCycles(32);
+    EXPECT_EQ(dpu.cycles(), 42u);
+}
+
+TEST(Dpu, OpCountsAccumulate)
+{
+    Dpu dpu(0, 64);
+    dpu.countOps(OpClass::Fp32Mul, 3);
+    dpu.countOps(OpClass::Fp32Mul, 2);
+    dpu.countOps(OpClass::IntAlu, 1);
+    EXPECT_EQ(dpu.opCounts()[static_cast<std::size_t>(
+                  OpClass::Fp32Mul)],
+              5u);
+    EXPECT_EQ(dpu.opCounts()[static_cast<std::size_t>(
+                  OpClass::IntAlu)],
+              1u);
+}
+
+TEST(Dpu, ResetStatsKeepsMram)
+{
+    Dpu dpu(0, 64);
+    const std::uint8_t byte = 0x5a;
+    dpu.mramWrite(8, &byte, 1);
+    dpu.addCycles(99);
+    dpu.addDmaBytes(16);
+    dpu.resetStats();
+    EXPECT_EQ(dpu.cycles(), 0u);
+    EXPECT_EQ(dpu.dmaBytes(), 0u);
+    std::uint8_t out = 0;
+    dpu.mramRead(8, &out, 1);
+    EXPECT_EQ(out, 0x5a);
+}
+
+TEST(DpuDeath, WritePastCapacityIsFatal)
+{
+    Dpu dpu(3, 64);
+    const std::vector<std::uint8_t> data(65, 0);
+    EXPECT_EXIT(dpu.mramWrite(0, data.data(), data.size()),
+                ::testing::ExitedWithCode(1), "exceeds the 64-byte");
+}
+
+TEST(DpuDeath, ReadPastCapacityIsFatal)
+{
+    Dpu dpu(3, 64);
+    std::uint8_t out;
+    EXPECT_EXIT(dpu.mramRead(64, &out, 1),
+                ::testing::ExitedWithCode(1), "exceeds the 64-byte");
+}
+
+TEST(Dpu, WriteUpToCapacityIsAllowed)
+{
+    Dpu dpu(0, 64);
+    const std::vector<std::uint8_t> data(64, 0x11);
+    dpu.mramWrite(0, data.data(), data.size());
+    std::vector<std::uint8_t> out(64);
+    dpu.mramRead(0, out.data(), 64);
+    EXPECT_EQ(out, data);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for greedy policy evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rlcore/evaluate.hh"
+#include "rlenv/frozen_lake.hh"
+#include "rlenv/taxi.hh"
+
+namespace {
+
+using swiftrl::rlcore::evaluateGreedy;
+using swiftrl::rlcore::QTable;
+using swiftrl::rlenv::FrozenLake;
+using swiftrl::rlenv::Taxi;
+
+/** Hand-crafted optimal Q-table for the deterministic 4x4 lake. */
+QTable
+handcraftedLakePolicy()
+{
+    QTable q(16, 4);
+    // Route 0-1-2-6-10-14-15 avoiding holes 5,7,11,12.
+    q.at(0, FrozenLake::Right) = 1.0f;
+    q.at(1, FrozenLake::Right) = 1.0f;
+    q.at(2, FrozenLake::Down) = 1.0f;
+    q.at(6, FrozenLake::Down) = 1.0f;
+    q.at(10, FrozenLake::Down) = 1.0f;
+    q.at(14, FrozenLake::Right) = 1.0f;
+    return q;
+}
+
+TEST(Evaluate, PerfectPolicyScoresOne)
+{
+    FrozenLake env(false);
+    const auto q = handcraftedLakePolicy();
+    const auto result = evaluateGreedy(env, q, 20, 3);
+    EXPECT_DOUBLE_EQ(result.meanReward, 1.0);
+    EXPECT_DOUBLE_EQ(result.successRate, 1.0);
+    EXPECT_DOUBLE_EQ(result.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(result.meanSteps, 6.0);
+    EXPECT_EQ(result.episodes, 20);
+}
+
+TEST(Evaluate, ZeroTableWalksIntoWallForever)
+{
+    FrozenLake env(false);
+    QTable q(16, 4); // all-zero: greedy = Left everywhere
+    const auto result = evaluateGreedy(env, q, 5, 3);
+    EXPECT_DOUBLE_EQ(result.meanReward, 0.0);
+    EXPECT_DOUBLE_EQ(result.successRate, 0.0);
+    EXPECT_DOUBLE_EQ(result.meanSteps, 100.0); // truncation limit
+}
+
+TEST(Evaluate, SlipperyEvaluationIsStochasticButSeeded)
+{
+    FrozenLake env(true);
+    const auto q = handcraftedLakePolicy();
+    const auto a = evaluateGreedy(env, q, 200, 11);
+    FrozenLake env2(true);
+    const auto b = evaluateGreedy(env2, q, 200, 11);
+    EXPECT_DOUBLE_EQ(a.meanReward, b.meanReward);
+    EXPECT_GT(a.meanReward, 0.0);
+    EXPECT_LT(a.meanReward, 1.0);
+}
+
+TEST(Evaluate, TaxiZeroPolicyScoresBadly)
+{
+    Taxi env;
+    QTable q(500, 6);
+    const auto result = evaluateGreedy(env, q, 20, 5);
+    // Greedy on zeros = always South: -1 x 200 steps.
+    EXPECT_DOUBLE_EQ(result.meanReward, -200.0);
+}
+
+TEST(EvaluateDeath, ShapeMismatchPanics)
+{
+    FrozenLake env(false);
+    QTable q(4, 4);
+    EXPECT_DEATH((void)evaluateGreedy(env, q, 1, 1),
+                 "does not match");
+}
+
+TEST(EvaluateDeath, ZeroEpisodesPanics)
+{
+    FrozenLake env(false);
+    QTable q(16, 4);
+    EXPECT_DEATH((void)evaluateGreedy(env, q, 0, 1),
+                 "at least one");
+}
+
+} // namespace

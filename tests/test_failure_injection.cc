@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Failure-injection tests: configurations that must fail loudly —
+ * over-committed MRAM banks, over-committed WRAM scratchpads,
+ * mis-sized systems — rather than silently mis-train.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rlenv/taxi.hh"
+#include "swiftrl/swiftrl.hh"
+
+namespace {
+
+using swiftrl::PimTrainConfig;
+using swiftrl::PimTrainer;
+using swiftrl::Workload;
+using swiftrl::pimsim::PimConfig;
+using swiftrl::pimsim::PimSystem;
+using namespace swiftrl::rlcore;
+
+TEST(FailureInjection, DatasetLargerThanMramIsFatal)
+{
+    // 1 core with a 4-KB bank cannot hold a 1000-record (16-KB)
+    // chunk: the simulated equivalent of over-committing a DPU bank.
+    swiftrl::rlenv::FrozenLake env(true);
+    const auto data = collectRandomDataset(env, 1000, 1);
+
+    PimConfig pim;
+    pim.numDpus = 1;
+    pim.mramBytesPerDpu = 4 * 1024;
+    PimSystem system(pim);
+    PimTrainConfig cfg;
+    cfg.hyper.episodes = 1;
+    PimTrainer trainer(system, cfg);
+    EXPECT_EXIT((void)trainer.train(data, 16, 4),
+                ::testing::ExitedWithCode(1), "exceeds the");
+}
+
+TEST(FailureInjection, TaxiQTablePlusManyTaskletsOverflowsWram)
+{
+    // Taxi's 12-KB Q-table plus 24 per-tasklet 4-KB staging buffers
+    // (108 KB total) exceeds the 64-KB scratchpad: the kernel must
+    // refuse, exactly as a real DPU program would fail to link.
+    swiftrl::rlenv::Taxi env;
+    const auto data = collectRandomDataset(env, 2000, 1);
+
+    PimConfig pim;
+    pim.numDpus = 1;
+    pim.mramBytesPerDpu = 8u << 20;
+    PimSystem system(pim);
+    PimTrainConfig cfg;
+    cfg.workload = Workload{Algorithm::QLearning, Sampling::Seq,
+                            NumericFormat::Int32};
+    cfg.hyper.episodes = 1;
+    cfg.tau = 1;
+    cfg.tasklets = 24;
+    cfg.blockTransitions = 256; // 4-KB staging blocks
+    PimTrainer trainer(system, cfg);
+    EXPECT_EXIT((void)trainer.train(data, 500, 6),
+                ::testing::ExitedWithCode(1), "scratchpad");
+}
+
+TEST(FailureInjection, TaxiFitsWithFewerTasklets)
+{
+    // The same configuration with 8 tasklets fits: 12 KB + 16 KB.
+    swiftrl::rlenv::Taxi env;
+    const auto data = collectRandomDataset(env, 2000, 1);
+
+    PimConfig pim;
+    pim.numDpus = 1;
+    pim.mramBytesPerDpu = 8u << 20;
+    PimSystem system(pim);
+    PimTrainConfig cfg;
+    cfg.workload = Workload{Algorithm::QLearning, Sampling::Seq,
+                            NumericFormat::Int32};
+    cfg.hyper.episodes = 1;
+    cfg.tau = 1;
+    cfg.tasklets = 8;
+    PimTrainer trainer(system, cfg);
+    const auto result = trainer.train(data, 500, 6);
+    EXPECT_GT(result.time.kernel, 0.0);
+}
+
+TEST(FailureInjection, Int8RangeGuardTripsOnLargeRewards)
+{
+    // A synthetic environment-agnostic check: rewards large enough
+    // that |Q| * 128 exceeds the 16-bit wide-operand limit must trip
+    // the INT8 kernel's range guard (the paper's "limited value
+    // range" caveat, enforced at runtime). Built from a hand-made
+    // dataset with a self-loop paying +300 per step:
+    // Q -> 300/(1-0.95) = 6000, raw 768,000 >> 32,767.
+    Dataset data;
+    for (int i = 0; i < 64; ++i) {
+        Transition t;
+        t.state = 0;
+        t.action = 0;
+        t.reward = 300.0f;
+        t.nextState = 0;
+        t.terminal = false;
+        data.append(t);
+    }
+
+    PimConfig pim;
+    pim.numDpus = 1;
+    pim.mramBytesPerDpu = 8u << 20;
+    PimSystem system(pim);
+    PimTrainConfig cfg;
+    cfg.workload = Workload{Algorithm::QLearning, Sampling::Seq,
+                            NumericFormat::Int8};
+    cfg.hyper.episodes = 200;
+    cfg.tau = 200;
+    PimTrainer trainer(system, cfg);
+    EXPECT_DEATH((void)trainer.train(data, 2, 2), "INT8|8 bits");
+}
+
+TEST(FailureInjection, ZeroEpisodesIsFatal)
+{
+    PimConfig pim;
+    pim.numDpus = 1;
+    PimSystem system(pim);
+    PimTrainConfig cfg;
+    cfg.hyper.episodes = 0;
+    EXPECT_EXIT(PimTrainer(system, cfg), ::testing::ExitedWithCode(1),
+                "episode count");
+}
+
+TEST(FailureInjection, ZeroBlockTransitionsIsFatal)
+{
+    PimConfig pim;
+    pim.numDpus = 1;
+    PimSystem system(pim);
+    PimTrainConfig cfg;
+    cfg.blockTransitions = 0;
+    EXPECT_EXIT(PimTrainer(system, cfg), ::testing::ExitedWithCode(1),
+                "staging block");
+}
+
+} // namespace

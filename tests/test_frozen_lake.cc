@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the FrozenLake environment against the Gym specification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "rlenv/frozen_lake.hh"
+#include "rlenv/registry.hh"
+
+namespace {
+
+using swiftrl::common::XorShift128;
+using swiftrl::rlenv::FrozenLake;
+using swiftrl::rlenv::StepResult;
+
+TEST(FrozenLake, SpacesMatchGym)
+{
+    FrozenLake env;
+    EXPECT_EQ(env.numStates(), 16);
+    EXPECT_EQ(env.numActions(), 4);
+    EXPECT_EQ(env.maxEpisodeSteps(), 100);
+    EXPECT_EQ(env.name(), "frozenlake");
+}
+
+TEST(FrozenLake, StandardMapTiles)
+{
+    FrozenLake env;
+    EXPECT_EQ(env.tileAt(0), 'S');
+    EXPECT_EQ(env.tileAt(5), 'H');
+    EXPECT_EQ(env.tileAt(7), 'H');
+    EXPECT_EQ(env.tileAt(11), 'H');
+    EXPECT_EQ(env.tileAt(12), 'H');
+    EXPECT_EQ(env.tileAt(15), 'G');
+    EXPECT_EQ(env.tileAt(1), 'F');
+}
+
+TEST(FrozenLake, TerminalTiles)
+{
+    FrozenLake env;
+    EXPECT_TRUE(env.isTerminal(5));
+    EXPECT_TRUE(env.isTerminal(15));
+    EXPECT_FALSE(env.isTerminal(0));
+    EXPECT_FALSE(env.isTerminal(14));
+}
+
+TEST(FrozenLake, ResetReturnsStart)
+{
+    FrozenLake env;
+    XorShift128 rng(1);
+    EXPECT_EQ(env.reset(rng), 0);
+    EXPECT_EQ(env.currentState(), 0);
+}
+
+TEST(FrozenLake, DeterministicMovesClampAtBorders)
+{
+    EXPECT_EQ(FrozenLake::moveFrom(0, FrozenLake::Left), 0);
+    EXPECT_EQ(FrozenLake::moveFrom(0, FrozenLake::Up), 0);
+    EXPECT_EQ(FrozenLake::moveFrom(0, FrozenLake::Right), 1);
+    EXPECT_EQ(FrozenLake::moveFrom(0, FrozenLake::Down), 4);
+    EXPECT_EQ(FrozenLake::moveFrom(15, FrozenLake::Right), 15);
+    EXPECT_EQ(FrozenLake::moveFrom(15, FrozenLake::Down), 15);
+    EXPECT_EQ(FrozenLake::moveFrom(10, FrozenLake::Up), 6);
+}
+
+TEST(FrozenLake, DeterministicVariantFollowsActionExactly)
+{
+    FrozenLake env(false);
+    XorShift128 rng(3);
+    env.reset(rng);
+    auto r = env.step(FrozenLake::Right, rng);
+    EXPECT_EQ(r.nextState, 1);
+    r = env.step(FrozenLake::Right, rng);
+    EXPECT_EQ(r.nextState, 2);
+    r = env.step(FrozenLake::Down, rng);
+    EXPECT_EQ(r.nextState, 6);
+}
+
+TEST(FrozenLake, GoalPaysOneAndTerminates)
+{
+    FrozenLake env(false);
+    XorShift128 rng(3);
+    env.reset(rng);
+    // Deterministic safe path: Down,Down,Right,Right,Down,Right? Use
+    // right,right,down,down,down,right: 0-1-2-6-10-14-15.
+    env.step(FrozenLake::Right, rng);
+    env.step(FrozenLake::Right, rng);
+    env.step(FrozenLake::Down, rng);
+    env.step(FrozenLake::Down, rng);
+    env.step(FrozenLake::Down, rng);
+    const auto r = env.step(FrozenLake::Right, rng);
+    EXPECT_EQ(r.nextState, 15);
+    EXPECT_FLOAT_EQ(r.reward, 1.0f);
+    EXPECT_TRUE(r.terminated);
+    EXPECT_FALSE(r.truncated);
+}
+
+TEST(FrozenLake, HoleTerminatesWithZeroReward)
+{
+    FrozenLake env(false);
+    XorShift128 rng(3);
+    env.reset(rng);
+    env.step(FrozenLake::Right, rng); // 1
+    const auto r = env.step(FrozenLake::Down, rng); // 5 = H
+    EXPECT_EQ(r.nextState, 5);
+    EXPECT_FLOAT_EQ(r.reward, 0.0f);
+    EXPECT_TRUE(r.terminated);
+}
+
+TEST(FrozenLake, SlipperyMovesAreIntendedOrPerpendicular)
+{
+    FrozenLake env(true);
+    XorShift128 rng(7);
+    // From state 0 taking Right: legal outcomes are Right (1),
+    // Up (0, clamped), Down (4). Never Left-equivalent... Left is not
+    // in {a-1,a,a+1} = {Down, Right, Up}.
+    std::map<int, int> seen;
+    for (int i = 0; i < 3000; ++i) {
+        env.reset(rng);
+        const auto r = env.step(FrozenLake::Right, rng);
+        ++seen[r.nextState];
+    }
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_TRUE(seen.count(0)); // slipped Up, clamped
+    EXPECT_TRUE(seen.count(1)); // intended Right
+    EXPECT_TRUE(seen.count(4)); // slipped Down
+    // Each outcome should occur roughly 1/3 of the time.
+    for (const auto &[state, count] : seen) {
+        EXPECT_GT(count, 3000 / 3 * 0.85) << "state " << state;
+        EXPECT_LT(count, 3000 / 3 * 1.15) << "state " << state;
+    }
+}
+
+TEST(FrozenLake, TruncatesAtStepLimit)
+{
+    FrozenLake env(false);
+    XorShift128 rng(5);
+    env.reset(rng);
+    StepResult r;
+    // Bounce against the left wall 100 times: never terminal.
+    for (int i = 0; i < 100; ++i)
+        r = env.step(FrozenLake::Left, rng);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_FALSE(r.terminated);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(FrozenLake, EpisodeRestartsAfterReset)
+{
+    FrozenLake env(false);
+    XorShift128 rng(5);
+    env.reset(rng);
+    env.step(FrozenLake::Right, rng);
+    env.step(FrozenLake::Down, rng); // falls in hole 5
+    EXPECT_EQ(env.reset(rng), 0);
+    const auto r = env.step(FrozenLake::Right, rng);
+    EXPECT_EQ(r.nextState, 1);
+}
+
+TEST(FrozenLakeDeath, SteppingFinishedEpisodePanics)
+{
+    FrozenLake env(false);
+    XorShift128 rng(5);
+    env.reset(rng);
+    env.step(FrozenLake::Right, rng);
+    env.step(FrozenLake::Down, rng); // terminal hole
+    EXPECT_DEATH(env.step(FrozenLake::Right, rng), "finished episode");
+}
+
+TEST(FrozenLakeDeath, InvalidActionPanics)
+{
+    FrozenLake env;
+    XorShift128 rng(5);
+    env.reset(rng);
+    EXPECT_DEATH(env.step(4, rng), "invalid action");
+}
+
+TEST(Registry, MakesAllEnvironments)
+{
+    for (const auto &name : swiftrl::rlenv::environmentNames()) {
+        auto env = swiftrl::rlenv::makeEnvironment(name);
+        ASSERT_NE(env, nullptr);
+        EXPECT_EQ(env->name(), name);
+        EXPECT_GT(env->numStates(), 0);
+        EXPECT_GT(env->numActions(), 0);
+    }
+}
+
+TEST(RegistryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)swiftrl::rlenv::makeEnvironment("pong"),
+                ::testing::ExitedWithCode(1), "unknown environment");
+}
+
+} // namespace
+
+namespace {
+
+TEST(FrozenLakeStats, SlipNeverMovesBackwards)
+{
+    // Slipping is confined to {a-1, a, a+1}: taking Right can never
+    // result in a Left move. From state 9 (interior), Right must
+    // land in {5 (up), 10 (right), 13 (down)} and never 8 (left).
+    FrozenLake env(true);
+    XorShift128 rng(31);
+    int landed[16] = {};
+    for (int i = 0; i < 3000; ++i) {
+        env.reset(rng);
+        // Walk deterministically impossible; instead test from the
+        // start tile with Down: outcomes {1 (right), 4 (down),
+        // 0 (left-clamped)}. Never up-row beyond clamping.
+        const auto r = env.step(FrozenLake::Down, rng);
+        ++landed[r.nextState];
+    }
+    EXPECT_GT(landed[0], 0); // slipped Left, clamped to 0
+    EXPECT_GT(landed[1], 0); // slipped Right
+    EXPECT_GT(landed[4], 0); // intended Down
+    for (int s = 0; s < 16; ++s) {
+        if (s != 0 && s != 1 && s != 4) {
+            EXPECT_EQ(landed[s], 0) << "illegal slip to " << s;
+        }
+    }
+}
+
+TEST(FrozenLakeStats, SlipDrawsAreIndependentAcrossSteps)
+{
+    // Consecutive slip outcomes should be uncorrelated: the joint
+    // distribution of (slip_t, slip_t+1) factorises within noise.
+    FrozenLake env(true);
+    XorShift128 rng(32);
+    int joint[3][3] = {};
+    int draws = 0;
+    while (draws < 20000) {
+        env.reset(rng);
+        // classify outcome of Down from state 0: 0->left,4->down,
+        // 1->right
+        auto classify = [](swiftrl::rlenv::StateId s) {
+            return s == 0 ? 0 : (s == 4 ? 1 : 2);
+        };
+        const auto a = env.step(FrozenLake::Down, rng);
+        if (a.done())
+            continue;
+        env.reset(rng);
+        const auto b = env.step(FrozenLake::Down, rng);
+        ++joint[classify(a.nextState)][classify(b.nextState)];
+        ++draws;
+    }
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            EXPECT_GT(joint[i][j], 20000 / 9 * 0.85);
+            EXPECT_LT(joint[i][j], 20000 / 9 * 1.15);
+        }
+    }
+}
+
+TEST(FrozenLakeStats, EverySlipSetMatchesTheExactModel)
+{
+    // For every non-terminal (state, action), the deterministic
+    // single-direction moves of the three slip directions define the
+    // exact outcome set; moveFrom must agree with the environment's
+    // possible transitions everywhere.
+    FrozenLake env(true);
+    for (swiftrl::rlenv::StateId s = 0; s < 16; ++s) {
+        if (env.isTerminal(s))
+            continue;
+        for (swiftrl::rlenv::ActionId a = 0; a < 4; ++a) {
+            std::set<swiftrl::rlenv::StateId> expected;
+            for (int slip = -1; slip <= 1; ++slip) {
+                expected.insert(FrozenLake::moveFrom(
+                    s, static_cast<swiftrl::rlenv::ActionId>(
+                           (a + slip + 4) % 4)));
+            }
+            ASSERT_GE(expected.size(), 1u);
+            ASSERT_LE(expected.size(), 3u);
+            // Every expected cell is one king-move away or equal.
+            for (const auto next : expected) {
+                const int dr = std::abs(next / 4 - s / 4);
+                const int dc = std::abs(next % 4 - s % 4);
+                ASSERT_LE(dr + dc, 1)
+                    << "illegal slip " << s << "->" << next;
+            }
+        }
+    }
+}
+
+} // namespace

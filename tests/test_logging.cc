@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting helpers (gem5-style fatal vs.
+ * panic semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace {
+
+using swiftrl::common::LogLevel;
+using swiftrl::common::logLevel;
+using swiftrl::common::setLogLevel;
+
+TEST(Logging, LevelRoundtrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    SWIFTRL_WARN("warning message ", 1);
+    SWIFTRL_INFORM("status message ", 2.5);
+    SWIFTRL_DEBUG("debug message");
+    SUCCEED();
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    SWIFTRL_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(SWIFTRL_FATAL("user error: ", 42),
+                ::testing::ExitedWithCode(1), "user error: 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(SWIFTRL_PANIC("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(SWIFTRL_ASSERT(false, "must hold"),
+                 "assertion failed");
+}
+
+} // namespace

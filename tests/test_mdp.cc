@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for explicit MDP models and value iteration: the exact
+ * frozen-lake optimum, empirical-model convergence to the exact
+ * model, and the dataset-coverage story behind Sec. 4.2's quality
+ * numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlcore/dataset.hh"
+#include "rlcore/evaluate.hh"
+#include "rlcore/mdp.hh"
+#include "rlcore/trainers.hh"
+#include "rlenv/frozen_lake.hh"
+
+namespace {
+
+using namespace swiftrl::rlcore;
+using swiftrl::rlenv::FrozenLake;
+
+TEST(MdpModel, ExactDeterministicLakeStructure)
+{
+    const auto model = exactFrozenLakeModel(false);
+    EXPECT_EQ(model.numStates(), 16);
+    EXPECT_EQ(model.numActions(), 4);
+    // Non-terminal states: every action has exactly one outcome of
+    // probability 1.
+    const auto &o = model.outcomes(0, FrozenLake::Right);
+    ASSERT_EQ(o.size(), 1u);
+    EXPECT_DOUBLE_EQ(o[0].probability, 1.0);
+    EXPECT_EQ(o[0].nextState, 1);
+    // Terminal states have no outgoing actions.
+    EXPECT_TRUE(model.outcomes(5, 0).empty());
+    EXPECT_TRUE(model.outcomes(15, 0).empty());
+}
+
+TEST(MdpModel, ExactSlipperyMassSumsToOne)
+{
+    const auto model = exactFrozenLakeModel(true);
+    FrozenLake env(true);
+    for (StateId s = 0; s < 16; ++s) {
+        if (env.isTerminal(s))
+            continue;
+        for (ActionId a = 0; a < 4; ++a)
+            EXPECT_NEAR(model.probabilityMass(s, a), 1.0, 1e-12);
+    }
+}
+
+TEST(MdpModel, SlipperyBorderClampingAggregates)
+{
+    // From state 0 taking Left: slips {Down, Left, Up} land on
+    // {4, 0, 0} -> outcome 0 carries probability 2/3.
+    const auto model = exactFrozenLakeModel(true);
+    const auto &o = model.outcomes(0, FrozenLake::Left);
+    double p_stay = 0.0;
+    for (const auto &out : o) {
+        if (out.nextState == 0)
+            p_stay += out.probability;
+    }
+    EXPECT_NEAR(p_stay, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ValueIteration, SolvesDeterministicLakeExactly)
+{
+    const auto model = exactFrozenLakeModel(false);
+    const auto vi = valueIteration(model, 0.95);
+    EXPECT_LT(vi.residual, 1e-9);
+    // Shortest safe path is 6 steps: V(start) = 0.95^5.
+    EXPECT_NEAR(vi.q.maxValue(0), std::pow(0.95, 5), 1e-5);
+
+    FrozenLake env(false);
+    swiftrl::common::XorShift128 rng(1);
+    const auto eval = evaluateGreedy(env, vi.q, 50, 7);
+    EXPECT_DOUBLE_EQ(eval.meanReward, 1.0);
+}
+
+TEST(ValueIteration, SlipperyOptimumMatchesLiterature)
+{
+    // The known optimum of slippery 4x4 FrozenLake under a 100-step
+    // limit is ~0.73 success — the ceiling both the paper's and our
+    // trained policies sit at.
+    const auto model = exactFrozenLakeModel(true);
+    const auto vi = valueIteration(model, 0.95);
+    FrozenLake env(true);
+    const auto eval = evaluateGreedy(env, vi.q, 4000, 7);
+    EXPECT_GT(eval.meanReward, 0.68);
+    EXPECT_LT(eval.meanReward, 0.78);
+}
+
+TEST(ValueIteration, ConvergesAndReportsResidual)
+{
+    const auto model = exactFrozenLakeModel(true);
+    const auto vi = valueIteration(model, 0.95, 10000, 1e-12);
+    EXPECT_GT(vi.iterations, 10);
+    EXPECT_LT(vi.iterations, 2000);
+    EXPECT_LT(vi.residual, 1e-12);
+}
+
+TEST(ValueIteration, IterationCapRespected)
+{
+    const auto model = exactFrozenLakeModel(true);
+    const auto vi = valueIteration(model, 0.95, 3, 0.0);
+    EXPECT_EQ(vi.iterations, 3);
+    EXPECT_GT(vi.residual, 0.0);
+}
+
+TEST(EmpiricalModel, ConvergesToExactModel)
+{
+    FrozenLake env(true);
+    const auto data = collectRandomDataset(env, 400'000, 1);
+    const auto empirical = empiricalModel(data, 16, 4);
+    const auto exact = exactFrozenLakeModel(true);
+
+    // Probabilities of well-visited pairs approach the true 1/3s.
+    double worst = 0.0;
+    for (StateId s = 0; s < 16; ++s) {
+        if (env.isTerminal(s))
+            continue;
+        for (ActionId a = 0; a < 4; ++a) {
+            for (const auto &o : exact.outcomes(s, a)) {
+                double p_emp = 0.0;
+                for (const auto &e : empirical.outcomes(s, a)) {
+                    if (e.nextState == o.nextState)
+                        p_emp += e.probability;
+                }
+                worst = std::max(worst,
+                                 std::fabs(p_emp - o.probability));
+            }
+        }
+    }
+    EXPECT_LT(worst, 0.05);
+}
+
+TEST(EmpiricalModel, CoverageGrowsWithDatasetSize)
+{
+    FrozenLake env_a(true), env_b(true);
+    const auto small = collectRandomDataset(env_a, 200, 1);
+    const auto large = collectRandomDataset(env_b, 50'000, 1);
+    const auto cov_small = empiricalModel(small, 16, 4).coverage();
+    const auto cov_large = empiricalModel(large, 16, 4).coverage();
+    EXPECT_LT(cov_small, cov_large);
+    // 11 non-terminal states x 4 actions = 44/64 reachable pairs.
+    EXPECT_NEAR(cov_large, 44.0 / 64.0, 0.03);
+}
+
+TEST(EmpiricalModel, ViOnEmpiricalMdpExplainsTrainingQuality)
+{
+    // Offline Q-learning solves the *empirical* MDP; its policy
+    // should match greedy-VI on that same empirical model.
+    FrozenLake env(true);
+    const auto data = collectRandomDataset(env, 200'000, 1);
+    const auto empirical = empiricalModel(data, 16, 4);
+    const auto vi = valueIteration(empirical, 0.95);
+
+    Hyper h;
+    h.episodes = 40;
+    const auto trained = trainCpuReference(
+        Algorithm::QLearning, data, 16, 4, h, Sampling::Seq,
+        NumericFormat::Fp32);
+
+    int agree = 0, considered = 0;
+    for (StateId s = 0; s < 16; ++s) {
+        if (env.isTerminal(s))
+            continue;
+        ++considered;
+        agree += vi.q.greedyAction(s) == trained.greedyAction(s) ? 1
+                                                                 : 0;
+    }
+    // Q-learning's stochastic-order sweeps may flip near-ties, but
+    // the bulk of the policy must match the empirical optimum.
+    EXPECT_GE(agree, considered - 3);
+}
+
+TEST(ValueIterationDeath, BadGammaIsRejected)
+{
+    const auto model = exactFrozenLakeModel(false);
+    EXPECT_DEATH((void)valueIteration(model, 1.0), "gamma");
+}
+
+} // namespace

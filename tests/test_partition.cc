@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the dataset partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "swiftrl/partition.hh"
+
+namespace {
+
+using swiftrl::Chunk;
+using swiftrl::partitionDataset;
+
+TEST(Partition, EvenSplit)
+{
+    const auto chunks = partitionDataset(100, 4);
+    ASSERT_EQ(chunks.size(), 4u);
+    for (const auto &c : chunks)
+        EXPECT_EQ(c.count, 25u);
+    EXPECT_EQ(chunks[0].first, 0u);
+    EXPECT_EQ(chunks[3].first, 75u);
+}
+
+TEST(Partition, UnevenSplitDiffersByAtMostOne)
+{
+    const auto chunks = partitionDataset(103, 4);
+    std::size_t total = 0, lo = 1000, hi = 0;
+    for (const auto &c : chunks) {
+        total += c.count;
+        lo = std::min(lo, c.count);
+        hi = std::max(hi, c.count);
+    }
+    EXPECT_EQ(total, 103u);
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Partition, ChunksAreContiguousAndCovering)
+{
+    const auto chunks = partitionDataset(1000, 7);
+    std::size_t expected_first = 0;
+    for (const auto &c : chunks) {
+        EXPECT_EQ(c.first, expected_first);
+        EXPECT_GT(c.count, 0u);
+        expected_first += c.count;
+    }
+    EXPECT_EQ(expected_first, 1000u);
+}
+
+TEST(Partition, SinglePart)
+{
+    const auto chunks = partitionDataset(42, 1);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0], (Chunk{0, 42}));
+}
+
+TEST(Partition, OneTransitionPerCore)
+{
+    const auto chunks = partitionDataset(5, 5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(chunks[i].first, i);
+        EXPECT_EQ(chunks[i].count, 1u);
+    }
+}
+
+TEST(Partition, PaperScale)
+{
+    // 1M transitions across 2000 cores: 500 each.
+    const auto chunks = partitionDataset(1'000'000, 2000);
+    for (const auto &c : chunks)
+        ASSERT_EQ(c.count, 500u);
+}
+
+TEST(PartitionDeath, MoreCoresThanDataIsFatal)
+{
+    EXPECT_EXIT((void)partitionDataset(3, 4),
+                ::testing::ExitedWithCode(1), "non-empty");
+}
+
+TEST(PartitionDeath, ZeroPartsIsFatal)
+{
+    EXPECT_EXIT((void)partitionDataset(10, 0),
+                ::testing::ExitedWithCode(1), "zero cores");
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the analytic CPU/GPU timing models: the architectural
+ * orderings the paper's Fig. 7 comparisons rest on must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/platform_model.hh"
+
+namespace {
+
+using namespace swiftrl::baselines;
+using swiftrl::rlcore::Algorithm;
+using swiftrl::rlcore::Sampling;
+
+constexpr std::size_t kLakeQ = 16 * 4;
+constexpr std::size_t kTaxiQ = 500 * 6;
+constexpr std::size_t kLakeN = 100000;
+constexpr std::size_t kTaxiN = 500000;
+
+TEST(PlatformSpec, Table1Values)
+{
+    const auto cpu = xeonSilver4110();
+    EXPECT_DOUBLE_EQ(cpu.peakGflops, 38.0);
+    EXPECT_DOUBLE_EQ(cpu.memBandwidthBytes, 28.8e9);
+    EXPECT_EQ(cpu.hwThreads, 16);
+
+    const auto gpu = rtx3090();
+    EXPECT_DOUBLE_EQ(gpu.peakGflops, 35580.0);
+    EXPECT_DOUBLE_EQ(gpu.memBandwidthBytes, 936.2e9);
+    EXPECT_EQ(gpu.hwThreads, 10496);
+}
+
+TEST(UpdateOpMix, ScalesWithActionCount)
+{
+    const auto lake = updateOpMix(Algorithm::QLearning, 4);
+    const auto taxi = updateOpMix(Algorithm::QLearning, 6);
+    EXPECT_GT(taxi.flops, lake.flops);
+    EXPECT_DOUBLE_EQ(lake.bytesStreamed, 16.0);
+}
+
+TEST(UpdateOpMix, SarsaCostsSlightlyMore)
+{
+    EXPECT_GT(updateOpMix(Algorithm::Sarsa, 4).flops,
+              updateOpMix(Algorithm::QLearning, 4).flops);
+}
+
+TEST(CpuModel, TimeScalesLinearlyWithWork)
+{
+    const auto spec = xeonSilver4110();
+    const CpuModelParams p;
+    const double t1 = estimateCpuSeconds(spec, p, CpuVersion::V1,
+                                         Algorithm::QLearning,
+                                         Sampling::Seq, 4, kLakeQ,
+                                         kLakeN, 100);
+    const double t2 = estimateCpuSeconds(spec, p, CpuVersion::V1,
+                                         Algorithm::QLearning,
+                                         Sampling::Seq, 4, kLakeQ,
+                                         kLakeN, 200);
+    EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(CpuModel, RandomSamplingIsSlowerOnLargeDatasets)
+{
+    const auto spec = xeonSilver4110();
+    const CpuModelParams p;
+    // Taxi's 5M-transition dataset dwarfs the LLC: RAN loses the
+    // prefetcher (the paper's key CPU-vs-PIM asymmetry).
+    const double seq = estimateCpuSeconds(spec, p, CpuVersion::V2,
+                                          Algorithm::QLearning,
+                                          Sampling::Seq, 6, kTaxiQ,
+                                          5000000, 10);
+    const double ran = estimateCpuSeconds(spec, p, CpuVersion::V2,
+                                          Algorithm::QLearning,
+                                          Sampling::Ran, 6, kTaxiQ,
+                                          5000000, 10);
+    EXPECT_GT(ran, 1.5 * seq);
+}
+
+TEST(CpuModel, SharedTableContentionHurtsTinyTables)
+{
+    const auto spec = xeonSilver4110();
+    const CpuModelParams p;
+    // Frozen lake's 64-entry table: V1 ping-pongs, V2 does not.
+    const double v1 = estimateCpuSeconds(spec, p, CpuVersion::V1,
+                                         Algorithm::QLearning,
+                                         Sampling::Seq, 4, kLakeQ,
+                                         kLakeN, 100);
+    const double v2 = estimateCpuSeconds(spec, p, CpuVersion::V2,
+                                         Algorithm::QLearning,
+                                         Sampling::Seq, 4, kLakeQ,
+                                         kLakeN, 100);
+    EXPECT_GT(v1, 2.0 * v2);
+}
+
+TEST(CpuModel, ContentionMattersLessForTaxi)
+{
+    const auto spec = xeonSilver4110();
+    const CpuModelParams p;
+    auto ratio = [&](std::size_t q_entries) {
+        const double v1 = estimateCpuSeconds(
+            spec, p, CpuVersion::V1, Algorithm::QLearning,
+            Sampling::Seq, 6, q_entries, kTaxiN, 10);
+        const double v2 = estimateCpuSeconds(
+            spec, p, CpuVersion::V2, Algorithm::QLearning,
+            Sampling::Seq, 6, q_entries, kTaxiN, 10);
+        return v1 / v2;
+    };
+    EXPECT_GT(ratio(kLakeQ), ratio(kTaxiQ));
+}
+
+TEST(GpuModel, AtomicContentionCapsTinyTables)
+{
+    const auto spec = rtx3090();
+    const GpuModelParams p;
+    const double lake = estimateGpuSeconds(spec, p,
+                                           Algorithm::QLearning,
+                                           Sampling::Seq, 4, kLakeQ,
+                                           kLakeN, 100);
+    const double taxi = estimateGpuSeconds(spec, p,
+                                           Algorithm::QLearning,
+                                           Sampling::Seq, 6, kTaxiQ,
+                                           kLakeN, 100);
+    // Same update count, bigger table -> less contention -> faster.
+    EXPECT_GT(lake, taxi);
+}
+
+TEST(GpuModel, LaunchOverheadScalesWithEpisodes)
+{
+    const auto spec = rtx3090();
+    GpuModelParams p;
+    p.launchOverheadSec = 1.0e-3; // exaggerate to isolate the term
+    const double few = estimateGpuSeconds(spec, p,
+                                          Algorithm::QLearning,
+                                          Sampling::Seq, 4, kLakeQ,
+                                          1000, 10);
+    const double many = estimateGpuSeconds(spec, p,
+                                           Algorithm::QLearning,
+                                           Sampling::Seq, 4, kLakeQ,
+                                           1000, 1000);
+    EXPECT_GT(many, few + 0.9);
+}
+
+TEST(GpuModel, MoreWorkTakesLonger)
+{
+    const auto spec = rtx3090();
+    const GpuModelParams p;
+    const double small = estimateGpuSeconds(spec, p,
+                                            Algorithm::QLearning,
+                                            Sampling::Seq, 4, kLakeQ,
+                                            kLakeN, 10);
+    const double large = estimateGpuSeconds(spec, p,
+                                            Algorithm::QLearning,
+                                            Sampling::Seq, 4, kLakeQ,
+                                            kLakeN, 100);
+    EXPECT_GT(large, small);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the action-selection policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "rlcore/policy.hh"
+
+namespace {
+
+using swiftrl::common::Lcg32;
+using swiftrl::common::XorShift128;
+using swiftrl::rlcore::boltzmann;
+using swiftrl::rlcore::epsilonGreedy;
+using swiftrl::rlcore::epsilonGreedyLcg;
+using swiftrl::rlcore::QTable;
+using swiftrl::rlcore::randomAction;
+
+TEST(Policy, RandomActionCoversSpace)
+{
+    XorShift128 rng(1);
+    std::array<int, 6> histogram{};
+    for (int i = 0; i < 6000; ++i)
+        ++histogram[static_cast<std::size_t>(randomAction(6, rng))];
+    for (const int c : histogram)
+        EXPECT_GT(c, 800);
+}
+
+TEST(Policy, EpsilonZeroIsGreedy)
+{
+    QTable q(2, 4);
+    q.at(0, 2) = 1.0f;
+    XorShift128 rng(1);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(epsilonGreedy(q, 0, 0.0f, rng), 2);
+}
+
+TEST(Policy, EpsilonOneIsUniform)
+{
+    QTable q(1, 4);
+    q.at(0, 3) = 100.0f;
+    XorShift128 rng(1);
+    std::array<int, 4> histogram{};
+    for (int i = 0; i < 8000; ++i)
+        ++histogram[static_cast<std::size_t>(
+            epsilonGreedy(q, 0, 1.0f, rng))];
+    for (const int c : histogram)
+        EXPECT_GT(c, 1600);
+}
+
+TEST(Policy, IntermediateEpsilonMixes)
+{
+    QTable q(1, 4);
+    q.at(0, 1) = 5.0f;
+    XorShift128 rng(9);
+    int greedy = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        greedy += epsilonGreedy(q, 0, 0.2f, rng) == 1 ? 1 : 0;
+    // Greedy chosen with probability 0.8 + 0.2/4 = 0.85.
+    EXPECT_GT(greedy, trials * 0.82);
+    EXPECT_LT(greedy, trials * 0.88);
+}
+
+TEST(Policy, LcgVariantIsDeterministic)
+{
+    QTable q(1, 4);
+    q.at(0, 2) = 1.0f;
+    Lcg32 a(5), b(5);
+    for (int i = 0; i < 200; ++i)
+        ASSERT_EQ(epsilonGreedyLcg(q, 0, 0.1f, a),
+                  epsilonGreedyLcg(q, 0, 0.1f, b));
+}
+
+TEST(Policy, LcgVariantGreedyWhenEpsilonZero)
+{
+    QTable q(1, 4);
+    q.at(0, 3) = 2.0f;
+    Lcg32 lcg(5);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(epsilonGreedyLcg(q, 0, 0.0f, lcg), 3);
+}
+
+TEST(Policy, BoltzmannLowTemperatureIsGreedy)
+{
+    QTable q(1, 3);
+    q.at(0, 0) = 0.0f;
+    q.at(0, 1) = 1.0f;
+    q.at(0, 2) = 0.5f;
+    XorShift128 rng(2);
+    int greedy = 0;
+    for (int i = 0; i < 1000; ++i)
+        greedy += boltzmann(q, 0, 0.01f, rng) == 1 ? 1 : 0;
+    EXPECT_GT(greedy, 990);
+}
+
+TEST(Policy, BoltzmannHighTemperatureIsNearUniform)
+{
+    QTable q(1, 3);
+    q.at(0, 1) = 1.0f;
+    XorShift128 rng(2);
+    std::array<int, 3> histogram{};
+    for (int i = 0; i < 9000; ++i)
+        ++histogram[static_cast<std::size_t>(
+            boltzmann(q, 0, 1000.0f, rng))];
+    for (const int c : histogram) {
+        EXPECT_GT(c, 2700);
+        EXPECT_LT(c, 3300);
+    }
+}
+
+TEST(Policy, BoltzmannHandlesLargeValuesStably)
+{
+    QTable q(1, 2);
+    q.at(0, 0) = 1.0e4f;
+    q.at(0, 1) = 1.0e4f - 1.0f;
+    XorShift128 rng(3);
+    // Must not produce NaN-driven out-of-range actions.
+    for (int i = 0; i < 100; ++i) {
+        const auto a = boltzmann(q, 0, 1.0f, rng);
+        ASSERT_GE(a, 0);
+        ASSERT_LT(a, 2);
+    }
+}
+
+} // namespace

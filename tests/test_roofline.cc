@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the roofline analysis (paper Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "roofline/roofline.hh"
+
+namespace {
+
+using swiftrl::baselines::i7_9700k;
+using swiftrl::rlcore::Algorithm;
+using swiftrl::roofline::fig2Points;
+using swiftrl::roofline::RooflineModel;
+
+TEST(Roofline, RidgePointMath)
+{
+    RooflineModel model{i7_9700k()};
+    const double ridge = model.ridgeIntensity();
+    // peak / bandwidth: 460e9 / 41.6e9 ~ 11 flops/byte.
+    EXPECT_NEAR(ridge, 460.0e9 / 41.6e9, 1e-9);
+}
+
+TEST(Roofline, AttainableFollowsTheTwoRoofs)
+{
+    RooflineModel model{i7_9700k()};
+    const double ridge = model.ridgeIntensity();
+    // Far left: bandwidth roof (linear in OI).
+    EXPECT_NEAR(model.attainable(0.5), 0.5 * 41.6, 1e-9);
+    // Far right: flat compute roof.
+    EXPECT_DOUBLE_EQ(model.attainable(ridge * 100.0), 460.0);
+    // Continuity at the ridge.
+    EXPECT_NEAR(model.attainable(ridge), 460.0, 1e-6);
+}
+
+TEST(Roofline, RlWorkloadsAreMemoryBound)
+{
+    // The paper's central Fig. 2 observation.
+    for (const auto &point : fig2Points(i7_9700k(), 4)) {
+        EXPECT_TRUE(point.memoryBound) << point.label;
+        EXPECT_LT(point.operationalIntensity, 1.0) << point.label;
+    }
+}
+
+TEST(Roofline, FourPointsWithPaperLabels)
+{
+    const auto points = fig2Points(i7_9700k(), 4);
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].label, "Q-1M");
+    EXPECT_EQ(points[1].label, "Q-20M");
+    EXPECT_EQ(points[2].label, "S-1M");
+    EXPECT_EQ(points[3].label, "S-20M");
+}
+
+TEST(Roofline, LargerDatasetsAchieveLess)
+{
+    const auto points = fig2Points(i7_9700k(), 4);
+    EXPECT_GT(points[0].achievedGflops, points[1].achievedGflops);
+    EXPECT_GT(points[2].achievedGflops, points[3].achievedGflops);
+}
+
+TEST(Roofline, AchievedNeverExceedsAttainable)
+{
+    for (const auto &point : fig2Points(i7_9700k(), 6)) {
+        EXPECT_LE(point.achievedGflops,
+                  point.attainableGflops + 1e-12);
+        EXPECT_GT(point.achievedGflops, 0.0);
+    }
+}
+
+TEST(Roofline, SarsaSitsSlightlyRightOfQ)
+{
+    const auto points = fig2Points(i7_9700k(), 4);
+    // SARSA does one more flop-equivalent per 16 bytes.
+    EXPECT_GT(points[2].operationalIntensity,
+              points[0].operationalIntensity);
+}
+
+} // namespace

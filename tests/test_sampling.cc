@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the SEQ/RAN/STR sample walkers — the index sequences that
+ * define the paper's three memory access patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rlcore/sampling.hh"
+
+namespace {
+
+using swiftrl::common::Lcg32;
+using swiftrl::rlcore::SampleWalker;
+using swiftrl::rlcore::Sampling;
+
+std::vector<std::size_t>
+walkOneEpisode(SampleWalker &walker, std::size_t n, Lcg32 &lcg)
+{
+    walker.startEpisode();
+    std::vector<std::size_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(walker.next([&](std::size_t bound) {
+            return static_cast<std::size_t>(lcg.nextBounded(
+                static_cast<std::uint32_t>(bound)));
+        }));
+    }
+    return out;
+}
+
+TEST(Sampling, SeqVisitsInOrder)
+{
+    SampleWalker w(5, Sampling::Seq, 4);
+    Lcg32 lcg(1);
+    const auto idx = walkOneEpisode(w, 5, lcg);
+    EXPECT_EQ(idx, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sampling, SeqWrapsAcrossEpisodesAfterRestart)
+{
+    SampleWalker w(3, Sampling::Seq, 4);
+    Lcg32 lcg(1);
+    const auto ep1 = walkOneEpisode(w, 3, lcg);
+    const auto ep2 = walkOneEpisode(w, 3, lcg);
+    EXPECT_EQ(ep1, ep2);
+}
+
+TEST(Sampling, StrideVisitsPhaseMajor)
+{
+    SampleWalker w(8, Sampling::Str, 4);
+    Lcg32 lcg(1);
+    const auto idx = walkOneEpisode(w, 8, lcg);
+    EXPECT_EQ(idx,
+              (std::vector<std::size_t>{0, 4, 1, 5, 2, 6, 3, 7}));
+}
+
+TEST(Sampling, StrideHandlesUnevenLength)
+{
+    SampleWalker w(10, Sampling::Str, 4);
+    Lcg32 lcg(1);
+    const auto idx = walkOneEpisode(w, 10, lcg);
+    EXPECT_EQ(idx, (std::vector<std::size_t>{0, 4, 8, 1, 5, 9, 2, 6,
+                                             3, 7}));
+}
+
+TEST(Sampling, StrideClampsToChunk)
+{
+    // stride larger than n degrades to SEQ.
+    SampleWalker w(3, Sampling::Str, 50);
+    EXPECT_EQ(w.stride(), 3u);
+}
+
+TEST(Sampling, RanDrawsComeFromTheProvidedSource)
+{
+    SampleWalker w(100, Sampling::Ran, 4);
+    Lcg32 a(42), b(42);
+    const auto idx = walkOneEpisode(w, 10, a);
+    for (const auto i : idx)
+        ASSERT_EQ(i, b.nextBounded(100));
+}
+
+TEST(Sampling, RanStaysInBounds)
+{
+    SampleWalker w(7, Sampling::Ran, 4);
+    Lcg32 lcg(3);
+    const auto idx = walkOneEpisode(w, 5000, lcg);
+    for (const auto i : idx)
+        ASSERT_LT(i, 7u);
+}
+
+TEST(Sampling, DeterministicStrategiesConsumeNoRandomness)
+{
+    Lcg32 lcg(5);
+    const auto before = lcg.state();
+    SampleWalker seq(10, Sampling::Seq, 4);
+    walkOneEpisode(seq, 10, lcg);
+    SampleWalker str(10, Sampling::Str, 4);
+    walkOneEpisode(str, 10, lcg);
+    EXPECT_EQ(lcg.state(), before);
+}
+
+/** Property: SEQ and STR produce a permutation of [0, n) per episode. */
+class CoverageSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, Sampling>>
+{
+};
+
+TEST_P(CoverageSweep, EpisodeIsAPermutation)
+{
+    const auto [n, stride, strategy] = GetParam();
+    SampleWalker w(n, strategy, stride);
+    Lcg32 lcg(1);
+    const auto idx = walkOneEpisode(w, n, lcg);
+    std::set<std::size_t> seen(idx.begin(), idx.end());
+    EXPECT_EQ(seen.size(), n) << "duplicates or gaps in the walk";
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeqAndStr, CoverageSweep,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 2, 3, 4, 7, 8, 16, 100, 101,
+                                       1000),
+        ::testing::Values<std::size_t>(1, 2, 3, 4, 7, 50),
+        ::testing::Values(Sampling::Seq, Sampling::Str)));
+
+TEST(SamplingDeath, EmptyChunkPanics)
+{
+    EXPECT_DEATH(SampleWalker(0, Sampling::Seq, 4), "empty chunk");
+}
+
+} // namespace

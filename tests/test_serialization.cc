@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for dataset/Q-table persistence: roundtrips, corruption
+ * detection, and format validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "rlcore/serialization.hh"
+#include "rlcore/trainers.hh"
+#include "rlenv/frozen_lake.hh"
+#include "rlenv/taxi.hh"
+
+namespace {
+
+using namespace swiftrl::rlcore;
+
+/** Self-deleting temp file path. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : _path((std::filesystem::temp_directory_path() /
+                 ("swiftrl_test_" + name +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+    }
+
+    ~TempFile() { std::remove(_path.c_str()); }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+TEST(Serialization, DatasetRoundtripExact)
+{
+    swiftrl::rlenv::FrozenLake env(true);
+    const auto original = collectRandomDataset(env, 5000, 1);
+
+    TempFile file("dataset_roundtrip");
+    saveDataset(original, file.path());
+    const auto loaded = loadDataset(file.path());
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        ASSERT_EQ(loaded.get(i), original.get(i));
+}
+
+TEST(Serialization, TaxiDatasetRoundtrip)
+{
+    swiftrl::rlenv::Taxi env;
+    const auto original = collectRandomDataset(env, 2000, 2);
+    TempFile file("taxi_roundtrip");
+    saveDataset(original, file.path());
+    const auto loaded = loadDataset(file.path());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        ASSERT_EQ(loaded.get(i), original.get(i));
+}
+
+TEST(Serialization, EmptyDatasetRoundtrip)
+{
+    Dataset empty;
+    TempFile file("empty_dataset");
+    saveDataset(empty, file.path());
+    const auto loaded = loadDataset(file.path());
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialization, QTableRoundtripExact)
+{
+    QTable q(500, 6);
+    q.initArbitrary(7);
+    q.at(3, 2) = -8.6f;
+    q.at(499, 5) = 20.0f;
+
+    TempFile file("qtable_roundtrip");
+    saveQTable(q, file.path());
+    const auto loaded = loadQTable(file.path());
+    EXPECT_EQ(loaded.numStates(), 500);
+    EXPECT_EQ(loaded.numActions(), 6);
+    EXPECT_EQ(QTable::maxAbsDifference(loaded, q), 0.0f);
+}
+
+TEST(Serialization, Fnv1aKnownValues)
+{
+    // Published FNV-1a test vectors.
+    EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(SerializationDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT((void)loadDataset("/nonexistent/path/data.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(SerializationDeath, WrongMagicIsFatal)
+{
+    TempFile file("wrong_magic");
+    {
+        std::ofstream out(file.path(), std::ios::binary);
+        out << "NOTADATASETFILE_PADDING_PADDING";
+    }
+    EXPECT_EXIT((void)loadDataset(file.path()),
+                ::testing::ExitedWithCode(1),
+                "not a SwiftRL dataset");
+    EXPECT_EXIT((void)loadQTable(file.path()),
+                ::testing::ExitedWithCode(1),
+                "not a SwiftRL Q-table");
+}
+
+TEST(SerializationDeath, BitFlipFailsChecksum)
+{
+    swiftrl::rlenv::FrozenLake env(true);
+    const auto data = collectRandomDataset(env, 100, 3);
+    TempFile file("bitflip");
+    saveDataset(data, file.path());
+
+    // Flip one payload byte in place.
+    {
+        std::fstream f(file.path(), std::ios::binary | std::ios::in |
+                                        std::ios::out);
+        f.seekp(8 + 8 + 40); // past magic + count, into records
+        char byte;
+        f.seekg(8 + 8 + 40);
+        f.get(byte);
+        f.seekp(8 + 8 + 40);
+        f.put(static_cast<char>(byte ^ 0x01));
+    }
+    EXPECT_EXIT((void)loadDataset(file.path()),
+                ::testing::ExitedWithCode(1), "checksum");
+}
+
+TEST(SerializationDeath, TruncatedFileIsFatal)
+{
+    swiftrl::rlenv::FrozenLake env(true);
+    const auto data = collectRandomDataset(env, 100, 3);
+    TempFile file("truncated");
+    saveDataset(data, file.path());
+    std::filesystem::resize_file(file.path(), 100);
+    EXPECT_EXIT((void)loadDataset(file.path()),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(Serialization, TrainedPolicySurvivesDeployment)
+{
+    // End-to-end: train, checkpoint, reload, deploy.
+    swiftrl::rlenv::FrozenLake env(false);
+    const auto data = collectRandomDataset(env, 20000, 1);
+    Hyper h;
+    h.episodes = 50;
+    const auto trained = trainCpuReference(
+        Algorithm::QLearning, data, 16, 4, h, Sampling::Seq,
+        NumericFormat::Fp32);
+
+    TempFile file("deploy");
+    saveQTable(trained, file.path());
+    const auto deployed = loadQTable(file.path());
+
+    for (StateId s = 0; s < 16; ++s)
+        ASSERT_EQ(deployed.greedyAction(s), trained.greedyAction(s));
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for streaming statistics and scaling-fit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace {
+
+using swiftrl::common::log2ScalingExponent;
+using swiftrl::common::percentile;
+using swiftrl::common::RunningStat;
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesClosedForm)
+{
+    RunningStat s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceIsZero)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 3.5);
+    EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-10.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), -10.0);
+    EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(ScalingExponent, PerfectStrongScalingIsMinusOne)
+{
+    // time halves when cores double.
+    const std::vector<double> cores{125, 250, 500, 1000, 2000};
+    const std::vector<double> time{16, 8, 4, 2, 1};
+    EXPECT_NEAR(log2ScalingExponent(cores, time), -1.0, 1e-12);
+}
+
+TEST(ScalingExponent, FlatSeriesIsZero)
+{
+    const std::vector<double> x{1, 2, 4, 8};
+    const std::vector<double> y{3, 3, 3, 3};
+    EXPECT_NEAR(log2ScalingExponent(x, y), 0.0, 1e-12);
+}
+
+TEST(ScalingExponent, SublinearDetected)
+{
+    // 15x speedup over 16x cores: exponent slightly above -1.
+    const std::vector<double> x{125, 2000};
+    const std::vector<double> y{15.0, 1.0};
+    const double e = log2ScalingExponent(x, y);
+    EXPECT_GT(e, -1.0);
+    EXPECT_LT(e, -0.9);
+}
+
+TEST(Percentile, Endpoints)
+{
+    std::vector<double> v{5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v{0, 10};
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleSample)
+{
+    std::vector<double> v{42};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 42.0);
+}
+
+} // namespace

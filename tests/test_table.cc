@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer used by the bench harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace {
+
+using swiftrl::common::TextTable;
+
+TEST(TextTable, RendersTitleHeaderAndRows)
+{
+    TextTable t("Example");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "0.1"});
+    t.addRow({"gamma", "0.95"});
+
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("== Example =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("0.95"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("T");
+    t.setHeader({"a", "b"});
+    t.addRow({"short", "x"});
+    t.addRow({"much-longer-cell", "y"});
+    std::ostringstream oss;
+    t.print(oss);
+    // Both data lines must place the separator at the same column.
+    std::istringstream in(oss.str());
+    std::string line;
+    std::vector<std::size_t> bars;
+    while (std::getline(in, line)) {
+        const auto pos = line.find('|');
+        if (pos != std::string::npos)
+            bars.push_back(pos);
+    }
+    ASSERT_GE(bars.size(), 3u);
+    for (const auto pos : bars)
+        EXPECT_EQ(pos, bars.front());
+}
+
+TEST(TextTable, RuleProducesSeparator)
+{
+    TextTable t("T");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    std::ostringstream oss;
+    t.print(oss);
+    // Header rule + explicit rule.
+    std::size_t dashes = 0;
+    std::istringstream in(oss.str());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.find_first_not_of('-') ==
+                                 std::string::npos)
+            ++dashes;
+    }
+    EXPECT_EQ(dashes, 2u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TextTable::num(static_cast<long long>(1234)), "1234");
+    EXPECT_EQ(TextTable::speedup(8.157, 2), "8.16x");
+    EXPECT_EQ(TextTable::percent(0.2961, 1), "29.6%");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t("T");
+    t.setHeader({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 3u); // rules count as stored rows
+}
+
+TEST(TextTableDeath, MismatchedRowPanics)
+{
+    TextTable t("T");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace

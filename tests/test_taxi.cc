@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the Taxi environment against the Gym Taxi-v3
+ * specification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "rlenv/taxi.hh"
+
+namespace {
+
+using swiftrl::common::XorShift128;
+using swiftrl::rlenv::Taxi;
+
+TEST(Taxi, SpacesMatchGym)
+{
+    Taxi env;
+    EXPECT_EQ(env.numStates(), 500);
+    EXPECT_EQ(env.numActions(), 6);
+    EXPECT_EQ(env.maxEpisodeSteps(), 200);
+}
+
+TEST(Taxi, EncodeDecodeIsABijection)
+{
+    std::set<swiftrl::rlenv::StateId> seen;
+    for (int row = 0; row < 5; ++row) {
+        for (int col = 0; col < 5; ++col) {
+            for (int p = 0; p < 5; ++p) {
+                for (int d = 0; d < 4; ++d) {
+                    const auto s = Taxi::encode(row, col, p, d);
+                    ASSERT_GE(s, 0);
+                    ASSERT_LT(s, 500);
+                    seen.insert(s);
+                    int r2, c2, p2, d2;
+                    Taxi::decode(s, r2, c2, p2, d2);
+                    ASSERT_EQ(r2, row);
+                    ASSERT_EQ(c2, col);
+                    ASSERT_EQ(p2, p);
+                    ASSERT_EQ(d2, d);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(Taxi, GymEncodingReference)
+{
+    // Gym documents state 328 = (3, 1, 2, 0).
+    EXPECT_EQ(Taxi::encode(3, 1, 2, 0), 328);
+}
+
+TEST(Taxi, ResetExcludesInTaxiAndSameDestination)
+{
+    Taxi env;
+    XorShift128 rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const auto s = env.reset(rng);
+        int row, col, p, d;
+        Taxi::decode(s, row, col, p, d);
+        ASSERT_LT(p, Taxi::kInTaxi);
+        ASSERT_NE(p, d);
+    }
+}
+
+TEST(Taxi, MovementRespectsBorders)
+{
+    Taxi env;
+    XorShift128 rng(1);
+    env.reset(rng);
+    // Steer into a known corner via direct state control is not
+    // exposed; instead verify moves from decoded positions.
+    // North from row 0 must stay in row 0.
+    for (int i = 0; i < 50; ++i) {
+        const auto s = env.reset(rng);
+        int row, col, p, d;
+        Taxi::decode(s, row, col, p, d);
+        const auto r = env.step(Taxi::North, rng);
+        int row2, col2, p2, d2;
+        Taxi::decode(r.nextState, row2, col2, p2, d2);
+        EXPECT_EQ(row2, row > 0 ? row - 1 : 0);
+        EXPECT_EQ(col2, col);
+        EXPECT_FLOAT_EQ(r.reward, -1.0f);
+    }
+}
+
+TEST(Taxi, WallsBlockEastwardMotion)
+{
+    EXPECT_TRUE(Taxi::eastBlocked(0, 1));
+    EXPECT_TRUE(Taxi::eastBlocked(1, 1));
+    EXPECT_TRUE(Taxi::eastBlocked(3, 0));
+    EXPECT_TRUE(Taxi::eastBlocked(3, 2));
+    EXPECT_TRUE(Taxi::eastBlocked(4, 0));
+    EXPECT_TRUE(Taxi::eastBlocked(4, 2));
+    EXPECT_FALSE(Taxi::eastBlocked(0, 0));
+    EXPECT_FALSE(Taxi::eastBlocked(2, 0));
+    EXPECT_FALSE(Taxi::eastBlocked(2, 3));
+}
+
+TEST(Taxi, IllegalPickupCostsTen)
+{
+    Taxi env;
+    XorShift128 rng(2);
+    // Find a reset where the taxi is NOT on the passenger landmark.
+    while (true) {
+        const auto s = env.reset(rng);
+        int row, col, p, d;
+        Taxi::decode(s, row, col, p, d);
+        const auto [lr, lc] = Taxi::kLandmarks[p];
+        if (lr != row || lc != col) {
+            const auto r = env.step(Taxi::Pickup, rng);
+            EXPECT_FLOAT_EQ(r.reward, -10.0f);
+            EXPECT_EQ(r.nextState, s);
+            break;
+        }
+    }
+}
+
+TEST(Taxi, IllegalDropoffCostsTen)
+{
+    Taxi env;
+    XorShift128 rng(2);
+    const auto s = env.reset(rng);
+    // Passenger is never in the taxi after reset: any dropoff is
+    // illegal.
+    const auto r = env.step(Taxi::Dropoff, rng);
+    EXPECT_FLOAT_EQ(r.reward, -10.0f);
+    EXPECT_EQ(r.nextState, s);
+    EXPECT_FALSE(r.terminated);
+}
+
+/** Drive the taxi to a target cell with wall-aware greedy moves. */
+void
+driveTo(Taxi &env, XorShift128 &rng, int target_row, int target_col)
+{
+    for (int guard = 0; guard < 60; ++guard) {
+        int row, col, p, d;
+        Taxi::decode(env.currentState(), row, col, p, d);
+        if (row == target_row && col == target_col)
+            return;
+        // Move vertically first (no vertical walls), then horizontally
+        // along row 2 (fully open).
+        if (col != target_col && row != 2) {
+            env.step(row < 2 ? Taxi::South : Taxi::North, rng);
+        } else if (col < target_col) {
+            env.step(Taxi::East, rng);
+        } else if (col > target_col) {
+            env.step(Taxi::West, rng);
+        } else {
+            env.step(row < target_row ? Taxi::South : Taxi::North,
+                     rng);
+        }
+    }
+    FAIL() << "could not reach (" << target_row << "," << target_col
+           << ")";
+}
+
+TEST(Taxi, FullRideSucceedsWithPlusTwenty)
+{
+    Taxi env;
+    XorShift128 rng(9);
+    env.reset(rng);
+    int row, col, p, d;
+    Taxi::decode(env.currentState(), row, col, p, d);
+
+    const auto [pr, pc] = Taxi::kLandmarks[p];
+    driveTo(env, rng, pr, pc);
+    auto r = env.step(Taxi::Pickup, rng);
+    EXPECT_FLOAT_EQ(r.reward, -1.0f);
+    {
+        int r2, c2, p2, d2;
+        Taxi::decode(env.currentState(), r2, c2, p2, d2);
+        EXPECT_EQ(p2, Taxi::kInTaxi);
+    }
+
+    const auto [dr, dc] = Taxi::kLandmarks[d];
+    driveTo(env, rng, dr, dc);
+    r = env.step(Taxi::Dropoff, rng);
+    EXPECT_FLOAT_EQ(r.reward, 20.0f);
+    EXPECT_TRUE(r.terminated);
+}
+
+TEST(Taxi, DropoffAtWrongLandmarkStrandsPassenger)
+{
+    Taxi env;
+    XorShift128 rng(11);
+    env.reset(rng);
+    int row, col, p, d;
+    Taxi::decode(env.currentState(), row, col, p, d);
+
+    const auto [pr, pc] = Taxi::kLandmarks[p];
+    driveTo(env, rng, pr, pc);
+    env.step(Taxi::Pickup, rng);
+
+    // Drive to a landmark that is NOT the destination.
+    int wrong = -1;
+    for (int i = 0; i < 4; ++i) {
+        if (i != d) {
+            wrong = i;
+            break;
+        }
+    }
+    const auto [wr, wc] = Taxi::kLandmarks[wrong];
+    driveTo(env, rng, wr, wc);
+    const auto r = env.step(Taxi::Dropoff, rng);
+    EXPECT_FLOAT_EQ(r.reward, -1.0f); // stranding is a normal step
+    EXPECT_FALSE(r.terminated);
+    int r2, c2, p2, d2;
+    Taxi::decode(env.currentState(), r2, c2, p2, d2);
+    EXPECT_EQ(p2, wrong);
+}
+
+TEST(Taxi, TruncatesAtTwoHundredSteps)
+{
+    Taxi env;
+    XorShift128 rng(3);
+    env.reset(rng);
+    swiftrl::rlenv::StepResult r;
+    for (int i = 0; i < 200; ++i)
+        r = env.step(Taxi::North, rng);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_FALSE(r.terminated);
+}
+
+TEST(TaxiDeath, InvalidActionPanics)
+{
+    Taxi env;
+    XorShift128 rng(3);
+    env.reset(rng);
+    EXPECT_DEATH(env.step(6, rng), "invalid action");
+}
+
+} // namespace
+
+namespace {
+
+TEST(TaxiStats, ResetIsUniformOverValidStarts)
+{
+    // 300 valid initial states (25 positions x 4 passenger x 3
+    // destinations); a chi-square-style band check on the marginals.
+    Taxi env;
+    XorShift128 rng(21);
+    std::array<int, 25> position{};
+    std::array<int, 4> passenger{};
+    const int draws = 30000;
+    for (int i = 0; i < draws; ++i) {
+        int row, col, p, d;
+        Taxi::decode(env.reset(rng), row, col, p, d);
+        ++position[static_cast<std::size_t>(row * 5 + col)];
+        ++passenger[static_cast<std::size_t>(p)];
+    }
+    for (const int c : position) {
+        EXPECT_GT(c, draws / 25 * 0.85);
+        EXPECT_LT(c, draws / 25 * 1.15);
+    }
+    for (const int c : passenger) {
+        EXPECT_GT(c, draws / 4 * 0.92);
+        EXPECT_LT(c, draws / 4 * 1.08);
+    }
+}
+
+TEST(TaxiStats, DestinationNeverEqualsPassengerMarginal)
+{
+    Taxi env;
+    XorShift128 rng(22);
+    std::array<std::array<int, 4>, 4> joint{};
+    for (int i = 0; i < 12000; ++i) {
+        int row, col, p, d;
+        Taxi::decode(env.reset(rng), row, col, p, d);
+        ++joint[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)];
+    }
+    for (int p = 0; p < 4; ++p) {
+        EXPECT_EQ(joint[static_cast<std::size_t>(p)]
+                       [static_cast<std::size_t>(p)],
+                  0);
+        for (int d = 0; d < 4; ++d) {
+            if (d == p)
+                continue;
+            // each off-diagonal cell ~ 12000/12 = 1000
+            EXPECT_GT(joint[static_cast<std::size_t>(p)]
+                           [static_cast<std::size_t>(d)],
+                      800);
+        }
+    }
+}
+
+TEST(TaxiStats, MovementNeverChangesPassengerOrDestination)
+{
+    Taxi env;
+    XorShift128 rng(23);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto s = env.reset(rng);
+        int row, col, p, d;
+        Taxi::decode(s, row, col, p, d);
+        const auto action = static_cast<swiftrl::rlenv::ActionId>(
+            rng.nextBounded(4)); // movement actions only
+        const auto r = env.step(action, rng);
+        int row2, col2, p2, d2;
+        Taxi::decode(r.nextState, row2, col2, p2, d2);
+        ASSERT_EQ(p2, p);
+        ASSERT_EQ(d2, d);
+        ASSERT_LE(std::abs(row2 - row) + std::abs(col2 - col), 1);
+    }
+}
+
+} // namespace
