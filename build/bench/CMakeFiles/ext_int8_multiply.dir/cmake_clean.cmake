@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_int8_multiply.dir/ext_int8_multiply.cc.o"
+  "CMakeFiles/ext_int8_multiply.dir/ext_int8_multiply.cc.o.d"
+  "ext_int8_multiply"
+  "ext_int8_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_int8_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pim_profiles.dir/ext_pim_profiles.cc.o"
+  "CMakeFiles/ext_pim_profiles.dir/ext_pim_profiles.cc.o.d"
+  "ext_pim_profiles"
+  "ext_pim_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pim_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tasklet_projection.dir/ext_tasklet_projection.cc.o"
+  "CMakeFiles/ext_tasklet_projection.dir/ext_tasklet_projection.cc.o.d"
+  "ext_tasklet_projection"
+  "ext_tasklet_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tasklet_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

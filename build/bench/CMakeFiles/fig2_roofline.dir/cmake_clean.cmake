@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_roofline.dir/fig2_roofline.cc.o"
+  "CMakeFiles/fig2_roofline.dir/fig2_roofline.cc.o.d"
+  "fig2_roofline"
+  "fig2_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scaling_frozenlake.dir/fig5_scaling_frozenlake.cc.o"
+  "CMakeFiles/fig5_scaling_frozenlake.dir/fig5_scaling_frozenlake.cc.o.d"
+  "fig5_scaling_frozenlake"
+  "fig5_scaling_frozenlake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaling_frozenlake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

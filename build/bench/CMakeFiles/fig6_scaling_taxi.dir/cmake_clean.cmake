@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scaling_taxi.dir/fig6_scaling_taxi.cc.o"
+  "CMakeFiles/fig6_scaling_taxi.dir/fig6_scaling_taxi.cc.o.d"
+  "fig6_scaling_taxi"
+  "fig6_scaling_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scaling_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

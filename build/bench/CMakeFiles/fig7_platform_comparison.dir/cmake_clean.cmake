@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_platform_comparison.dir/fig7_platform_comparison.cc.o"
+  "CMakeFiles/fig7_platform_comparison.dir/fig7_platform_comparison.cc.o.d"
+  "fig7_platform_comparison"
+  "fig7_platform_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_platform_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

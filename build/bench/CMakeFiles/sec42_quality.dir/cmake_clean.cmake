@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_quality.dir/sec42_quality.cc.o"
+  "CMakeFiles/sec42_quality.dir/sec42_quality.cc.o.d"
+  "sec42_quality"
+  "sec42_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

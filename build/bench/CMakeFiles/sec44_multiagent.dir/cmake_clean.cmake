@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_multiagent.dir/sec44_multiagent.cc.o"
+  "CMakeFiles/sec44_multiagent.dir/sec44_multiagent.cc.o.d"
+  "sec44_multiagent"
+  "sec44_multiagent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_multiagent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frozen_lake_offline.dir/frozen_lake_offline.cpp.o"
+  "CMakeFiles/frozen_lake_offline.dir/frozen_lake_offline.cpp.o.d"
+  "frozen_lake_offline"
+  "frozen_lake_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frozen_lake_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_instruction_mix.dir/pim_instruction_mix.cpp.o"
+  "CMakeFiles/pim_instruction_mix.dir/pim_instruction_mix.cpp.o.d"
+  "pim_instruction_mix"
+  "pim_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

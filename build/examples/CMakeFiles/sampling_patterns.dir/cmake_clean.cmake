@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_patterns.dir/sampling_patterns.cpp.o"
+  "CMakeFiles/sampling_patterns.dir/sampling_patterns.cpp.o.d"
+  "sampling_patterns"
+  "sampling_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_cli.dir/swiftrl_cli.cpp.o"
+  "CMakeFiles/swiftrl_cli.dir/swiftrl_cli.cpp.o.d"
+  "swiftrl_cli"
+  "swiftrl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

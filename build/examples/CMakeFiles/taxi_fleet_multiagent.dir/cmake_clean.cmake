@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_fleet_multiagent.dir/taxi_fleet_multiagent.cpp.o"
+  "CMakeFiles/taxi_fleet_multiagent.dir/taxi_fleet_multiagent.cpp.o.d"
+  "taxi_fleet_multiagent"
+  "taxi_fleet_multiagent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_fleet_multiagent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for taxi_fleet_multiagent.
+# This may be replaced when dependencies are built.

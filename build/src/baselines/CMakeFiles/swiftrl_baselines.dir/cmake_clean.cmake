@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_baselines.dir/cpu_baselines.cc.o"
+  "CMakeFiles/swiftrl_baselines.dir/cpu_baselines.cc.o.d"
+  "CMakeFiles/swiftrl_baselines.dir/platform_model.cc.o"
+  "CMakeFiles/swiftrl_baselines.dir/platform_model.cc.o.d"
+  "libswiftrl_baselines.a"
+  "libswiftrl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswiftrl_baselines.a"
+)

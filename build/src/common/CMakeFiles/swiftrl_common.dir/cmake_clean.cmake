@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_common.dir/cli.cc.o"
+  "CMakeFiles/swiftrl_common.dir/cli.cc.o.d"
+  "CMakeFiles/swiftrl_common.dir/fixed_point.cc.o"
+  "CMakeFiles/swiftrl_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/swiftrl_common.dir/logging.cc.o"
+  "CMakeFiles/swiftrl_common.dir/logging.cc.o.d"
+  "CMakeFiles/swiftrl_common.dir/rng.cc.o"
+  "CMakeFiles/swiftrl_common.dir/rng.cc.o.d"
+  "CMakeFiles/swiftrl_common.dir/stats.cc.o"
+  "CMakeFiles/swiftrl_common.dir/stats.cc.o.d"
+  "CMakeFiles/swiftrl_common.dir/table.cc.o"
+  "CMakeFiles/swiftrl_common.dir/table.cc.o.d"
+  "libswiftrl_common.a"
+  "libswiftrl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pimsim/cost_model.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/cost_model.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/cost_model.cc.o.d"
+  "/root/repo/src/pimsim/dpu.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/dpu.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/dpu.cc.o.d"
+  "/root/repo/src/pimsim/kernel_context.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/kernel_context.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/kernel_context.cc.o.d"
+  "/root/repo/src/pimsim/pim_system.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/pim_system.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/pim_system.cc.o.d"
+  "/root/repo/src/pimsim/profiles.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/profiles.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/profiles.cc.o.d"
+  "/root/repo/src/pimsim/stats_report.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/stats_report.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/stats_report.cc.o.d"
+  "/root/repo/src/pimsim/transfer_model.cc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/transfer_model.cc.o" "gcc" "src/pimsim/CMakeFiles/swiftrl_pimsim.dir/transfer_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swiftrl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_pimsim.dir/cost_model.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/cost_model.cc.o.d"
+  "CMakeFiles/swiftrl_pimsim.dir/dpu.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/dpu.cc.o.d"
+  "CMakeFiles/swiftrl_pimsim.dir/kernel_context.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/kernel_context.cc.o.d"
+  "CMakeFiles/swiftrl_pimsim.dir/pim_system.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/pim_system.cc.o.d"
+  "CMakeFiles/swiftrl_pimsim.dir/profiles.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/profiles.cc.o.d"
+  "CMakeFiles/swiftrl_pimsim.dir/stats_report.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/stats_report.cc.o.d"
+  "CMakeFiles/swiftrl_pimsim.dir/transfer_model.cc.o"
+  "CMakeFiles/swiftrl_pimsim.dir/transfer_model.cc.o.d"
+  "libswiftrl_pimsim.a"
+  "libswiftrl_pimsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_pimsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

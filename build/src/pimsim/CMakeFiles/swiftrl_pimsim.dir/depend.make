@@ -1,0 +1,2 @@
+# Empty dependencies file for swiftrl_pimsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlcore/collection.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/collection.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/collection.cc.o.d"
+  "/root/repo/src/rlcore/dataset.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/dataset.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/dataset.cc.o.d"
+  "/root/repo/src/rlcore/evaluate.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/evaluate.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/evaluate.cc.o.d"
+  "/root/repo/src/rlcore/mdp.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/mdp.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/mdp.cc.o.d"
+  "/root/repo/src/rlcore/policy.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/policy.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/policy.cc.o.d"
+  "/root/repo/src/rlcore/qtable.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/qtable.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/qtable.cc.o.d"
+  "/root/repo/src/rlcore/serialization.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/serialization.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/serialization.cc.o.d"
+  "/root/repo/src/rlcore/trainers.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/trainers.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/trainers.cc.o.d"
+  "/root/repo/src/rlcore/types.cc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/types.cc.o" "gcc" "src/rlcore/CMakeFiles/swiftrl_rlcore.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swiftrl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlenv/CMakeFiles/swiftrl_rlenv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

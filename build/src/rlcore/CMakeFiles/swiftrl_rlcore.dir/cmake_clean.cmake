@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_rlcore.dir/collection.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/collection.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/dataset.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/dataset.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/evaluate.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/evaluate.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/mdp.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/mdp.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/policy.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/policy.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/qtable.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/qtable.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/serialization.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/serialization.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/trainers.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/trainers.cc.o.d"
+  "CMakeFiles/swiftrl_rlcore.dir/types.cc.o"
+  "CMakeFiles/swiftrl_rlcore.dir/types.cc.o.d"
+  "libswiftrl_rlcore.a"
+  "libswiftrl_rlcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_rlcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlenv/cliff_walking.cc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/cliff_walking.cc.o" "gcc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/cliff_walking.cc.o.d"
+  "/root/repo/src/rlenv/frozen_lake.cc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/frozen_lake.cc.o" "gcc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/frozen_lake.cc.o.d"
+  "/root/repo/src/rlenv/registry.cc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/registry.cc.o" "gcc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/registry.cc.o.d"
+  "/root/repo/src/rlenv/taxi.cc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/taxi.cc.o" "gcc" "src/rlenv/CMakeFiles/swiftrl_rlenv.dir/taxi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swiftrl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

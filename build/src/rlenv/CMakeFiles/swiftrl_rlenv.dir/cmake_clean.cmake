@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_rlenv.dir/cliff_walking.cc.o"
+  "CMakeFiles/swiftrl_rlenv.dir/cliff_walking.cc.o.d"
+  "CMakeFiles/swiftrl_rlenv.dir/frozen_lake.cc.o"
+  "CMakeFiles/swiftrl_rlenv.dir/frozen_lake.cc.o.d"
+  "CMakeFiles/swiftrl_rlenv.dir/registry.cc.o"
+  "CMakeFiles/swiftrl_rlenv.dir/registry.cc.o.d"
+  "CMakeFiles/swiftrl_rlenv.dir/taxi.cc.o"
+  "CMakeFiles/swiftrl_rlenv.dir/taxi.cc.o.d"
+  "libswiftrl_rlenv.a"
+  "libswiftrl_rlenv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_rlenv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swiftrl_rlenv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for swiftrl_rlenv.
+# This may be replaced when dependencies are built.

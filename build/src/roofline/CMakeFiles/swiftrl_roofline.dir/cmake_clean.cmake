@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_roofline.dir/roofline.cc.o"
+  "CMakeFiles/swiftrl_roofline.dir/roofline.cc.o.d"
+  "libswiftrl_roofline.a"
+  "libswiftrl_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

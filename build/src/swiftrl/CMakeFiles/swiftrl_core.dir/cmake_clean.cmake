@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftrl_core.dir/partition.cc.o"
+  "CMakeFiles/swiftrl_core.dir/partition.cc.o.d"
+  "CMakeFiles/swiftrl_core.dir/pim_kernels.cc.o"
+  "CMakeFiles/swiftrl_core.dir/pim_kernels.cc.o.d"
+  "CMakeFiles/swiftrl_core.dir/pim_trainer.cc.o"
+  "CMakeFiles/swiftrl_core.dir/pim_trainer.cc.o.d"
+  "CMakeFiles/swiftrl_core.dir/workload.cc.o"
+  "CMakeFiles/swiftrl_core.dir/workload.cc.o.d"
+  "libswiftrl_core.a"
+  "libswiftrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

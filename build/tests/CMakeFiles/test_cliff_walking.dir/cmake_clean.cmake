@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cliff_walking.dir/test_cliff_walking.cc.o"
+  "CMakeFiles/test_cliff_walking.dir/test_cliff_walking.cc.o.d"
+  "test_cliff_walking"
+  "test_cliff_walking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cliff_walking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cliff_walking.
+# This may be replaced when dependencies are built.

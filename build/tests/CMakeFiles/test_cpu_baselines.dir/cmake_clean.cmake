@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_baselines.dir/test_cpu_baselines.cc.o"
+  "CMakeFiles/test_cpu_baselines.dir/test_cpu_baselines.cc.o.d"
+  "test_cpu_baselines"
+  "test_cpu_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpu.dir/test_dpu.cc.o"
+  "CMakeFiles/test_dpu.dir/test_dpu.cc.o.d"
+  "test_dpu"
+  "test_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frozen_lake.dir/test_frozen_lake.cc.o"
+  "CMakeFiles/test_frozen_lake.dir/test_frozen_lake.cc.o.d"
+  "test_frozen_lake"
+  "test_frozen_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frozen_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_context.dir/test_kernel_context.cc.o"
+  "CMakeFiles/test_kernel_context.dir/test_kernel_context.cc.o.d"
+  "test_kernel_context"
+  "test_kernel_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_agent.dir/test_multi_agent.cc.o"
+  "CMakeFiles/test_multi_agent.dir/test_multi_agent.cc.o.d"
+  "test_multi_agent"
+  "test_multi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_trainer.dir/test_pim_trainer.cc.o"
+  "CMakeFiles/test_pim_trainer.dir/test_pim_trainer.cc.o.d"
+  "test_pim_trainer"
+  "test_pim_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_model.dir/test_platform_model.cc.o"
+  "CMakeFiles/test_platform_model.dir/test_platform_model.cc.o.d"
+  "test_platform_model"
+  "test_platform_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

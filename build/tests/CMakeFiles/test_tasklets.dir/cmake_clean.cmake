@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasklets.dir/test_tasklets.cc.o"
+  "CMakeFiles/test_tasklets.dir/test_tasklets.cc.o.d"
+  "test_tasklets"
+  "test_tasklets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasklets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_taxi.cc" "tests/CMakeFiles/test_taxi.dir/test_taxi.cc.o" "gcc" "tests/CMakeFiles/test_taxi.dir/test_taxi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/swiftrl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftrl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/swiftrl/CMakeFiles/swiftrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pimsim/CMakeFiles/swiftrl_pimsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlcore/CMakeFiles/swiftrl_rlcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlenv/CMakeFiles/swiftrl_rlenv.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/swiftrl_roofline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taxi.dir/test_taxi.cc.o"
+  "CMakeFiles/test_taxi.dir/test_taxi.cc.o.d"
+  "test_taxi"
+  "test_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_rules.dir/test_update_rules.cc.o"
+  "CMakeFiles/test_update_rules.dir/test_update_rules.cc.o.d"
+  "test_update_rules"
+  "test_update_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

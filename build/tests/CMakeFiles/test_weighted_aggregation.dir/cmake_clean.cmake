@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_aggregation.dir/test_weighted_aggregation.cc.o"
+  "CMakeFiles/test_weighted_aggregation.dir/test_weighted_aggregation.cc.o.d"
+  "test_weighted_aggregation"
+  "test_weighted_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
