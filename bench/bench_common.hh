@@ -26,12 +26,17 @@
 
 namespace swiftrl::bench {
 
-/** Build a PIM system with n cores and the default UPMEM-like model. */
+/**
+ * Build a PIM system with n cores and the default UPMEM-like model.
+ * @param host_threads workers for the functional simulation (0 = one
+ *        per hardware thread); never affects modelled results.
+ */
 inline pimsim::PimSystem
-makePimSystem(std::size_t num_dpus)
+makePimSystem(std::size_t num_dpus, unsigned host_threads = 0)
 {
     pimsim::PimConfig cfg;
     cfg.numDpus = num_dpus;
+    cfg.hostThreads = host_threads;
     return pimsim::PimSystem(cfg);
 }
 

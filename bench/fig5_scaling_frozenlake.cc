@@ -12,7 +12,9 @@ int
 main(int argc, char **argv)
 {
     const swiftrl::common::CliFlags flags(
-        argc, argv, {"full", "transitions", "episodes", "tau"});
+        argc, argv,
+        {"full", "transitions", "episodes", "tau", "trace",
+         "host-threads"});
 
     swiftrl::bench::ScalingFigureConfig fig;
     fig.experimentName =
@@ -24,5 +26,8 @@ main(int argc, char **argv)
     fig.episodes =
         static_cast<int>(flags.getInt("episodes", 2000));
     fig.tau = static_cast<int>(flags.getInt("tau", 50));
+    fig.hostThreads =
+        static_cast<unsigned>(flags.getInt("host-threads", 0));
+    fig.tracePath = flags.getString("trace", "");
     return swiftrl::bench::runScalingFigure(fig);
 }

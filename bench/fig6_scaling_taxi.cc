@@ -14,7 +14,9 @@ int
 main(int argc, char **argv)
 {
     const swiftrl::common::CliFlags flags(
-        argc, argv, {"full", "transitions", "episodes", "tau"});
+        argc, argv,
+        {"full", "transitions", "episodes", "tau", "trace",
+         "host-threads"});
 
     swiftrl::bench::ScalingFigureConfig fig;
     fig.experimentName =
@@ -26,6 +28,9 @@ main(int argc, char **argv)
     fig.episodes =
         static_cast<int>(flags.getInt("episodes", 2000));
     fig.tau = static_cast<int>(flags.getInt("tau", 50));
+    fig.hostThreads =
+        static_cast<unsigned>(flags.getInt("host-threads", 0));
+    fig.tracePath = flags.getString("trace", "");
 
     const int status = swiftrl::bench::runScalingFigure(fig);
 

@@ -22,6 +22,7 @@
 
 #include "bench/bench_common.hh"
 #include "common/stats.hh"
+#include "common/stopwatch.hh"
 
 namespace swiftrl::bench {
 
@@ -31,6 +32,7 @@ struct ScalingPoint
     Workload workload;
     std::size_t cores = 0;
     TimeBreakdown time; ///< extrapolated to the full episode count
+    unsigned hostThreads = 0; ///< resolved simulation pool size
 };
 
 /** Parameters of one scaling figure. */
@@ -44,6 +46,16 @@ struct ScalingFigureConfig
     int stride = 4;      ///< STR stride (paper: 4)
     bool fullScale = false;
     std::vector<std::size_t> coreCounts = kPaperCoreCounts;
+
+    /** Simulation pool size (0 = hardware concurrency). */
+    unsigned hostThreads = 0;
+
+    /**
+     * When non-empty, the command timeline of one representative run
+     * (first workload at the largest core count) is exported here as
+     * Chrome trace JSON.
+     */
+    std::string tracePath;
 };
 
 /** Run one workload at one core count; extrapolate to episodes. */
@@ -52,9 +64,10 @@ measureScalingPoint(const ScalingFigureConfig &fig,
                     const rlcore::Dataset &data,
                     rlcore::StateId num_states,
                     rlcore::ActionId num_actions,
-                    const Workload &workload, std::size_t cores)
+                    const Workload &workload, std::size_t cores,
+                    pimsim::Timeline *timeline_out = nullptr)
 {
-    auto system = makePimSystem(cores);
+    auto system = makePimSystem(cores, fig.hostThreads);
     PimTrainConfig cfg;
     cfg.workload = workload;
     cfg.hyper.episodes = fig.tau; // one communication round
@@ -64,6 +77,8 @@ measureScalingPoint(const ScalingFigureConfig &fig,
     const auto result = trainer.train(data, num_states, num_actions);
     SWIFTRL_ASSERT(result.commRounds == 1,
                    "extrapolation expects a single simulated round");
+    if (timeline_out != nullptr)
+        *timeline_out = result.timeline;
 
     const double rounds = static_cast<double>(fig.episodes) /
                           static_cast<double>(fig.tau);
@@ -74,6 +89,7 @@ measureScalingPoint(const ScalingFigureConfig &fig,
     point.time.interCore = result.time.interCore * rounds;
     point.time.cpuToPim = result.time.cpuToPim;
     point.time.pimToCpu = result.time.pimToCpu;
+    point.hostThreads = system.hostThreadCount();
     return point;
 }
 
@@ -102,13 +118,26 @@ runScalingFigure(const ScalingFigureConfig &fig)
     common::RunningStat speedups;
     double worst_intercore_frac = 0.0;
     std::string worst_intercore_cfg;
+    pimsim::Timeline trace; ///< representative run, see tracePath
+    std::string trace_run;
+    unsigned pool_threads = 0;
+    common::Stopwatch wall;
 
+    bool first_workload = true;
     for (const auto &workload : allWorkloads()) {
         std::vector<double> cores_x, kernel_y;
         for (const auto cores : fig.coreCounts) {
+            const bool want_trace = !fig.tracePath.empty() &&
+                                    first_workload &&
+                                    cores == fig.coreCounts.back();
             const auto p = measureScalingPoint(
                 fig, data, env->numStates(), env->numActions(),
-                workload, cores);
+                workload, cores,
+                want_trace ? &trace : nullptr);
+            if (want_trace)
+                trace_run = workload.name() + " @" +
+                            std::to_string(cores) + " cores";
+            pool_threads = p.hostThreads;
             t.addRow({workload.name(),
                       TextTable::num(static_cast<long long>(cores)),
                       TextTable::num(p.time.kernel, 3),
@@ -128,8 +157,24 @@ runScalingFigure(const ScalingFigureConfig &fig)
         }
         t.addRule();
         speedups.add(kernel_y.front() / kernel_y.back());
+        first_workload = false;
     }
     t.print(std::cout);
+
+    std::cout << "\nsimulation wall-clock: "
+              << TextTable::num(wall.seconds(), 2) << " s ("
+              << pool_threads << " host thread(s); results are "
+              << "bit-identical for any pool size)\n";
+    if (!fig.tracePath.empty()) {
+        if (trace.writeChromeTrace(fig.tracePath)) {
+            std::cout << "trace of " << trace_run << " (1 round) "
+                      << "written to " << fig.tracePath << " ("
+                      << trace.size() << " commands)\n";
+        } else {
+            std::cerr << "cannot write trace file " << fig.tracePath
+                      << "\n";
+        }
+    }
 
     const double mean_speedup = speedups.mean();
     std::cout << "\nkernel-time speedup " << fig.coreCounts.front()

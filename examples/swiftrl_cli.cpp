@@ -31,7 +31,8 @@ main(int argc, char **argv)
         {"env", "algo", "sampling", "format", "cores", "episodes",
          "tau", "tasklets", "transitions", "seed", "eval-episodes",
          "save-qtable", "save-dataset", "load-dataset", "stats",
-         "alpha", "gamma", "epsilon", "weighted"});
+         "alpha", "gamma", "epsilon", "weighted", "trace",
+         "host-threads"});
 
     const auto env_name = flags.getString("env", "frozenlake");
     auto env = rlenv::makeEnvironment(env_name);
@@ -58,10 +59,14 @@ main(int argc, char **argv)
         std::cout << "dataset saved to " << save_data << "\n";
     }
 
-    // Machine.
+    // Machine. --host-threads only changes how fast the simulation
+    // itself runs (0 = one worker per hardware thread); results and
+    // modelled times are bit-identical for every value.
     pimsim::PimConfig pim;
     pim.numDpus =
         static_cast<std::size_t>(flags.getInt("cores", 256));
+    pim.hostThreads =
+        static_cast<unsigned>(flags.getInt("host-threads", 0));
     pimsim::PimSystem system(pim);
 
     // Workload.
@@ -120,6 +125,20 @@ main(int argc, char **argv)
         std::cout << "\n";
         pimsim::StatsReport::fromSystem(system).print(
             std::cout, "Device statistics");
+    }
+
+    // Export the run's command timeline as Chrome trace JSON: open
+    // the file in chrome://tracing or https://ui.perfetto.dev.
+    const auto trace_path = flags.getString("trace", "");
+    if (!trace_path.empty()) {
+        if (result.timeline.writeChromeTrace(trace_path)) {
+            std::cout << "trace written to " << trace_path << " ("
+                      << result.timeline.size() << " commands)\n";
+        } else {
+            std::cerr << "cannot write trace file " << trace_path
+                      << "\n";
+            return 1;
+        }
     }
 
     const auto save_q = flags.getString("save-qtable", "");

@@ -1,0 +1,164 @@
+#include "pimsim/command_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pimsim/host_pool.hh"
+#include "pimsim/pim_system.hh"
+
+namespace swiftrl::pimsim {
+
+CommandStream::CommandStream(PimSystem &system) : _system(system) {}
+
+double
+CommandStream::record(Phase phase, TimeBucket bucket, double seconds,
+                      std::string_view label)
+{
+    SWIFTRL_ASSERT(seconds >= 0.0,
+                   "command durations cannot be negative");
+    Event event;
+    event.index = _timeline.size();
+    event.phase = phase;
+    event.bucket = bucket;
+    event.start = _cursor;
+    event.end = _cursor + seconds;
+    event.label = std::string(label);
+    _timeline.record(std::move(event));
+    _cursor += seconds;
+    return seconds;
+}
+
+double
+CommandStream::pushChunks(
+    std::size_t offset,
+    const std::vector<std::span<const std::uint8_t>> &per_dpu,
+    TimeBucket bucket, std::string_view label)
+{
+    auto &dpus = _system._dpus;
+    SWIFTRL_ASSERT(per_dpu.size() == dpus.size(),
+                   "pushChunks needs exactly one payload per core");
+    std::size_t max_bytes = 0;
+    for (std::size_t i = 0; i < per_dpu.size(); ++i) {
+        const auto &payload = per_dpu[i];
+        if (!payload.empty())
+            dpus[i].mramWrite(offset, payload.data(), payload.size());
+        max_bytes = std::max(max_bytes, payload.size());
+    }
+    const double seconds =
+        _system.config().transferModel.scatterSeconds(max_bytes,
+                                                      dpus.size());
+    return record(Phase::Scatter, bucket, seconds, label);
+}
+
+double
+CommandStream::pushBroadcast(std::size_t offset,
+                             std::span<const std::uint8_t> payload,
+                             TimeBucket bucket, std::string_view label)
+{
+    for (auto &dpu : _system._dpus) {
+        if (!payload.empty())
+            dpu.mramWrite(offset, payload.data(), payload.size());
+    }
+    const double seconds =
+        _system.config().transferModel.broadcastSeconds(
+            payload.size(), _system._dpus.size());
+    return record(Phase::Broadcast, bucket, seconds, label);
+}
+
+double
+CommandStream::gather(std::size_t offset, std::size_t bytes,
+                      std::vector<std::vector<std::uint8_t>> &out,
+                      TimeBucket bucket, std::string_view label)
+{
+    auto &dpus = _system._dpus;
+    out.assign(dpus.size(), std::vector<std::uint8_t>(bytes));
+    for (std::size_t i = 0; i < dpus.size(); ++i) {
+        if (bytes > 0)
+            dpus[i].mramRead(offset, out[i].data(), bytes);
+    }
+    const double seconds =
+        _system.config().transferModel.pimToCpuSeconds(bytes,
+                                                       dpus.size());
+    return record(Phase::Gather, bucket, seconds, label);
+}
+
+double
+CommandStream::gatherTimed(std::size_t offset, std::size_t bytes,
+                           TimeBucket bucket, std::string_view label)
+{
+    // The transfer is charged as if performed; validate the range so
+    // the timing-only path fails exactly where the functional one
+    // would (an out-of-bank gather is a bug either way).
+    if (bytes > 0) {
+        std::uint8_t probe = 0;
+        for (const auto &dpu : _system._dpus)
+            dpu.mramRead(offset + bytes - 1, &probe, 1);
+    }
+    const double seconds =
+        _system.config().transferModel.pimToCpuSeconds(
+            bytes, _system._dpus.size());
+    return record(Phase::Gather, bucket, seconds, label);
+}
+
+double
+CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
+                      TimeBucket bucket, std::string_view label)
+{
+    SWIFTRL_ASSERT(kernel, "launch of an empty kernel");
+    SWIFTRL_ASSERT(tasklets >= 1 && tasklets <= 24,
+                   "UPMEM DPUs support 1-24 tasklets, got ",
+                   tasklets);
+    const auto &config = _system.config();
+    // Fine-grained multithreading: t resident tasklets retire t
+    // instructions per pipelineInterval window (saturating at one
+    // instruction per cycle), so balanced kernels finish
+    // min(t, interval) times sooner.
+    const Cycles speedup = std::min<Cycles>(
+        tasklets, config.costModel.pipelineInterval);
+
+    auto &dpus = _system._dpus;
+    const std::size_t n = dpus.size();
+    std::vector<Cycles> effective(n, 0);
+    // Functional execution across the host pool: one item per core,
+    // each touching only its own Dpu and effective[] slot.
+    _system._pool->parallelFor(n, [&](std::size_t i) {
+        KernelContext ctx(dpus[i], config.costModel,
+                          config.wramBytesPerDpu);
+        kernel(ctx);
+        effective[i] = ctx.cycles() / speedup;
+    });
+    // Commit clocks and reduce the slowest core serially, in core
+    // order: bit-identical for every pool size.
+    Cycles slowest = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        dpus[i].addCycles(effective[i]);
+        slowest = std::max(slowest, effective[i]);
+    }
+    const double seconds = config.launchOverheadSec +
+                           config.costModel.seconds(slowest);
+    return record(Phase::Kernel, bucket, seconds, label);
+}
+
+double
+CommandStream::hostReduce(double seconds, std::string_view label)
+{
+    return record(Phase::HostReduce, TimeBucket::InterCore, seconds,
+                  label);
+}
+
+double
+CommandStream::onCoreCompute(double seconds, TimeBucket bucket,
+                             std::string_view label)
+{
+    return record(Phase::Kernel, bucket, seconds, label);
+}
+
+double
+CommandStream::sync()
+{
+    const double elapsed = _cursor - _syncMark;
+    _syncMark = _cursor;
+    return elapsed;
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The command-stream execution engine of the host runtime.
+ *
+ * A CommandStream turns the host<->PIM operations (scatter, broadcast,
+ * kernel launch, gather, host-side reduce) into *commands*: each
+ * enqueue executes the operation functionally, advances the stream's
+ * modelled clock by the operation's modelled duration, and records a
+ * `{start, end}` Event on the stream's Timeline. `sync()` returns the
+ * modelled time elapsed since the previous sync point — the
+ * command-sequence equivalent of the old blocking API's summed return
+ * values.
+ *
+ * Inside the engine, the functional work of a kernel launch runs on
+ * the owning PimSystem's host thread pool — one work item per DPU
+ * instance, which is safe because a kernel instance touches only its
+ * own core's MRAM bank, WRAM accounting, and cycle clock.
+ * Determinism guarantee: Q-tables, cycle counts, and modelled seconds
+ * are bit-identical for any pool size, including 1, because work
+ * items are index-pure and every reduction (slowest-core max, cycle
+ * commit) happens serially in core order after the pool joins.
+ *
+ * Multiple streams may target one PimSystem; each has its own clock
+ * and timeline, while functional state (MRAM) is shared and mutated
+ * in enqueue order. The blocking PimSystem API is a thin wrapper over
+ * a per-system default stream.
+ */
+
+#ifndef SWIFTRL_PIMSIM_COMMAND_STREAM_HH
+#define SWIFTRL_PIMSIM_COMMAND_STREAM_HH
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "pimsim/kernel_context.hh"
+#include "pimsim/timeline.hh"
+
+namespace swiftrl::pimsim {
+
+class PimSystem;
+
+/** Ordered command queue with a modelled clock. See file comment. */
+class CommandStream
+{
+  public:
+    /** @param system machine the stream drives; must outlive it. */
+    explicit CommandStream(PimSystem &system);
+
+    // --- commands ----------------------------------------------------
+    // Each call executes functionally, advances the stream clock by
+    // the command's modelled duration, records one timeline event,
+    // and returns the duration in modelled seconds.
+
+    /**
+     * Scatter one distinct payload per core to MRAM at @p offset.
+     * Timing serialises on the largest payload (rank transfers do).
+     */
+    double pushChunks(
+        std::size_t offset,
+        const std::vector<std::span<const std::uint8_t>> &per_dpu,
+        TimeBucket bucket = TimeBucket::CpuToPim,
+        std::string_view label = "scatter");
+
+    /** Replicate one payload to every core's MRAM at @p offset. */
+    double pushBroadcast(std::size_t offset,
+                         std::span<const std::uint8_t> payload,
+                         TimeBucket bucket = TimeBucket::CpuToPim,
+                         std::string_view label = "broadcast");
+
+    /**
+     * Gather @p bytes from every core's MRAM at @p offset into
+     * @p out (resized to one payload per core).
+     */
+    double gather(std::size_t offset, std::size_t bytes,
+                  std::vector<std::vector<std::uint8_t>> &out,
+                  TimeBucket bucket = TimeBucket::PimToCpu,
+                  std::string_view label = "gather");
+
+    /**
+     * Timing-only gather: charges the modelled transfer and records
+     * the event, but skips the functional copy. For transfers whose
+     * payload the host provably already holds (e.g. the final
+     * retrieval after a synchronisation round, when every core's
+     * table *is* the aggregate the host just broadcast).
+     */
+    double gatherTimed(std::size_t offset, std::size_t bytes,
+                       TimeBucket bucket = TimeBucket::PimToCpu,
+                       std::string_view label = "gather(timed)");
+
+    /**
+     * Run @p kernel once per core (functionally on the host pool;
+     * temporally in parallel on the modelled machine, so the command
+     * lasts as long as the slowest core plus launch overhead).
+     * @param tasklets resident hardware threads per core; see
+     *        PimSystem::launch.
+     */
+    double launch(const KernelFn &kernel, unsigned tasklets = 1,
+                  TimeBucket bucket = TimeBucket::Kernel,
+                  std::string_view label = "kernel");
+
+    /**
+     * Record host-side reduction work of @p seconds (the averaging
+     * between a gather and a broadcast). Purely temporal — the caller
+     * performs the actual reduction on host data it already gathered.
+     */
+    double hostReduce(double seconds,
+                      std::string_view label = "reduce");
+
+    /**
+     * Record on-core compute of @p seconds that is not a kernel
+     * launch of its own (e.g. the fixed-point<->float Q-table
+     * conversion flanking a transfer). Drawn on the kernel track.
+     */
+    double onCoreCompute(double seconds, TimeBucket bucket,
+                         std::string_view label = "convert");
+
+    // --- clock --------------------------------------------------------
+
+    /**
+     * Modelled seconds elapsed since the last sync() (or since
+     * stream creation), and start a new sync interval.
+     */
+    double sync();
+
+    /** Current stream clock, modelled seconds since creation. */
+    double now() const { return _cursor; }
+
+    /** The stream's event record. */
+    const Timeline &timeline() const { return _timeline; }
+
+    /** System this stream drives. */
+    PimSystem &system() { return _system; }
+
+  private:
+    /** Advance the clock and record one event; returns @p seconds. */
+    double record(Phase phase, TimeBucket bucket, double seconds,
+                  std::string_view label);
+
+    PimSystem &_system;
+    Timeline _timeline;
+    double _cursor = 0.0;
+    double _syncMark = 0.0;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_COMMAND_STREAM_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Timeline events: the unit of record of the command-stream runtime.
+ *
+ * Every command enqueued on a CommandStream (scatter, broadcast,
+ * kernel launch, gather, host-side reduce) becomes exactly one Event
+ * with a `{start, end}` interval in *modelled* seconds. Two
+ * orthogonal tags classify an event:
+ *
+ *  - Phase: *where* the work physically happens — the track the
+ *    event is drawn on in an exported Chrome trace (scatter /
+ *    broadcast / kernel / gather / host-reduce);
+ *  - TimeBucket: *which reported cost component* the event belongs
+ *    to — the four-way split of SwiftRL's Figures 5/6 (kernel,
+ *    CPU->PIM, PIM->CPU, inter-core). The same physical phase lands
+ *    in different buckets depending on context: a gather during a
+ *    tau-synchronisation round is inter-core time, the final gather
+ *    is PIM->CPU time.
+ */
+
+#ifndef SWIFTRL_PIMSIM_EVENT_HH
+#define SWIFTRL_PIMSIM_EVENT_HH
+
+#include <cstddef>
+#include <string>
+
+namespace swiftrl::pimsim {
+
+/** Physical phase of a command (one Chrome-trace track each). */
+enum class Phase
+{
+    Scatter,    ///< distinct per-core payloads, CPU -> MRAM banks
+    Broadcast,  ///< one payload replicated to every MRAM bank
+    Kernel,     ///< on-core execution (launches and on-core compute)
+    Gather,     ///< MRAM banks -> CPU
+    HostReduce, ///< host-side reduction between gather and broadcast
+};
+
+/** Number of phases (trace tracks). */
+inline constexpr std::size_t kNumPhases = 5;
+
+/** Stable lower-case name of a phase (trace track title). */
+constexpr const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::Scatter: return "scatter";
+    case Phase::Broadcast: return "broadcast";
+    case Phase::Kernel: return "kernel";
+    case Phase::Gather: return "gather";
+    case Phase::HostReduce: return "host-reduce";
+    }
+    return "?";
+}
+
+/** Reported cost component an event is accounted under. */
+enum class TimeBucket
+{
+    Kernel,   ///< PIM kernel execution
+    CpuToPim, ///< initial dataset / Q-table distribution
+    PimToCpu, ///< final result retrieval
+    InterCore, ///< tau-periodic Q-table exchange through the host
+};
+
+/** Number of buckets (TimeBreakdown components). */
+inline constexpr std::size_t kNumBuckets = 4;
+
+/** Stable name of a bucket. */
+constexpr const char *
+bucketName(TimeBucket bucket)
+{
+    switch (bucket) {
+    case TimeBucket::Kernel: return "kernel";
+    case TimeBucket::CpuToPim: return "cpu-to-pim";
+    case TimeBucket::PimToCpu: return "pim-to-cpu";
+    case TimeBucket::InterCore: return "inter-core";
+    }
+    return "?";
+}
+
+/** One executed command on a stream's modelled timeline. */
+struct Event
+{
+    /** Sequential command index within the stream (enqueue order). */
+    std::size_t index = 0;
+
+    /** Physical phase (trace track). */
+    Phase phase = Phase::Kernel;
+
+    /** Reported cost component. */
+    TimeBucket bucket = TimeBucket::Kernel;
+
+    /** Start time on the stream clock, modelled seconds. */
+    double start = 0.0;
+
+    /** End time on the stream clock, modelled seconds. */
+    double end = 0.0;
+
+    /** Human-readable command label ("gather:q", "kernel:round"). */
+    std::string label;
+
+    /** Modelled duration in seconds. */
+    double duration() const { return end - start; }
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_EVENT_HH

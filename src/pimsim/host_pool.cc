@@ -1,0 +1,94 @@
+#include "pimsim/host_pool.hh"
+
+#include "common/logging.hh"
+
+namespace swiftrl::pimsim {
+
+HostPool::HostPool(unsigned threads) : _threads(threads)
+{
+    SWIFTRL_ASSERT(threads >= 1,
+                   "a host pool needs at least the calling thread");
+    _workers.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+HostPool::~HostPool()
+{
+    {
+        std::lock_guard lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+std::size_t
+HostPool::runShare(Job &job)
+{
+    std::size_t did = 0;
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            break;
+        (*job.fn)(i);
+        ++did;
+    }
+    return did;
+}
+
+void
+HostPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock lock(_mutex);
+    for (;;) {
+        _wake.wait(lock,
+                   [&] { return _stop || _generation != seen; });
+        if (_stop)
+            return;
+        seen = _generation;
+        // Hold a reference: a worker late to a drained job must not
+        // steal indices from the next one.
+        const auto job = _job;
+        lock.unlock();
+        const std::size_t did = runShare(*job);
+        lock.lock();
+        job->finished += did;
+        if (job->finished == job->n)
+            _done.notify_all();
+    }
+}
+
+void
+HostPool::parallelFor(std::size_t n,
+                      const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (_workers.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    const auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    {
+        std::lock_guard lock(_mutex);
+        _job = job;
+        ++_generation;
+    }
+    _wake.notify_all();
+    // The caller works too; it then waits for stragglers.
+    const std::size_t did = runShare(*job);
+    std::unique_lock lock(_mutex);
+    job->finished += did;
+    _done.wait(lock, [&] { return job->finished == job->n; });
+    if (_job == job)
+        _job.reset();
+}
+
+} // namespace swiftrl::pimsim

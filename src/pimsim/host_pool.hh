@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Host thread pool for the command-stream engine.
+ *
+ * Simulated PIM cores are independent — a kernel instance touches
+ * only its own core's MRAM bank, WRAM accounting, and cycle clock —
+ * so the *functional* execution of one launch is an embarrassingly
+ * parallel loop over cores. The pool runs that loop across host
+ * threads with a strict determinism guarantee: work items are pure
+ * per-index functions, so the result is bit-identical for any pool
+ * size, including 1 (where everything runs inline on the caller with
+ * no synchronisation at all).
+ */
+
+#ifndef SWIFTRL_PIMSIM_HOST_POOL_HH
+#define SWIFTRL_PIMSIM_HOST_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swiftrl::pimsim {
+
+/** Fixed-size worker pool executing index-parallel loops. */
+class HostPool
+{
+  public:
+    /**
+     * @param threads parallelism degree: the calling thread plus
+     *        threads-1 resident workers. 1 means fully serial (no
+     *        worker threads are ever created).
+     */
+    explicit HostPool(unsigned threads);
+
+    ~HostPool();
+
+    HostPool(const HostPool &) = delete;
+    HostPool &operator=(const HostPool &) = delete;
+
+    /** Parallelism degree (including the calling thread). */
+    unsigned threadCount() const { return _threads; }
+
+    /**
+     * Run fn(0) .. fn(n-1), distributing indices across the pool and
+     * the calling thread; returns when every call has completed.
+     * @p fn must be safe to invoke concurrently for distinct indices
+     * and must not touch state shared across indices.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    /** One in-flight parallelFor: shared claim counter + progress. */
+    struct Job
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        std::size_t finished = 0; ///< items done; guarded by _mutex
+    };
+
+    /** Claim and run indices until the job is drained. */
+    static std::size_t runShare(Job &job);
+
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    std::shared_ptr<Job> _job; ///< current job; guarded by _mutex
+    std::uint64_t _generation = 0; ///< bumped per job; guarded by _mutex
+    bool _stop = false;
+    unsigned _threads;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_HOST_POOL_HH

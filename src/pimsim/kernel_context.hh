@@ -26,12 +26,23 @@
 #define SWIFTRL_PIMSIM_KERNEL_CONTEXT_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "common/rng.hh"
 #include "pimsim/cost_model.hh"
 #include "pimsim/dpu.hh"
 
 namespace swiftrl::pimsim {
+
+class KernelContext;
+
+/**
+ * A kernel is a callable executed once per core. The command-stream
+ * engine may run instances on a host thread pool, so a kernel must
+ * confine its effects to per-core state (its KernelContext, and host
+ * buffers indexed by ctx.dpuId()).
+ */
+using KernelFn = std::function<void(KernelContext &)>;
 
 /** Per-core kernel execution context. See file comment. */
 class KernelContext

@@ -1,10 +1,31 @@
 #include "pimsim/pim_system.hh"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.hh"
+#include "pimsim/command_stream.hh"
+#include "pimsim/host_pool.hh"
 
 namespace swiftrl::pimsim {
+
+namespace {
+
+/** Resolve PimConfig::hostThreads to a concrete pool size. */
+unsigned
+resolveHostThreads(unsigned requested, std::size_t num_dpus)
+{
+    unsigned threads = requested;
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    // More threads than cores would only idle.
+    threads = static_cast<unsigned>(std::min<std::size_t>(
+        threads, num_dpus));
+    return std::max(1u, threads);
+}
+
+} // namespace
 
 PimSystem::PimSystem(PimConfig config) : _config(std::move(config))
 {
@@ -18,7 +39,12 @@ PimSystem::PimSystem(PimConfig config) : _config(std::move(config))
     _dpus.reserve(_config.numDpus);
     for (std::size_t i = 0; i < _config.numDpus; ++i)
         _dpus.emplace_back(i, _config.mramBytesPerDpu);
+
+    _pool = std::make_unique<HostPool>(
+        resolveHostThreads(_config.hostThreads, _config.numDpus));
 }
+
+PimSystem::~PimSystem() = default;
 
 const Dpu &
 PimSystem::dpu(std::size_t id) const
@@ -27,72 +53,46 @@ PimSystem::dpu(std::size_t id) const
     return _dpus[id];
 }
 
+unsigned
+PimSystem::hostThreadCount() const
+{
+    return _pool->threadCount();
+}
+
+CommandStream &
+PimSystem::defaultStream()
+{
+    if (!_defaultStream)
+        _defaultStream = std::make_unique<CommandStream>(*this);
+    return *_defaultStream;
+}
+
 double
 PimSystem::pushChunks(std::size_t offset,
                       const std::vector<std::span<const std::uint8_t>>
                           &per_dpu)
 {
-    SWIFTRL_ASSERT(per_dpu.size() == _dpus.size(),
-                   "pushChunks needs exactly one payload per core");
-    std::size_t max_bytes = 0;
-    for (std::size_t i = 0; i < per_dpu.size(); ++i) {
-        const auto &payload = per_dpu[i];
-        if (!payload.empty())
-            _dpus[i].mramWrite(offset, payload.data(), payload.size());
-        max_bytes = std::max(max_bytes, payload.size());
-    }
-    return _config.transferModel.scatterSeconds(max_bytes,
-                                                _dpus.size());
+    return defaultStream().pushChunks(offset, per_dpu);
 }
 
 double
 PimSystem::pushBroadcast(std::size_t offset,
                          std::span<const std::uint8_t> payload)
 {
-    for (auto &dpu : _dpus) {
-        if (!payload.empty())
-            dpu.mramWrite(offset, payload.data(), payload.size());
-    }
-    return _config.transferModel.broadcastSeconds(payload.size(),
-                                                  _dpus.size());
+    return defaultStream().pushBroadcast(offset, payload);
 }
 
 double
 PimSystem::gather(std::size_t offset, std::size_t bytes,
                   std::vector<std::vector<std::uint8_t>> &out)
 {
-    out.assign(_dpus.size(), std::vector<std::uint8_t>(bytes));
-    for (std::size_t i = 0; i < _dpus.size(); ++i) {
-        if (bytes > 0)
-            _dpus[i].mramRead(offset, out[i].data(), bytes);
-    }
-    return _config.transferModel.pimToCpuSeconds(bytes, _dpus.size());
+    return defaultStream().gather(offset, bytes, out);
 }
 
 double
-PimSystem::launch(const Kernel &kernel, unsigned tasklets)
+PimSystem::launch(const KernelFn &kernel, unsigned tasklets)
 {
-    SWIFTRL_ASSERT(kernel, "launch of an empty kernel");
-    SWIFTRL_ASSERT(tasklets >= 1 && tasklets <= 24,
-                   "UPMEM DPUs support 1-24 tasklets, got ",
-                   tasklets);
-    // Fine-grained multithreading: t resident tasklets retire t
-    // instructions per pipelineInterval window (saturating at one
-    // instruction per cycle), so balanced kernels finish
-    // min(t, interval) times sooner.
-    const Cycles speedup =
-        std::min<Cycles>(tasklets, _config.costModel.pipelineInterval);
-    Cycles slowest = 0;
-    for (auto &dpu : _dpus) {
-        KernelContext ctx(dpu, _config.costModel,
-                          _config.wramBytesPerDpu);
-        kernel(ctx);
-        const Cycles effective = ctx.cycles() / speedup;
-        dpu.addCycles(effective);
-        slowest = std::max(slowest, effective);
-    }
-    return _config.launchOverheadSec +
-           _config.costModel.seconds(slowest);
+    return defaultStream().launch(kernel, tasklets);
 }
 
 Cycles

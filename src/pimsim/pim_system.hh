@@ -5,13 +5,22 @@
  * data to their MRAM banks, launch a kernel on all cores in parallel,
  * and gather results — with every call returning the modelled time it
  * would take on the real machine.
+ *
+ * Since the command-stream refactor, the blocking calls below are
+ * thin wrappers over a one-command CommandStream per call: each
+ * delegates to the system's default stream, which executes the
+ * operation through the engine (kernel launches fan out across the
+ * host thread pool), records it on the default stream's timeline,
+ * and returns the command's modelled duration. Code that wants an
+ * explicit execution plan — command sequences, sync intervals, a
+ * trace of its own — constructs its own CommandStream on the system.
  */
 
 #ifndef SWIFTRL_PIMSIM_PIM_SYSTEM_HH
 #define SWIFTRL_PIMSIM_PIM_SYSTEM_HH
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,6 +30,9 @@
 #include "pimsim/transfer_model.hh"
 
 namespace swiftrl::pimsim {
+
+class CommandStream;
+class HostPool;
 
 /** Static configuration of a simulated PIM system. */
 struct PimConfig
@@ -36,6 +48,15 @@ struct PimConfig
 
     /** Fixed host-side overhead per kernel launch, seconds. */
     double launchOverheadSec = 15.0e-6;
+
+    /**
+     * Host threads executing the *functional* per-core kernel work of
+     * one launch (purely a simulation-speed knob: modelled time,
+     * cycle counts, and training results are bit-identical for every
+     * value). 0 = one per available hardware thread; both settings
+     * are capped at numDpus.
+     */
+    unsigned hostThreads = 0;
 
     /** TDP of the full PIM server (Table 1: 280 W for 2,524 DPUs). */
     double systemTdpWatts = 280.0;
@@ -58,9 +79,6 @@ struct PimConfig
     TransferModel transferModel;
 };
 
-/** A kernel is a callable executed once per core, in parallel. */
-using Kernel = std::function<void(KernelContext &)>;
-
 /**
  * The simulated PIM machine. Functionally, kernels execute on the
  * host; temporally, every operation advances integer cycle clocks per
@@ -72,6 +90,14 @@ class PimSystem
     /** Build a system; fatal on invalid configuration. */
     explicit PimSystem(PimConfig config);
 
+    ~PimSystem();
+
+    // Streams and the pool hold references back to the system; pin it.
+    PimSystem(const PimSystem &) = delete;
+    PimSystem &operator=(const PimSystem &) = delete;
+    PimSystem(PimSystem &&) = delete;
+    PimSystem &operator=(PimSystem &&) = delete;
+
     /** Number of cores in the system. */
     std::size_t numDpus() const { return _dpus.size(); }
 
@@ -80,6 +106,15 @@ class PimSystem
 
     /** Access one core (tests and diagnostics). */
     const Dpu &dpu(std::size_t id) const;
+
+    /** Host threads the engine uses for functional kernel work. */
+    unsigned hostThreadCount() const;
+
+    /**
+     * The stream behind the blocking wrappers below. Its timeline
+     * records every wrapper call in order.
+     */
+    CommandStream &defaultStream();
 
     // --- host<->PIM data movement ------------------------------------
 
@@ -126,7 +161,7 @@ class PimSystem
      *        swiftrl::KernelParams::tasklets).
      * @return modelled seconds for the launch.
      */
-    double launch(const Kernel &kernel, unsigned tasklets = 1);
+    double launch(const KernelFn &kernel, unsigned tasklets = 1);
 
     // --- accounting ---------------------------------------------------
 
@@ -140,8 +175,12 @@ class PimSystem
     void resetStats();
 
   private:
+    friend class CommandStream; ///< the engine executes on _dpus/_pool
+
     PimConfig _config;
     std::vector<Dpu> _dpus;
+    std::unique_ptr<HostPool> _pool;
+    std::unique_ptr<CommandStream> _defaultStream; ///< lazily built
 };
 
 } // namespace swiftrl::pimsim

@@ -1,0 +1,99 @@
+#include "pimsim/timeline.hh"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+namespace swiftrl::pimsim {
+
+double
+Timeline::endTime() const
+{
+    return _events.empty() ? 0.0 : _events.back().end;
+}
+
+double
+Timeline::totalForPhase(Phase phase) const
+{
+    double total = 0.0;
+    for (const auto &e : _events) {
+        if (e.phase == phase)
+            total += e.duration();
+    }
+    return total;
+}
+
+double
+Timeline::totalForBucket(TimeBucket bucket) const
+{
+    double total = 0.0;
+    for (const auto &e : _events) {
+        if (e.bucket == bucket)
+            total += e.duration();
+    }
+    return total;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Timeline::exportChromeTrace(std::ostream &os) const
+{
+    const auto old_precision = os.precision(
+        std::numeric_limits<double>::max_digits10);
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    // Track metadata: name the process and one thread per phase, in
+    // pipeline order.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"swiftrl modelled PIM stream\"}}";
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << p << ",\"args\":{\"name\":\""
+           << phaseName(static_cast<Phase>(p)) << "\"}}";
+    }
+    // One complete ("X") slice per command, timestamps in
+    // microseconds of modelled time.
+    for (const auto &e : _events) {
+        os << ",\n{\"name\":\"" << jsonEscape(e.label)
+           << "\",\"cat\":\"" << phaseName(e.phase)
+           << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+           << static_cast<std::size_t>(e.phase)
+           << ",\"ts\":" << e.start * 1e6
+           << ",\"dur\":" << e.duration() * 1e6
+           << ",\"args\":{\"index\":" << e.index
+           << ",\"bucket\":\"" << bucketName(e.bucket) << "\"}}";
+    }
+    os << "\n]}\n";
+    os.precision(old_precision);
+}
+
+bool
+Timeline::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    exportChromeTrace(file);
+    return static_cast<bool>(file);
+}
+
+} // namespace swiftrl::pimsim

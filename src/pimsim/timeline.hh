@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The event timeline of one command stream: an append-only record of
+ * every executed command's `{start, end}` interval in modelled time,
+ * queryable per phase and per reported cost bucket, and exportable as
+ * Chrome `chrome://tracing` JSON (one track per phase, one slice per
+ * command).
+ */
+
+#ifndef SWIFTRL_PIMSIM_TIMELINE_HH
+#define SWIFTRL_PIMSIM_TIMELINE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pimsim/event.hh"
+
+namespace swiftrl::pimsim {
+
+/** Append-only modelled-time event record. See file comment. */
+class Timeline
+{
+  public:
+    /** Append one event (commands arrive in enqueue order). */
+    void record(Event event) { _events.push_back(std::move(event)); }
+
+    /** All events, in enqueue order. */
+    const std::vector<Event> &events() const { return _events; }
+
+    /** Number of recorded events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** True when nothing has been recorded. */
+    bool empty() const { return _events.empty(); }
+
+    /** End time of the last event (stream clock), 0 when empty. */
+    double endTime() const;
+
+    /**
+     * Sum of event durations on one physical phase (trace track).
+     * Summation follows enqueue order, so repeated queries are
+     * bit-identical.
+     */
+    double totalForPhase(Phase phase) const;
+
+    /** Sum of event durations accounted under one cost bucket. */
+    double totalForBucket(TimeBucket bucket) const;
+
+    /** Drop all events (stream reuse across runs). */
+    void clear() { _events.clear(); }
+
+    /**
+     * Export the timeline as Chrome trace-event JSON ("X" complete
+     * events, microsecond timestamps): load the file in
+     * `chrome://tracing` or https://ui.perfetto.dev. One track (tid)
+     * per phase, one slice per command; each slice's args carry the
+     * command index and its cost bucket.
+     */
+    void exportChromeTrace(std::ostream &os) const;
+
+    /**
+     * Convenience wrapper: write the Chrome trace to @p path.
+     * @return false when the file cannot be opened.
+     */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    std::vector<Event> _events;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_TIMELINE_HH

@@ -9,6 +9,7 @@
 
 namespace swiftrl {
 
+using pimsim::TimeBucket;
 using rlcore::ActionId;
 using rlcore::Dataset;
 using rlcore::NumericFormat;
@@ -44,11 +45,11 @@ PimTrainer::dataOffset(std::size_t q_bytes) const
     return (q_bytes + 7) / 8 * 8;
 }
 
-std::vector<std::size_t>
-PimTrainer::distribute(const std::vector<const Dataset *> &sources,
+void
+PimTrainer::distribute(pimsim::CommandStream &stream,
+                       const std::vector<const Dataset *> &sources,
                        const std::vector<std::size_t> &firsts,
-                       const std::vector<std::size_t> &counts,
-                       TimeBreakdown &time)
+                       const std::vector<std::size_t> &counts)
 {
     const std::size_t n = _system.numDpus();
     SWIFTRL_ASSERT(sources.size() == n && firsts.size() == n &&
@@ -66,12 +67,13 @@ PimTrainer::distribute(const std::vector<const Dataset *> &sources,
         spans[i] = packed[i];
     }
 
-    time.cpuToPim += _system.pushChunks(_dataOffsetCache, spans);
-    return counts;
+    stream.pushChunks(_dataOffsetCache, spans, TimeBucket::CpuToPim,
+                      "scatter:dataset");
 }
 
 void
-PimTrainer::initQTables(StateId ns, ActionId na, TimeBreakdown &time)
+PimTrainer::initQTables(pimsim::CommandStream &stream, StateId ns,
+                        ActionId na)
 {
     const std::size_t q_bytes = static_cast<std::size_t>(ns) *
                                 static_cast<std::size_t>(na) * 4;
@@ -79,21 +81,25 @@ PimTrainer::initQTables(StateId ns, ActionId na, TimeBreakdown &time)
     // the initial table with the dataset (both formats share a 4-byte
     // zero encoding).
     const std::vector<std::uint8_t> zeros(q_bytes, 0);
-    time.cpuToPim += _system.pushBroadcast(qOffset(), zeros);
+    stream.pushBroadcast(qOffset(), zeros, TimeBucket::CpuToPim,
+                         "broadcast:qinit");
 }
 
 std::vector<QTable>
-PimTrainer::gatherQTables(StateId ns, ActionId na, double &seconds)
+PimTrainer::gatherQTables(pimsim::CommandStream &stream, StateId ns,
+                          ActionId na, TimeBucket bucket)
 {
     const std::size_t entries = static_cast<std::size_t>(ns) *
                                 static_cast<std::size_t>(na);
     const std::size_t q_bytes = entries * 4;
     std::vector<std::vector<std::uint8_t>> raw;
-    seconds += _system.gather(qOffset(), q_bytes, raw);
     // INT32 kernels descale their tables to FP32 on-core before the
     // transfer (Sec. 4.2); the conversion runs in parallel on all
     // cores, so it costs one per-core table pass.
-    seconds += conversionSeconds(entries, /*to_float=*/true);
+    const double convert = conversionSeconds(entries, /*to_float=*/true);
+    if (convert > 0.0)
+        stream.onCoreCompute(convert, bucket, "convert:descale");
+    stream.gather(qOffset(), q_bytes, raw, bucket, "gather:q");
 
     std::vector<QTable> tables;
     tables.reserve(raw.size());
@@ -119,8 +125,9 @@ PimTrainer::gatherQTables(StateId ns, ActionId na, double &seconds)
     return tables;
 }
 
-double
-PimTrainer::broadcastQTable(const QTable &q)
+void
+PimTrainer::broadcastQTable(pimsim::CommandStream &stream,
+                            const QTable &q, TimeBucket bucket)
 {
     const std::size_t entries = q.entryCount();
     std::vector<std::uint8_t> bytes(entries * 4);
@@ -130,11 +137,13 @@ PimTrainer::broadcastQTable(const QTable &q)
         const auto fixed = q.toFixed(fixedScale());
         std::memcpy(bytes.data(), fixed.data(), bytes.size());
     }
-    double seconds = _system.pushBroadcast(qOffset(), bytes);
+    stream.pushBroadcast(qOffset(), bytes, bucket, "broadcast:q");
     // Re-quantisation back to raw fixed point happens on-core after
     // the broadcast lands.
-    seconds += conversionSeconds(entries, /*to_float=*/false);
-    return seconds;
+    const double convert =
+        conversionSeconds(entries, /*to_float=*/false);
+    if (convert > 0.0)
+        stream.onCoreCompute(convert, bucket, "convert:requantise");
 }
 
 QTable
@@ -213,6 +222,10 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     PimTrainResult result;
     result.coresUsed = n;
 
+    // The run is one explicit command sequence on a dedicated stream;
+    // the reported time breakdown is a view of its timeline.
+    pimsim::CommandStream stream(_system);
+
     // Step 1: partition and distribute the dataset (Figure 4 (1)).
     const auto chunks = partitionDataset(data.size(), n);
     std::vector<const Dataset *> sources(n, &data);
@@ -221,8 +234,8 @@ PimTrainer::train(const Dataset &data, StateId num_states,
         firsts[i] = chunks[i].first;
         counts[i] = chunks[i].count;
     }
-    distribute(sources, firsts, counts, result.time);
-    initQTables(num_states, num_actions, result.time);
+    distribute(stream, sources, firsts, counts);
+    initQTables(stream, num_states, num_actions);
 
     // Persistent LCG streams, one per (core, tasklet).
     const std::size_t streams = n * _config.tasklets;
@@ -253,23 +266,22 @@ PimTrainer::train(const Dataset &data, StateId num_states,
         params.episodes = std::min(_config.tau, remaining);
         remaining -= params.episodes;
 
-        result.time.kernel += _system.launch(
+        stream.launch(
             [&params](pimsim::KernelContext &ctx) {
                 runTrainingKernel(ctx, params);
             },
-            _config.tasklets);
+            _config.tasklets, TimeBucket::Kernel, "kernel:round");
 
-        double sync_seconds = 0.0;
-        auto tables =
-            gatherQTables(num_states, num_actions, sync_seconds);
+        auto tables = gatherQTables(stream, num_states, num_actions,
+                                    TimeBucket::InterCore);
         const QTable previous = aggregated;
         if (_config.weightedAggregation) {
             // Extra gather of the per-core visit counts, then a
             // count-weighted mean with fallback to the previous
             // aggregate for entries no core visited this round.
             std::vector<std::vector<std::uint8_t>> raw_counts;
-            sync_seconds += _system.gather(visits_offset,
-                                           entries * 4, raw_counts);
+            stream.gather(visits_offset, entries * 4, raw_counts,
+                          TimeBucket::InterCore, "gather:visits");
             aggregated =
                 weightedAverage(tables, raw_counts, previous);
         } else {
@@ -278,24 +290,28 @@ PimTrainer::train(const Dataset &data, StateId num_states,
         result.roundDeltas.push_back(
             QTable::maxAbsDifference(aggregated, previous));
         // Host-side reduction cost of the averaging itself.
-        sync_seconds +=
+        stream.hostReduce(
             _system.config().transferModel.hostReduceSecPerEntry *
-            static_cast<double>(entries) * static_cast<double>(n);
-        sync_seconds += broadcastQTable(aggregated);
-        result.time.interCore += sync_seconds;
+                static_cast<double>(entries) * static_cast<double>(n),
+            "reduce:average");
+        broadcastQTable(stream, aggregated, TimeBucket::InterCore);
         ++result.commRounds;
     }
 
     // Steps 3+4: final retrieval. After the last synchronisation
     // every core holds the aggregated table, so the deployed policy
-    // is that aggregate; the gather is still paid for (Figure 4 (3)).
-    double final_seconds = 0.0;
-    std::vector<std::vector<std::uint8_t>> discard;
-    final_seconds += _system.gather(qOffset(), entries * 4, discard);
-    final_seconds +=
+    // is that aggregate; the gather is still paid for (Figure 4 (3)) —
+    // timing-only, as the host provably holds the payload already.
+    const double convert =
         conversionSeconds(entries, /*to_float=*/true);
-    result.time.pimToCpu += final_seconds;
+    if (convert > 0.0)
+        stream.onCoreCompute(convert, TimeBucket::PimToCpu,
+                             "convert:descale");
+    stream.gatherTimed(qOffset(), entries * 4, TimeBucket::PimToCpu,
+                       "gather:final");
     result.finalQ = std::move(aggregated);
+    result.time = breakdownFromTimeline(stream.timeline());
+    result.timeline = stream.timeline();
     return result;
 }
 
@@ -313,14 +329,15 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
                       "Q-learners");
     }
 
-    const std::size_t entries =
+    const std::size_t q_bytes =
         static_cast<std::size_t>(num_states) *
-        static_cast<std::size_t>(num_actions);
-    const std::size_t q_bytes = entries * 4;
+        static_cast<std::size_t>(num_actions) * 4;
     _dataOffsetCache = dataOffset(q_bytes);
 
     PimTrainResult result;
     result.coresUsed = n;
+
+    pimsim::CommandStream stream(_system);
 
     std::vector<const Dataset *> sources(n);
     std::vector<std::size_t> firsts(n, 0), counts(n);
@@ -330,8 +347,8 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
         sources[i] = &agent_data[i];
         counts[i] = agent_data[i].size();
     }
-    distribute(sources, firsts, counts, result.time);
-    initQTables(num_states, num_actions, result.time);
+    distribute(stream, sources, firsts, counts);
+    initQTables(stream, num_states, num_actions);
 
     const std::size_t streams = n * _config.tasklets;
     std::vector<std::uint32_t> lcg_states(streams);
@@ -354,19 +371,19 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
     // synchronisation rounds (the aggregation step "would be
     // unnecessary in this setting", Sec. 3.2.1).
     params.episodes = _config.hyper.episodes;
-    result.time.kernel += _system.launch(
+    stream.launch(
         [&params](pimsim::KernelContext &ctx) {
             runTrainingKernel(ctx, params);
         },
-        _config.tasklets);
+        _config.tasklets, TimeBucket::Kernel, "kernel:episodes");
 
-    double final_seconds = 0.0;
-    result.perCore =
-        gatherQTables(num_states, num_actions, final_seconds);
-    result.time.pimToCpu += final_seconds;
+    result.perCore = gatherQTables(stream, num_states, num_actions,
+                                   TimeBucket::PimToCpu);
     // finalQ kept as the average for convenience (diagnostics only;
     // each agent deploys its own table).
     result.finalQ = QTable::average(result.perCore);
+    result.time = breakdownFromTimeline(stream.timeline());
+    result.timeline = stream.timeline();
     return result;
 }
 

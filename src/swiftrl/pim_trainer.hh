@@ -8,6 +8,13 @@
  * (4) aggregate them on the host —
  * with the tau-periodic inter-core synchronisation of Sec. 4.2 and the
  * multi-agent independent-learner mode of Sec. 3.2.1.
+ *
+ * Each run is issued as an explicit command sequence on a
+ * pimsim::CommandStream: every scatter / launch / gather / reduce /
+ * broadcast becomes a command with a `{start, end}` interval on the
+ * stream's modelled-time timeline. The reported TimeBreakdown is
+ * *derived from that timeline* (see breakdownFromTimeline), and the
+ * timeline itself ships in the result for Chrome-trace export.
  */
 
 #ifndef SWIFTRL_SWIFTRL_PIM_TRAINER_HH
@@ -15,7 +22,9 @@
 
 #include <vector>
 
+#include "pimsim/command_stream.hh"
 #include "pimsim/pim_system.hh"
+#include "pimsim/timeline.hh"
 #include "rlcore/dataset.hh"
 #include "rlcore/qtable.hh"
 #include "swiftrl/time_breakdown.hh"
@@ -73,8 +82,19 @@ struct PimTrainResult
     /** Per-core final tables; filled only in multi-agent mode. */
     std::vector<rlcore::QTable> perCore;
 
-    /** Modelled execution time, split per Figures 5/6. */
+    /**
+     * Modelled execution time, split per Figures 5/6. Derived from
+     * `timeline` via breakdownFromTimeline — the two always agree.
+     */
     TimeBreakdown time;
+
+    /**
+     * The run's full command timeline: one event per scatter /
+     * launch / gather / host-reduce / broadcast command, in modelled
+     * time. Export with Timeline::writeChromeTrace for
+     * chrome://tracing.
+     */
+    pimsim::Timeline timeline;
 
     /** Inter-core communication rounds executed. */
     int commRounds = 0;
@@ -124,22 +144,31 @@ class PimTrainer
     const PimTrainConfig &config() const { return _config; }
 
   private:
-    /** Pack + push per-core chunks; returns chunk lengths. */
-    std::vector<std::size_t> distribute(
-        const std::vector<const rlcore::Dataset *> &sources,
-        const std::vector<std::size_t> &firsts,
-        const std::vector<std::size_t> &counts, TimeBreakdown &time);
+    /** Pack + enqueue the per-core chunk scatter. */
+    void distribute(pimsim::CommandStream &stream,
+                    const std::vector<const rlcore::Dataset *> &sources,
+                    const std::vector<std::size_t> &firsts,
+                    const std::vector<std::size_t> &counts);
 
     /** Zero the Q-table region on every core. */
-    void initQTables(rlcore::StateId ns, rlcore::ActionId na,
-                     TimeBreakdown &time);
+    void initQTables(pimsim::CommandStream &stream, rlcore::StateId ns,
+                     rlcore::ActionId na);
 
-    /** Gather all per-core Q-tables (functional + timing). */
+    /**
+     * Gather all per-core Q-tables (functional + timing), including
+     * the on-core descale-to-FP32 step, charged to @p bucket.
+     */
     std::vector<rlcore::QTable> gatherQTables(
-        rlcore::StateId ns, rlcore::ActionId na, double &seconds);
+        pimsim::CommandStream &stream, rlcore::StateId ns,
+        rlcore::ActionId na, pimsim::TimeBucket bucket);
 
-    /** Broadcast one Q-table to every core's MRAM Q region. */
-    double broadcastQTable(const rlcore::QTable &q);
+    /**
+     * Broadcast one Q-table to every core's MRAM Q region, including
+     * the on-core requantise step, charged to @p bucket.
+     */
+    void broadcastQTable(pimsim::CommandStream &stream,
+                         const rlcore::QTable &q,
+                         pimsim::TimeBucket bucket);
 
     /**
      * Visit-count-weighted mean of per-core tables; entries with

@@ -11,6 +11,8 @@
 #ifndef SWIFTRL_SWIFTRL_TIME_BREAKDOWN_HH
 #define SWIFTRL_SWIFTRL_TIME_BREAKDOWN_HH
 
+#include "pimsim/timeline.hh"
+
 namespace swiftrl {
 
 /** Modelled execution time split, in seconds. */
@@ -53,6 +55,15 @@ struct TimeBreakdown
         return *this;
     }
 };
+
+/**
+ * Derive the four-way breakdown from a command-stream timeline: each
+ * event's duration is added to the component named by its TimeBucket,
+ * in enqueue order (so the result is bit-identical across runs and
+ * host-pool sizes). This is how PimTrainer fills PimTrainResult::time
+ * — the breakdown *is* a view of the timeline, never hand-accumulated.
+ */
+TimeBreakdown breakdownFromTimeline(const pimsim::Timeline &timeline);
 
 } // namespace swiftrl
 

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The command-stream engine and its event timeline:
+ *
+ *  - the blocking PimSystem API is a thin wrapper over the default
+ *    stream, so its calls land on a timeline of contiguous,
+ *    non-overlapping intervals whose durations sum to sync();
+ *  - the timing-only gather charges exactly what the functional one
+ *    does (and validates the range the same way);
+ *  - the trainer's reported TimeBreakdown is derived from — and hence
+ *    always agrees with — its result timeline;
+ *  - the exported Chrome trace JSON holds one "X" slice per command,
+ *    with per-bucket duration sums matching the breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "swiftrl/swiftrl.hh"
+
+namespace {
+
+using swiftrl::breakdownFromTimeline;
+using swiftrl::PimTrainConfig;
+using swiftrl::PimTrainer;
+using swiftrl::Workload;
+using swiftrl::pimsim::CommandStream;
+using swiftrl::pimsim::Phase;
+using swiftrl::pimsim::PimConfig;
+using swiftrl::pimsim::PimSystem;
+using swiftrl::pimsim::TimeBucket;
+using swiftrl::pimsim::Timeline;
+using swiftrl::rlcore::Algorithm;
+using swiftrl::rlcore::collectRandomDataset;
+using swiftrl::rlcore::NumericFormat;
+using swiftrl::rlcore::Sampling;
+
+PimSystem
+makeSystem(std::size_t dpus)
+{
+    PimConfig cfg;
+    cfg.numDpus = dpus;
+    cfg.mramBytesPerDpu = 1u << 20;
+    return PimSystem(cfg);
+}
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t base)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(base + i);
+    return v;
+}
+
+TEST(CommandStream, BlockingWrapperRecordsContiguousTimeline)
+{
+    auto system = makeSystem(4);
+    const auto payload = pattern(256, 1);
+
+    std::vector<std::span<const std::uint8_t>> chunks(
+        4, std::span<const std::uint8_t>(payload));
+    double summed = 0.0;
+    summed += system.pushChunks(4096, chunks);
+    summed += system.pushBroadcast(0, payload);
+    summed += system.launch(
+        [](swiftrl::pimsim::KernelContext &ctx) {
+            ctx.aluOps(100);
+        });
+    std::vector<std::vector<std::uint8_t>> out;
+    summed += system.gather(0, payload.size(), out);
+
+    const auto &timeline = system.defaultStream().timeline();
+    ASSERT_EQ(timeline.size(), 4u);
+    const auto &events = timeline.events();
+
+    // Intervals are non-overlapping, contiguous, and start at zero:
+    // a single stream models one serialised host command queue.
+    EXPECT_EQ(events.front().start, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_GE(events[i].end, events[i].start) << "event " << i;
+        if (i > 0) {
+            EXPECT_EQ(events[i].start, events[i - 1].end)
+                << "gap or overlap before event " << i;
+        }
+        total += events[i].duration();
+    }
+    EXPECT_DOUBLE_EQ(total, summed);
+
+    // sync() closes the interval spanning all four commands.
+    EXPECT_DOUBLE_EQ(system.defaultStream().sync(), total);
+    EXPECT_DOUBLE_EQ(system.defaultStream().sync(), 0.0);
+    EXPECT_DOUBLE_EQ(system.defaultStream().now(), total);
+
+    // Each wrapper mapped to its phase, in call order.
+    EXPECT_EQ(events[0].phase, Phase::Scatter);
+    EXPECT_EQ(events[1].phase, Phase::Broadcast);
+    EXPECT_EQ(events[2].phase, Phase::Kernel);
+    EXPECT_EQ(events[3].phase, Phase::Gather);
+
+    // The gathered payload round-tripped through MRAM.
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[2], payload);
+}
+
+TEST(CommandStream, TimedGatherChargesExactlyTheFunctionalCost)
+{
+    auto system = makeSystem(3);
+    CommandStream stream(system);
+    const auto payload = pattern(512, 7);
+    stream.pushBroadcast(0, payload);
+
+    std::vector<std::vector<std::uint8_t>> out;
+    const double functional = stream.gather(0, payload.size(), out);
+    const double timed = stream.gatherTimed(0, payload.size());
+    EXPECT_EQ(timed, functional);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], payload);
+
+    // Both gathers were recorded as events on the same track.
+    EXPECT_EQ(stream.timeline().size(), 3u);
+    EXPECT_DOUBLE_EQ(stream.timeline().totalForPhase(Phase::Gather),
+                     functional + timed);
+}
+
+TEST(CommandStream, StreamsOnOneSystemKeepIndependentClocks)
+{
+    auto system = makeSystem(2);
+    CommandStream a(system);
+    CommandStream b(system);
+    const auto payload = pattern(64, 3);
+
+    a.pushBroadcast(0, payload);
+    EXPECT_GT(a.now(), 0.0);
+    EXPECT_EQ(b.now(), 0.0);
+    EXPECT_TRUE(b.timeline().empty());
+
+    // Functional state is shared: stream b reads what a wrote.
+    std::vector<std::vector<std::uint8_t>> out;
+    b.gather(0, payload.size(), out);
+    EXPECT_EQ(out[1], payload);
+}
+
+TEST(CommandStream, HostReduceAndOnCoreComputeAdvanceTheClock)
+{
+    auto system = makeSystem(1);
+    CommandStream stream(system);
+    stream.hostReduce(1.5e-3);
+    stream.onCoreCompute(0.5e-3, TimeBucket::InterCore);
+    EXPECT_DOUBLE_EQ(stream.now(), 2.0e-3);
+    EXPECT_DOUBLE_EQ(
+        stream.timeline().totalForBucket(TimeBucket::InterCore),
+        2.0e-3);
+    EXPECT_DOUBLE_EQ(
+        stream.timeline().totalForPhase(Phase::HostReduce), 1.5e-3);
+}
+
+/** A small real training run to exercise the full command sequence. */
+swiftrl::PimTrainResult
+trainLake(PimSystem &system)
+{
+    swiftrl::rlenv::FrozenLake env(true);
+    const auto data = collectRandomDataset(env, 1500, 21);
+    PimTrainConfig cfg;
+    cfg.workload = Workload{Algorithm::QLearning, Sampling::Seq,
+                            NumericFormat::Int32};
+    cfg.hyper.episodes = 20;
+    cfg.tau = 5;
+    return PimTrainer(system, cfg).train(data, 16, 4);
+}
+
+TEST(CommandStream, TrainerBreakdownDerivesFromItsTimeline)
+{
+    auto system = makeSystem(8);
+    const auto result = trainLake(system);
+
+    ASSERT_FALSE(result.timeline.empty());
+    const auto derived = breakdownFromTimeline(result.timeline);
+    EXPECT_EQ(derived.kernel, result.time.kernel);
+    EXPECT_EQ(derived.cpuToPim, result.time.cpuToPim);
+    EXPECT_EQ(derived.pimToCpu, result.time.pimToCpu);
+    EXPECT_EQ(derived.interCore, result.time.interCore);
+
+    // Bucket totals are the same sums in the same order.
+    EXPECT_EQ(result.timeline.totalForBucket(TimeBucket::Kernel),
+              result.time.kernel);
+    EXPECT_EQ(result.timeline.totalForBucket(TimeBucket::InterCore),
+              result.time.interCore);
+
+    // The timeline spans the whole modelled run.
+    EXPECT_DOUBLE_EQ(result.timeline.endTime(), result.time.total());
+}
+
+TEST(CommandStream, ChromeTraceExportsOneSlicePerCommand)
+{
+    auto system = makeSystem(8);
+    const auto result = trainLake(system);
+
+    std::ostringstream os;
+    result.timeline.exportChromeTrace(os);
+    const std::string json = os.str();
+
+    // Structurally valid: brace/bracket balanced, object at the top.
+    EXPECT_EQ(json.front(), '{');
+    long braces = 0, brackets = 0;
+    for (const char c : json) {
+        braces += (c == '{') - (c == '}');
+        brackets += (c == '[') - (c == ']');
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+
+    // One complete slice per enqueued command.
+    std::size_t slices = 0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+         ++pos)
+        ++slices;
+    EXPECT_EQ(slices, result.timeline.size());
+
+    // Per-bucket slice durations (in trace microseconds) sum to the
+    // reported breakdown. Events are one per line, so parse by line.
+    double bucket_us[swiftrl::pimsim::kNumBuckets] = {};
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\":\"X\"") == std::string::npos)
+            continue;
+        const auto dur_at = line.find("\"dur\":");
+        const auto bucket_at = line.find("\"bucket\":\"");
+        ASSERT_NE(dur_at, std::string::npos);
+        ASSERT_NE(bucket_at, std::string::npos);
+        const double dur = std::stod(line.substr(dur_at + 6));
+        const auto name_at = bucket_at + 10;
+        const auto name =
+            line.substr(name_at, line.find('"', name_at) - name_at);
+        for (std::size_t b = 0; b < swiftrl::pimsim::kNumBuckets;
+             ++b) {
+            if (name ==
+                bucketName(static_cast<TimeBucket>(b)))
+                bucket_us[b] += dur;
+        }
+    }
+    const auto expect_us = [&](TimeBucket bucket, double seconds) {
+        EXPECT_NEAR(bucket_us[static_cast<std::size_t>(bucket)],
+                    seconds * 1e6, 1e-6)
+            << bucketName(bucket);
+    };
+    expect_us(TimeBucket::Kernel, result.time.kernel);
+    expect_us(TimeBucket::CpuToPim, result.time.cpuToPim);
+    expect_us(TimeBucket::PimToCpu, result.time.pimToCpu);
+    expect_us(TimeBucket::InterCore, result.time.interCore);
+}
+
+TEST(CommandStreamDeath, OutOfBankTimedGatherIsFatal)
+{
+    auto system = makeSystem(1);
+    CommandStream stream(system);
+    // The timing-only path must fail exactly where the functional
+    // gather would: one byte past the MRAM bank.
+    EXPECT_EXIT((void)stream.gatherTimed((1u << 20) - 8, 16),
+                ::testing::ExitedWithCode(1), "MRAM");
+}
+
+} // namespace
