@@ -7,19 +7,79 @@
  * (time breakdown + instruction mix), and optionally checkpoints the
  * dataset and the trained Q-table.
  *
+ * With --streaming the offline collect-then-train flow is replaced by
+ * the streaming actor–learner pipeline: --actors CPU threads collect
+ * each generation while the PIM side trains the previous one, with
+ * the behaviour policy refreshed from the learner every
+ * --refresh-period generations.
+ *
  * Examples:
  *   swiftrl_cli --env taxi --algo sarsa --sampling ran --format int32
  *   swiftrl_cli --env frozenlake --cores 2000 --episodes 200 --tau 50
  *   swiftrl_cli --env frozenlake --save-qtable policy.swrl
  *   swiftrl_cli --env frozenlake --tasklets 11 --stats
+ *   swiftrl_cli --env taxi --streaming --actors 4 --generations 8 \
+ *               --refresh-period 2 --trace stream.json
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/cli.hh"
 #include "pimsim/stats_report.hh"
 #include "rlcore/serialization.hh"
 #include "swiftrl/swiftrl.hh"
+
+namespace {
+
+/** Shared tail of both modes: evaluate, report, trace, checkpoint. */
+int
+finishRun(const swiftrl::common::CliFlags &flags,
+          swiftrl::rlenv::Environment &env,
+          const swiftrl::rlcore::QTable &final_q,
+          const swiftrl::pimsim::Timeline &timeline,
+          swiftrl::pimsim::PimSystem &system)
+{
+    using namespace swiftrl;
+
+    const auto eval_episodes =
+        static_cast<int>(flags.getInt("eval-episodes", 1000));
+    const auto eval =
+        rlcore::evaluateGreedy(env, final_q, eval_episodes, 7);
+    std::cout << "mean reward:      " << eval.meanReward << " over "
+              << eval_episodes << " episodes (success rate "
+              << eval.successRate << ", mean steps " << eval.meanSteps
+              << ")\n";
+
+    if (flags.getBool("stats", false)) {
+        std::cout << "\n";
+        pimsim::StatsReport::fromSystem(system).print(
+            std::cout, "Device statistics");
+    }
+
+    // Export the run's command timeline as Chrome trace JSON: open
+    // the file in chrome://tracing or https://ui.perfetto.dev.
+    const auto trace_path = flags.getString("trace", "");
+    if (!trace_path.empty()) {
+        if (timeline.writeChromeTrace(trace_path)) {
+            std::cout << "trace written to " << trace_path << " ("
+                      << timeline.size() << " commands)\n";
+        } else {
+            std::cerr << "cannot write trace file " << trace_path
+                      << "\n";
+            return 1;
+        }
+    }
+
+    const auto save_q = flags.getString("save-qtable", "");
+    if (!save_q.empty()) {
+        rlcore::saveQTable(final_q, save_q);
+        std::cout << "Q-table saved to " << save_q << "\n";
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -32,32 +92,11 @@ main(int argc, char **argv)
          "tau", "tasklets", "transitions", "seed", "eval-episodes",
          "save-qtable", "save-dataset", "load-dataset", "stats",
          "alpha", "gamma", "epsilon", "weighted", "trace",
-         "host-threads"});
+         "host-threads", "streaming", "actors", "refresh-period",
+         "generations"});
 
     const auto env_name = flags.getString("env", "frozenlake");
     auto env = rlenv::makeEnvironment(env_name);
-
-    // Dataset: load a checkpoint or collect fresh.
-    rlcore::Dataset data;
-    const auto load_path = flags.getString("load-dataset", "");
-    if (!load_path.empty()) {
-        data = rlcore::loadDataset(load_path);
-        std::cout << "loaded " << data.size() << " transitions from "
-                  << load_path << "\n";
-    } else {
-        const auto n = static_cast<std::size_t>(
-            flags.getInt("transitions", 100'000));
-        data = rlcore::collectRandomDataset(
-            *env, n,
-            static_cast<std::uint64_t>(flags.getInt("seed", 1)));
-        std::cout << "collected " << data.size()
-                  << " transitions from " << env_name << "\n";
-    }
-    const auto save_data = flags.getString("save-dataset", "");
-    if (!save_data.empty()) {
-        rlcore::saveDataset(data, save_data);
-        std::cout << "dataset saved to " << save_data << "\n";
-    }
 
     // Machine. --host-threads only changes how fast the simulation
     // itself runs (0 = one worker per hardware thread); results and
@@ -69,24 +108,109 @@ main(int argc, char **argv)
         static_cast<unsigned>(flags.getInt("host-threads", 0));
     pimsim::PimSystem system(pim);
 
-    // Workload.
-    PimTrainConfig cfg;
-    cfg.workload.algo =
+    // Workload, shared by both modes.
+    Workload workload;
+    workload.algo =
         rlcore::parseAlgorithm(flags.getString("algo", "qlearning"));
-    cfg.workload.sampling =
+    workload.sampling =
         rlcore::parseSampling(flags.getString("sampling", "seq"));
-    cfg.workload.format = rlcore::parseNumericFormat(
-        flags.getString("format", "int32"));
-    cfg.hyper.episodes =
-        static_cast<int>(flags.getInt("episodes", 100));
-    cfg.hyper.alpha =
-        static_cast<float>(flags.getDouble("alpha", 0.1));
-    cfg.hyper.gamma =
-        static_cast<float>(flags.getDouble("gamma", 0.95));
-    cfg.hyper.epsilon =
+    workload.format =
+        rlcore::parseNumericFormat(flags.getString("format", "int32"));
+
+    rlcore::Hyper hyper;
+    hyper.episodes = static_cast<int>(flags.getInt("episodes", 100));
+    hyper.alpha = static_cast<float>(flags.getDouble("alpha", 0.1));
+    hyper.gamma = static_cast<float>(flags.getDouble("gamma", 0.95));
+    hyper.epsilon =
         static_cast<float>(flags.getDouble("epsilon", 0.05));
-    cfg.hyper.seed =
+    hyper.seed =
         static_cast<std::uint64_t>(flags.getInt("seed", 1)) + 41;
+
+    const auto transitions = static_cast<std::size_t>(
+        flags.getInt("transitions", 100'000));
+
+    if (flags.getBool("streaming", false)) {
+        // --- streaming actor–learner mode ---------------------------
+        if (flags.getBool("weighted", false)) {
+            std::cerr << "--weighted is not available in streaming "
+                         "mode\n";
+            return 1;
+        }
+        StreamingConfig cfg;
+        cfg.workload = workload;
+        cfg.hyper = hyper;
+        cfg.generations =
+            static_cast<int>(flags.getInt("generations", 8));
+        // --episodes and --transitions are run totals in both modes;
+        // streaming splits them evenly across the generations.
+        cfg.hyper.episodes =
+            std::max(1, hyper.episodes / std::max(1, cfg.generations));
+        cfg.transitionsPerGeneration =
+            transitions /
+            static_cast<std::size_t>(std::max(1, cfg.generations));
+        cfg.tau = static_cast<int>(flags.getInt("tau", 50));
+        if (cfg.tau > cfg.hyper.episodes)
+            cfg.tau = cfg.hyper.episodes;
+        cfg.tasklets =
+            static_cast<unsigned>(flags.getInt("tasklets", 1));
+        cfg.actors = static_cast<unsigned>(flags.getInt("actors", 1));
+        cfg.refreshPeriod =
+            static_cast<int>(flags.getInt("refresh-period", 0));
+        cfg.collectSeed =
+            static_cast<std::uint64_t>(flags.getInt("seed", 1)) + 977;
+
+        std::cout << "streaming " << cfg.workload.name() << " on "
+                  << pim.numDpus << " PIM cores, " << cfg.generations
+                  << " generations x " << cfg.transitionsPerGeneration
+                  << " transitions, " << cfg.actors
+                  << " actor(s), refresh-period=" << cfg.refreshPeriod
+                  << "\n";
+
+        StreamingTrainer trainer(system, cfg);
+        const auto result = trainer.train(
+            [&env_name] { return rlenv::makeEnvironment(env_name); },
+            env->numStates(), env->numActions());
+
+        std::cout << "\n--- results ---\n"
+                  << "end-to-end:       " << result.endToEnd << " s"
+                  << " (PIM pipeline " << result.time.total()
+                  << ", host collect " << result.time.hostCollect
+                  << " overlapped)\n"
+                  << "breakdown:        kernel " << result.time.kernel
+                  << ", cpu->pim " << result.time.cpuToPim
+                  << ", pim->cpu " << result.time.pimToCpu
+                  << ", inter-core " << result.time.interCore << "\n"
+                  << "comm rounds:      " << result.commRounds
+                  << ", policy refreshes " << result.policyRefreshes
+                  << ", transitions " << result.transitions << "\n";
+        return finishRun(flags, *env, result.finalQ, result.timeline,
+                         system);
+    }
+
+    // --- offline (paper) mode ---------------------------------------
+    // Dataset: load a checkpoint or collect fresh.
+    rlcore::Dataset data;
+    const auto load_path = flags.getString("load-dataset", "");
+    if (!load_path.empty()) {
+        data = rlcore::loadDataset(load_path);
+        std::cout << "loaded " << data.size() << " transitions from "
+                  << load_path << "\n";
+    } else {
+        data = rlcore::collectRandomDataset(
+            *env, transitions,
+            static_cast<std::uint64_t>(flags.getInt("seed", 1)));
+        std::cout << "collected " << data.size()
+                  << " transitions from " << env_name << "\n";
+    }
+    const auto save_data = flags.getString("save-dataset", "");
+    if (!save_data.empty()) {
+        rlcore::saveDataset(data, save_data);
+        std::cout << "dataset saved to " << save_data << "\n";
+    }
+
+    PimTrainConfig cfg;
+    cfg.workload = workload;
+    cfg.hyper = hyper;
     cfg.tau = static_cast<int>(flags.getInt("tau", 50));
     if (cfg.tau > cfg.hyper.episodes)
         cfg.tau = cfg.hyper.episodes;
@@ -103,48 +227,13 @@ main(int argc, char **argv)
     const auto result =
         trainer.train(data, env->numStates(), env->numActions());
 
-    // Evaluation.
-    const auto eval_episodes =
-        static_cast<int>(flags.getInt("eval-episodes", 1000));
-    const auto eval = rlcore::evaluateGreedy(*env, result.finalQ,
-                                             eval_episodes, 7);
-
     std::cout << "\n--- results ---\n"
-              << "mean reward:      " << eval.meanReward << " over "
-              << eval_episodes << " episodes (success rate "
-              << eval.successRate << ", mean steps "
-              << eval.meanSteps << ")\n"
               << "modelled time:    " << result.time.total() << " s"
               << " (kernel " << result.time.kernel << ", cpu->pim "
               << result.time.cpuToPim << ", pim->cpu "
               << result.time.pimToCpu << ", inter-core "
               << result.time.interCore << ")\n"
               << "comm rounds:      " << result.commRounds << "\n";
-
-    if (flags.getBool("stats", false)) {
-        std::cout << "\n";
-        pimsim::StatsReport::fromSystem(system).print(
-            std::cout, "Device statistics");
-    }
-
-    // Export the run's command timeline as Chrome trace JSON: open
-    // the file in chrome://tracing or https://ui.perfetto.dev.
-    const auto trace_path = flags.getString("trace", "");
-    if (!trace_path.empty()) {
-        if (result.timeline.writeChromeTrace(trace_path)) {
-            std::cout << "trace written to " << trace_path << " ("
-                      << result.timeline.size() << " commands)\n";
-        } else {
-            std::cerr << "cannot write trace file " << trace_path
-                      << "\n";
-            return 1;
-        }
-    }
-
-    const auto save_q = flags.getString("save-qtable", "");
-    if (!save_q.empty()) {
-        rlcore::saveQTable(result.finalQ, save_q);
-        std::cout << "Q-table saved to " << save_q << "\n";
-    }
-    return 0;
+    return finishRun(flags, *env, result.finalQ, result.timeline,
+                     system);
 }

@@ -106,6 +106,21 @@ struct CpuModelParams
     double threadEfficiency = 0.70;
 };
 
+/**
+ * Modelled host-side cost of producing one experience tuple during
+ * *online* actor collection (the streaming extension): one
+ * environment step (a table lookup plus an RNG draw), one
+ * behaviour-policy query, and the SoA log append. Anchored to the
+ * CPU update model above — the dependency chain is a small multiple
+ * of CpuModelParams::baseLatencyNs (18 ns per tabular update), and a
+ * cache-resident 120 ns/step sits between that and the
+ * cacheMissPenaltyNs regime. The constant is a default, overridable
+ * through StreamingConfig::collectSecPerTransition, and — like every
+ * cost constant — can never change a collected transition's value
+ * (docs/COSTMODEL.md).
+ */
+inline constexpr double kActorStepSec = 120.0e-9;
+
 /** The paper's two CPU baseline variants. */
 enum class CpuVersion
 {

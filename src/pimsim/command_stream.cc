@@ -154,6 +154,35 @@ CommandStream::onCoreCompute(double seconds, TimeBucket bucket,
 }
 
 double
+CommandStream::recordHostSpan(Phase phase, TimeBucket bucket,
+                              double start, double seconds,
+                              std::string_view label)
+{
+    SWIFTRL_ASSERT(start >= 0.0, "host spans cannot start before 0");
+    SWIFTRL_ASSERT(seconds >= 0.0,
+                   "host span durations cannot be negative");
+    Event event;
+    event.index = _timeline.size();
+    event.phase = phase;
+    event.bucket = bucket;
+    event.start = start;
+    event.end = start + seconds;
+    event.label = std::string(label);
+    _timeline.record(std::move(event));
+    return seconds;
+}
+
+double
+CommandStream::waitUntil(double time)
+{
+    if (time <= _cursor)
+        return 0.0;
+    const double gap = time - _cursor;
+    _cursor = time;
+    return gap;
+}
+
+double
 CommandStream::sync()
 {
     const double elapsed = _cursor - _syncMark;

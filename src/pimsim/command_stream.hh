@@ -24,6 +24,12 @@
  * and timeline, while functional state (MRAM) is shared and mutated
  * in enqueue order. The blocking PimSystem API is a thin wrapper over
  * a per-system default stream.
+ *
+ * Two extras serve overlapped (streaming) execution plans: waitUntil
+ * advances the clock to a host-side dependency (the queue idles), and
+ * recordHostSpan records host work at an explicit interval that may
+ * overlap the command queue — how the streaming trainer draws actor
+ * collection slices under concurrent PIM training.
  */
 
 #ifndef SWIFTRL_PIMSIM_COMMAND_STREAM_HH
@@ -116,6 +122,28 @@ class CommandStream
     double onCoreCompute(double seconds, TimeBucket bucket,
                          std::string_view label = "convert");
 
+    /**
+     * Record work that happened *off* the PIM command queue — e.g. an
+     * actor thread's collection slice in the streaming trainer — at an
+     * explicit `[start, start+seconds]` interval. The stream cursor
+     * does not move: host-track events may overlap PIM commands, which
+     * is how the timeline shows collection hiding under training.
+     * Use Phase::HostCollect / TimeBucket::HostCollect for actor work;
+     * the event still lands on this stream's timeline and trace.
+     * @return @p seconds.
+     */
+    double recordHostSpan(Phase phase, TimeBucket bucket, double start,
+                          double seconds, std::string_view label);
+
+    /**
+     * Block the command queue on a host-side dependency: advance the
+     * stream clock to @p time if it is in the future (the queue sits
+     * idle until the dependency — e.g. the current generation's
+     * collection — resolves). Records no event.
+     * @return the idle gap in modelled seconds (0 when already past).
+     */
+    double waitUntil(double time);
+
     // --- clock --------------------------------------------------------
 
     /**
@@ -132,6 +160,9 @@ class CommandStream
 
     /** System this stream drives. */
     PimSystem &system() { return _system; }
+
+    /** System this stream drives (read-only view). */
+    const PimSystem &system() const { return _system; }
 
   private:
     /** Advance the clock and record one event; returns @p seconds. */

@@ -9,13 +9,21 @@
  *
  *  - Phase: *where* the work physically happens — the track the
  *    event is drawn on in an exported Chrome trace (scatter /
- *    broadcast / kernel / gather / host-reduce);
+ *    broadcast / kernel / gather / host-reduce / host-collect);
  *  - TimeBucket: *which reported cost component* the event belongs
  *    to — the four-way split of SwiftRL's Figures 5/6 (kernel,
- *    CPU->PIM, PIM->CPU, inter-core). The same physical phase lands
- *    in different buckets depending on context: a gather during a
+ *    CPU->PIM, PIM->CPU, inter-core), plus the host-collect bucket
+ *    of the streaming extension. The same physical phase lands in
+ *    different buckets depending on context: a gather during a
  *    tau-synchronisation round is inter-core time, the final gather
  *    is PIM->CPU time.
+ *
+ * Events on the PIM command queue are contiguous and non-overlapping
+ * (one stream models one serialised host command queue). Host-track
+ * events (Phase::HostCollect) are recorded at explicit intervals via
+ * CommandStream::recordHostSpan and *may overlap* the PIM tracks —
+ * that overlap is exactly what the streaming trainer's timeline
+ * shows.
  */
 
 #ifndef SWIFTRL_PIMSIM_EVENT_HH
@@ -29,15 +37,16 @@ namespace swiftrl::pimsim {
 /** Physical phase of a command (one Chrome-trace track each). */
 enum class Phase
 {
-    Scatter,    ///< distinct per-core payloads, CPU -> MRAM banks
-    Broadcast,  ///< one payload replicated to every MRAM bank
-    Kernel,     ///< on-core execution (launches and on-core compute)
-    Gather,     ///< MRAM banks -> CPU
-    HostReduce, ///< host-side reduction between gather and broadcast
+    Scatter,     ///< distinct per-core payloads, CPU -> MRAM banks
+    Broadcast,   ///< one payload replicated to every MRAM bank
+    Kernel,      ///< on-core execution (launches and on-core compute)
+    Gather,      ///< MRAM banks -> CPU
+    HostReduce,  ///< host-side reduction between gather and broadcast
+    HostCollect, ///< host actor threads rolling out behaviour policies
 };
 
 /** Number of phases (trace tracks). */
-inline constexpr std::size_t kNumPhases = 5;
+inline constexpr std::size_t kNumPhases = 6;
 
 /** Stable lower-case name of a phase (trace track title). */
 constexpr const char *
@@ -49,6 +58,7 @@ phaseName(Phase phase)
     case Phase::Kernel: return "kernel";
     case Phase::Gather: return "gather";
     case Phase::HostReduce: return "host-reduce";
+    case Phase::HostCollect: return "host-collect";
     }
     return "?";
 }
@@ -56,14 +66,21 @@ phaseName(Phase phase)
 /** Reported cost component an event is accounted under. */
 enum class TimeBucket
 {
-    Kernel,   ///< PIM kernel execution
-    CpuToPim, ///< initial dataset / Q-table distribution
-    PimToCpu, ///< final result retrieval
+    Kernel,    ///< PIM kernel execution
+    CpuToPim,  ///< initial dataset / Q-table distribution
+    PimToCpu,  ///< final result retrieval
     InterCore, ///< tau-periodic Q-table exchange through the host
+    /**
+     * Host-side experience production (streaming mode): actor
+     * rollouts and behaviour-policy refreshes. Overlaps the PIM
+     * buckets in modelled time, so it is reported separately and
+     * never added to the Figure 5/6 four-way total.
+     */
+    HostCollect,
 };
 
 /** Number of buckets (TimeBreakdown components). */
-inline constexpr std::size_t kNumBuckets = 4;
+inline constexpr std::size_t kNumBuckets = 5;
 
 /** Stable name of a bucket. */
 constexpr const char *
@@ -74,6 +91,7 @@ bucketName(TimeBucket bucket)
     case TimeBucket::CpuToPim: return "cpu-to-pim";
     case TimeBucket::PimToCpu: return "pim-to-cpu";
     case TimeBucket::InterCore: return "inter-core";
+    case TimeBucket::HostCollect: return "host-collect";
     }
     return "?";
 }

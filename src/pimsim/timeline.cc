@@ -1,5 +1,6 @@
 #include "pimsim/timeline.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
 #include <ostream>
@@ -9,7 +10,10 @@ namespace swiftrl::pimsim {
 double
 Timeline::endTime() const
 {
-    return _events.empty() ? 0.0 : _events.back().end;
+    double end = 0.0;
+    for (const auto &e : _events)
+        end = std::max(end, e.end);
+    return end;
 }
 
 double

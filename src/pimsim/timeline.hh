@@ -5,6 +5,14 @@
  * queryable per phase and per reported cost bucket, and exportable as
  * Chrome `chrome://tracing` JSON (one track per phase, one slice per
  * command).
+ *
+ * Events carry the two orthogonal tags described in event.hh: the
+ * *phase* is the physical operation and names the trace track, the
+ * *bucket* is the reported cost component the duration is accounted
+ * under. Command-queue events are contiguous; host-track events
+ * (recorded via CommandStream::recordHostSpan) may overlap them, so
+ * endTime() is the latest event end — the makespan — not the sum of
+ * durations.
  */
 
 #ifndef SWIFTRL_PIMSIM_TIMELINE_HH
@@ -34,7 +42,11 @@ class Timeline
     /** True when nothing has been recorded. */
     bool empty() const { return _events.empty(); }
 
-    /** End time of the last event (stream clock), 0 when empty. */
+    /**
+     * Latest event end in modelled seconds — the timeline's makespan
+     * (host-track events may overlap and outlast the command queue).
+     * 0 when empty.
+     */
     double endTime() const;
 
     /**

@@ -27,6 +27,21 @@ deriveLcgSeed(std::uint64_t seed, std::uint64_t stream)
     return s == 0 ? 0x1234567u : s;
 }
 
+/**
+ * Derive a full-width host-side seed for stream @p stream of
+ * experiment @p seed — used where the consumer is a host RNG
+ * (xorshift128+) rather than the 32-bit device LCG, e.g. one rollout
+ * seed per collection block so blocks are independent of how many
+ * actor threads execute them.
+ */
+inline std::uint64_t
+deriveHostSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    common::SplitMix64 mix(seed ^ (stream * 0x9e3779b97f4a7c15ull + 1));
+    mix.next(); // decorrelate from the LCG derivation above
+    return mix.next();
+}
+
 } // namespace swiftrl::rlcore
 
 #endif // SWIFTRL_RLCORE_SEEDS_HH

@@ -17,7 +17,8 @@ using rlcore::QTable;
 using rlcore::StateId;
 
 PimTrainer::PimTrainer(pimsim::PimSystem &system, PimTrainConfig config)
-    : _system(system), _config(std::move(config))
+    : _system(system), _config(std::move(config)),
+      _qio(_config.workload, _config.hyper)
 {
     if (_config.tau <= 0)
         SWIFTRL_FATAL("synchronisation period tau must be positive");
@@ -28,14 +29,6 @@ PimTrainer::PimTrainer(pimsim::PimSystem &system, PimTrainConfig config)
     if (_config.tasklets < 1 || _config.tasklets > 24)
         SWIFTRL_FATAL("UPMEM DPUs support 1-24 tasklets, got ",
                       _config.tasklets);
-}
-
-std::int32_t
-PimTrainer::fixedScale() const
-{
-    if (_config.workload.format == NumericFormat::Int8)
-        return 1 << _config.hyper.int8Shift;
-    return _config.hyper.scale;
 }
 
 std::size_t
@@ -63,87 +56,13 @@ PimTrainer::distribute(pimsim::CommandStream &stream,
         packed[i] =
             _config.workload.format == NumericFormat::Fp32
                 ? src.packFp32(firsts[i], counts[i])
-                : src.packInt32(firsts[i], counts[i], fixedScale());
+                : src.packInt32(firsts[i], counts[i],
+                                _qio.fixedScale());
         spans[i] = packed[i];
     }
 
     stream.pushChunks(_dataOffsetCache, spans, TimeBucket::CpuToPim,
                       "scatter:dataset");
-}
-
-void
-PimTrainer::initQTables(pimsim::CommandStream &stream, StateId ns,
-                        ActionId na)
-{
-    const std::size_t q_bytes = static_cast<std::size_t>(ns) *
-                                static_cast<std::size_t>(na) * 4;
-    // Algorithm 1 initialises the Q-table with zeros; the host pushes
-    // the initial table with the dataset (both formats share a 4-byte
-    // zero encoding).
-    const std::vector<std::uint8_t> zeros(q_bytes, 0);
-    stream.pushBroadcast(qOffset(), zeros, TimeBucket::CpuToPim,
-                         "broadcast:qinit");
-}
-
-std::vector<QTable>
-PimTrainer::gatherQTables(pimsim::CommandStream &stream, StateId ns,
-                          ActionId na, TimeBucket bucket)
-{
-    const std::size_t entries = static_cast<std::size_t>(ns) *
-                                static_cast<std::size_t>(na);
-    const std::size_t q_bytes = entries * 4;
-    std::vector<std::vector<std::uint8_t>> raw;
-    // INT32 kernels descale their tables to FP32 on-core before the
-    // transfer (Sec. 4.2); the conversion runs in parallel on all
-    // cores, so it costs one per-core table pass.
-    const double convert = conversionSeconds(entries, /*to_float=*/true);
-    if (convert > 0.0)
-        stream.onCoreCompute(convert, bucket, "convert:descale");
-    stream.gather(qOffset(), q_bytes, raw, bucket, "gather:q");
-
-    std::vector<QTable> tables;
-    tables.reserve(raw.size());
-    for (const auto &bytes : raw) {
-        QTable t(ns, na);
-        if (_config.workload.format == NumericFormat::Fp32) {
-            std::memcpy(t.values().data(), bytes.data(), q_bytes);
-        } else {
-            // Functional descale in double precision: exact for every
-            // raw value below 2^53, so a 1-core run roundtrips
-            // bit-perfectly (the modelled cost above is what the
-            // on-core float conversion would take).
-            const auto *fixed =
-                reinterpret_cast<const std::int32_t *>(bytes.data());
-            for (std::size_t i = 0; i < entries; ++i) {
-                t.values()[i] = static_cast<float>(
-                    static_cast<double>(fixed[i]) /
-                    static_cast<double>(fixedScale()));
-            }
-        }
-        tables.push_back(std::move(t));
-    }
-    return tables;
-}
-
-void
-PimTrainer::broadcastQTable(pimsim::CommandStream &stream,
-                            const QTable &q, TimeBucket bucket)
-{
-    const std::size_t entries = q.entryCount();
-    std::vector<std::uint8_t> bytes(entries * 4);
-    if (_config.workload.format == NumericFormat::Fp32) {
-        std::memcpy(bytes.data(), q.values().data(), bytes.size());
-    } else {
-        const auto fixed = q.toFixed(fixedScale());
-        std::memcpy(bytes.data(), fixed.data(), bytes.size());
-    }
-    stream.pushBroadcast(qOffset(), bytes, bucket, "broadcast:q");
-    // Re-quantisation back to raw fixed point happens on-core after
-    // the broadcast lands.
-    const double convert =
-        conversionSeconds(entries, /*to_float=*/false);
-    if (convert > 0.0)
-        stream.onCoreCompute(convert, bucket, "convert:requantise");
 }
 
 QTable
@@ -180,29 +99,6 @@ PimTrainer::weightedAverage(
     return out;
 }
 
-double
-PimTrainer::conversionSeconds(std::size_t q_entries,
-                              bool to_float) const
-{
-    if (_config.workload.format == NumericFormat::Fp32)
-        return 0.0;
-    const auto &model = _system.config().costModel;
-    using pimsim::OpClass;
-    // Descale: int divide (or a shift for the power-of-two INT8
-    // scale) + int-to-float conversion per entry. Requantise: FP32
-    // multiply + float-to-int per entry.
-    const bool pow2 = _config.workload.format == NumericFormat::Int8;
-    const pimsim::Cycles descale_op =
-        pow2 ? model.cyclesFor(OpClass::IntAlu)
-             : model.cyclesFor(OpClass::Int32Div);
-    const pimsim::Cycles per_entry =
-        to_float ? descale_op + 2 * model.cyclesFor(OpClass::IntAlu)
-                 : model.cyclesFor(OpClass::Fp32Mul) +
-                       2 * model.cyclesFor(OpClass::IntAlu);
-    return model.seconds(per_entry *
-                         static_cast<pimsim::Cycles>(q_entries));
-}
-
 PimTrainResult
 PimTrainer::train(const Dataset &data, StateId num_states,
                   ActionId num_actions)
@@ -235,7 +131,7 @@ PimTrainer::train(const Dataset &data, StateId num_states,
         counts[i] = chunks[i].count;
     }
     distribute(stream, sources, firsts, counts);
-    initQTables(stream, num_states, num_actions);
+    _qio.initQTables(stream, num_states, num_actions);
 
     // Persistent LCG streams, one per (core, tasklet).
     const std::size_t streams = n * _config.tasklets;
@@ -248,7 +144,7 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     params.hyper = _config.hyper;
     params.numStates = num_states;
     params.numActions = num_actions;
-    params.qOffset = qOffset();
+    params.qOffset = _qio.qOffset();
     params.dataOffset = _dataOffsetCache;
     params.chunkCounts = &counts;
     params.lcgStates = &lcg_states;
@@ -272,8 +168,8 @@ PimTrainer::train(const Dataset &data, StateId num_states,
             },
             _config.tasklets, TimeBucket::Kernel, "kernel:round");
 
-        auto tables = gatherQTables(stream, num_states, num_actions,
-                                    TimeBucket::InterCore);
+        auto tables = _qio.gatherQTables(
+            stream, num_states, num_actions, TimeBucket::InterCore);
         const QTable previous = aggregated;
         if (_config.weightedAggregation) {
             // Extra gather of the per-core visit counts, then a
@@ -294,7 +190,8 @@ PimTrainer::train(const Dataset &data, StateId num_states,
             _system.config().transferModel.hostReduceSecPerEntry *
                 static_cast<double>(entries) * static_cast<double>(n),
             "reduce:average");
-        broadcastQTable(stream, aggregated, TimeBucket::InterCore);
+        _qio.broadcastQTable(stream, aggregated,
+                             TimeBucket::InterCore);
         ++result.commRounds;
     }
 
@@ -303,12 +200,12 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     // is that aggregate; the gather is still paid for (Figure 4 (3)) —
     // timing-only, as the host provably holds the payload already.
     const double convert =
-        conversionSeconds(entries, /*to_float=*/true);
+        _qio.conversionSeconds(stream, entries, /*to_float=*/true);
     if (convert > 0.0)
         stream.onCoreCompute(convert, TimeBucket::PimToCpu,
                              "convert:descale");
-    stream.gatherTimed(qOffset(), entries * 4, TimeBucket::PimToCpu,
-                       "gather:final");
+    stream.gatherTimed(_qio.qOffset(), entries * 4,
+                       TimeBucket::PimToCpu, "gather:final");
     result.finalQ = std::move(aggregated);
     result.time = breakdownFromTimeline(stream.timeline());
     result.timeline = stream.timeline();
@@ -348,7 +245,7 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
         counts[i] = agent_data[i].size();
     }
     distribute(stream, sources, firsts, counts);
-    initQTables(stream, num_states, num_actions);
+    _qio.initQTables(stream, num_states, num_actions);
 
     const std::size_t streams = n * _config.tasklets;
     std::vector<std::uint32_t> lcg_states(streams);
@@ -360,7 +257,7 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
     params.hyper = _config.hyper;
     params.numStates = num_states;
     params.numActions = num_actions;
-    params.qOffset = qOffset();
+    params.qOffset = _qio.qOffset();
     params.dataOffset = _dataOffsetCache;
     params.chunkCounts = &counts;
     params.lcgStates = &lcg_states;
@@ -377,8 +274,8 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
         },
         _config.tasklets, TimeBucket::Kernel, "kernel:episodes");
 
-    result.perCore = gatherQTables(stream, num_states, num_actions,
-                                   TimeBucket::PimToCpu);
+    result.perCore = _qio.gatherQTables(
+        stream, num_states, num_actions, TimeBucket::PimToCpu);
     // finalQ kept as the average for convenience (diagnostics only;
     // each agent deploys its own table).
     result.finalQ = QTable::average(result.perCore);

@@ -27,6 +27,7 @@
 #include "pimsim/timeline.hh"
 #include "rlcore/dataset.hh"
 #include "rlcore/qtable.hh"
+#include "swiftrl/qtable_io.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
 
@@ -150,26 +151,6 @@ class PimTrainer
                     const std::vector<std::size_t> &firsts,
                     const std::vector<std::size_t> &counts);
 
-    /** Zero the Q-table region on every core. */
-    void initQTables(pimsim::CommandStream &stream, rlcore::StateId ns,
-                     rlcore::ActionId na);
-
-    /**
-     * Gather all per-core Q-tables (functional + timing), including
-     * the on-core descale-to-FP32 step, charged to @p bucket.
-     */
-    std::vector<rlcore::QTable> gatherQTables(
-        pimsim::CommandStream &stream, rlcore::StateId ns,
-        rlcore::ActionId na, pimsim::TimeBucket bucket);
-
-    /**
-     * Broadcast one Q-table to every core's MRAM Q region, including
-     * the on-core requantise step, charged to @p bucket.
-     */
-    void broadcastQTable(pimsim::CommandStream &stream,
-                         const rlcore::QTable &q,
-                         pimsim::TimeBucket bucket);
-
     /**
      * Visit-count-weighted mean of per-core tables; entries with
      * zero total visits keep @p previous's value.
@@ -179,24 +160,17 @@ class PimTrainer
         const std::vector<std::vector<std::uint8_t>> &raw_counts,
         const rlcore::QTable &previous) const;
 
-    /**
-     * Modelled on-core cost of converting a Q-table between raw INT32
-     * and FP32 wire format (the descale-before-transfer step); zero
-     * for FP32 workloads.
-     */
-    double conversionSeconds(std::size_t q_entries, bool to_float) const;
-
-    std::size_t qOffset() const { return 0; }
     std::size_t dataOffset(std::size_t q_bytes) const;
-
-    /**
-     * Fixed-point scale for the active format: hyper.scale for INT32,
-     * 1 << hyper.int8Shift for the INT8 optimisation.
-     */
-    std::int32_t fixedScale() const;
 
     pimsim::PimSystem &_system;
     PimTrainConfig _config;
+
+    /**
+     * Q-table transfer helper shared with the streaming trainer:
+     * packing, broadcast/gather commands, and the on-core
+     * fixed<->float conversion costs all come from here.
+     */
+    QTableIo _qio;
 
     /** MRAM byte offset of the transition region for the active run. */
     std::size_t _dataOffsetCache = 0;

@@ -1,0 +1,119 @@
+#include "swiftrl/qtable_io.hh"
+
+#include <cstring>
+
+#include "pimsim/pim_system.hh"
+
+namespace swiftrl {
+
+using pimsim::TimeBucket;
+using rlcore::ActionId;
+using rlcore::NumericFormat;
+using rlcore::QTable;
+using rlcore::StateId;
+
+std::int32_t
+QTableIo::fixedScale() const
+{
+    if (_workload.format == NumericFormat::Int8)
+        return 1 << _hyper.int8Shift;
+    return _hyper.scale;
+}
+
+double
+QTableIo::conversionSeconds(const pimsim::CommandStream &stream,
+                            std::size_t q_entries, bool to_float) const
+{
+    if (_workload.format == NumericFormat::Fp32)
+        return 0.0;
+    const auto &model = stream.system().config().costModel;
+    using pimsim::OpClass;
+    // Descale: int divide (or a shift for the power-of-two INT8
+    // scale) + int-to-float conversion per entry. Requantise: FP32
+    // multiply + float-to-int per entry.
+    const bool pow2 = _workload.format == NumericFormat::Int8;
+    const pimsim::Cycles descale_op =
+        pow2 ? model.cyclesFor(OpClass::IntAlu)
+             : model.cyclesFor(OpClass::Int32Div);
+    const pimsim::Cycles per_entry =
+        to_float ? descale_op + 2 * model.cyclesFor(OpClass::IntAlu)
+                 : model.cyclesFor(OpClass::Fp32Mul) +
+                       2 * model.cyclesFor(OpClass::IntAlu);
+    return model.seconds(per_entry *
+                         static_cast<pimsim::Cycles>(q_entries));
+}
+
+void
+QTableIo::initQTables(pimsim::CommandStream &stream, StateId ns,
+                      ActionId na) const
+{
+    const std::size_t q_bytes = static_cast<std::size_t>(ns) *
+                                static_cast<std::size_t>(na) * 4;
+    const std::vector<std::uint8_t> zeros(q_bytes, 0);
+    stream.pushBroadcast(qOffset(), zeros, TimeBucket::CpuToPim,
+                         "broadcast:qinit");
+}
+
+std::vector<QTable>
+QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
+                        ActionId na, TimeBucket bucket) const
+{
+    const std::size_t entries = static_cast<std::size_t>(ns) *
+                                static_cast<std::size_t>(na);
+    const std::size_t q_bytes = entries * 4;
+    std::vector<std::vector<std::uint8_t>> raw;
+    // INT32 kernels descale their tables to FP32 on-core before the
+    // transfer (Sec. 4.2); the conversion runs in parallel on all
+    // cores, so it costs one per-core table pass.
+    const double convert =
+        conversionSeconds(stream, entries, /*to_float=*/true);
+    if (convert > 0.0)
+        stream.onCoreCompute(convert, bucket, "convert:descale");
+    stream.gather(qOffset(), q_bytes, raw, bucket, "gather:q");
+
+    std::vector<QTable> tables;
+    tables.reserve(raw.size());
+    for (const auto &bytes : raw) {
+        QTable t(ns, na);
+        if (_workload.format == NumericFormat::Fp32) {
+            std::memcpy(t.values().data(), bytes.data(), q_bytes);
+        } else {
+            // Functional descale in double precision: exact for every
+            // raw value below 2^53, so a 1-core run roundtrips
+            // bit-perfectly (the modelled cost above is what the
+            // on-core float conversion would take).
+            const auto *fixed =
+                reinterpret_cast<const std::int32_t *>(bytes.data());
+            for (std::size_t i = 0; i < entries; ++i) {
+                t.values()[i] = static_cast<float>(
+                    static_cast<double>(fixed[i]) /
+                    static_cast<double>(fixedScale()));
+            }
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+void
+QTableIo::broadcastQTable(pimsim::CommandStream &stream,
+                          const QTable &q, TimeBucket bucket) const
+{
+    const std::size_t entries = q.entryCount();
+    std::vector<std::uint8_t> bytes(entries * 4);
+    if (_workload.format == NumericFormat::Fp32) {
+        std::memcpy(bytes.data(), q.values().data(), bytes.size());
+    } else {
+        const auto fixed = q.toFixed(fixedScale());
+        std::memcpy(bytes.data(), fixed.data(), bytes.size());
+    }
+    stream.pushBroadcast(qOffset(), bytes, bucket, "broadcast:q");
+    // Re-quantisation back to raw fixed point happens on-core after
+    // the broadcast lands.
+    const double convert =
+        conversionSeconds(stream, entries, /*to_float=*/false);
+    if (convert > 0.0)
+        stream.onCoreCompute(convert, bucket, "convert:requantise");
+}
+
+} // namespace swiftrl

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Q-table wire I/O shared by the offline (PimTrainer) and streaming
+ * (StreamingTrainer) trainers: initialising, gathering, and
+ * broadcasting Q-tables over a command stream, including the on-core
+ * fixed-point<->FP32 conversion the paper describes flanking every
+ * transfer ("convert the values back from INT32 to FP32 ... before
+ * the PIM cores transfer", Sec. 4.2).
+ *
+ * Extracting this from PimTrainer keeps the two trainers' transfers
+ * byte- and cycle-identical by construction: same packing, same
+ * conversion cost formula, same event labels on the timeline.
+ */
+
+#ifndef SWIFTRL_SWIFTRL_QTABLE_IO_HH
+#define SWIFTRL_SWIFTRL_QTABLE_IO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pimsim/command_stream.hh"
+#include "rlcore/qtable.hh"
+#include "rlcore/types.hh"
+#include "swiftrl/workload.hh"
+
+namespace swiftrl {
+
+/**
+ * Stateless helper binding a workload's numeric format (and its
+ * fixed-point scale) to the Q-table transfer commands. The Q region
+ * always starts at MRAM offset 0.
+ */
+class QTableIo
+{
+  public:
+    /**
+     * @param workload decides the wire format (FP32 bytes vs raw
+     *        fixed point with an on-core conversion step).
+     * @param hyper supplies the fixed-point scale parameters.
+     */
+    QTableIo(const Workload &workload, const rlcore::Hyper &hyper)
+        : _workload(workload), _hyper(hyper)
+    {
+    }
+
+    /** MRAM byte offset of the Q-table region (always 0). */
+    std::size_t qOffset() const { return 0; }
+
+    /**
+     * Fixed-point scale for the active format: hyper.scale for INT32,
+     * 1 << hyper.int8Shift for the INT8 optimisation.
+     */
+    std::int32_t fixedScale() const;
+
+    /**
+     * Modelled on-core cost of converting a Q-table between raw
+     * fixed point and FP32 wire format (the descale-before-transfer /
+     * requantise-after-broadcast step); zero for FP32 workloads.
+     */
+    double conversionSeconds(const pimsim::CommandStream &stream,
+                             std::size_t q_entries,
+                             bool to_float) const;
+
+    /**
+     * Broadcast the all-zeros initial Q-table to every core
+     * (Algorithm 1's initialisation; both formats share a 4-byte
+     * zero encoding). Charged to CpuToPim.
+     */
+    void initQTables(pimsim::CommandStream &stream,
+                     rlcore::StateId num_states,
+                     rlcore::ActionId num_actions) const;
+
+    /**
+     * Gather all per-core Q-tables (functional + timing), including
+     * the on-core descale-to-FP32 step, charged to @p bucket.
+     */
+    std::vector<rlcore::QTable> gatherQTables(
+        pimsim::CommandStream &stream, rlcore::StateId num_states,
+        rlcore::ActionId num_actions, pimsim::TimeBucket bucket) const;
+
+    /**
+     * Broadcast one Q-table to every core's MRAM Q region, including
+     * the on-core requantise step, charged to @p bucket.
+     */
+    void broadcastQTable(pimsim::CommandStream &stream,
+                         const rlcore::QTable &q,
+                         pimsim::TimeBucket bucket) const;
+
+  private:
+    Workload _workload;
+    rlcore::Hyper _hyper;
+};
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_QTABLE_IO_HH

@@ -1,0 +1,261 @@
+#include "swiftrl/streaming_trainer.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "rlcore/seeds.hh"
+#include "swiftrl/partition.hh"
+#include "swiftrl/pim_kernels.hh"
+
+namespace swiftrl {
+
+using pimsim::Phase;
+using pimsim::TimeBucket;
+using rlcore::ActionId;
+using rlcore::Dataset;
+using rlcore::NumericFormat;
+using rlcore::QTable;
+using rlcore::StateId;
+
+StreamingTrainer::StreamingTrainer(pimsim::PimSystem &system,
+                                   StreamingConfig config)
+    : _system(system), _config(std::move(config)),
+      _qio(_config.workload, _config.hyper)
+{
+    if (_config.tau <= 0)
+        SWIFTRL_FATAL("synchronisation period tau must be positive");
+    if (_config.hyper.episodes <= 0)
+        SWIFTRL_FATAL("per-generation episode count must be positive");
+    if (_config.generations <= 0)
+        SWIFTRL_FATAL("generation count must be positive");
+    if (_config.transitionsPerGeneration == 0)
+        SWIFTRL_FATAL("each generation must collect at least one "
+                      "transition");
+    if (_config.blockTransitions == 0)
+        SWIFTRL_FATAL("staging block must hold at least one transition");
+    if (_config.actors == 0)
+        SWIFTRL_FATAL("actor count must be >= 1: modelled collection "
+                      "time may not depend on the host machine");
+    if (_config.tasklets < 1 || _config.tasklets > 24)
+        SWIFTRL_FATAL("UPMEM DPUs support 1-24 tasklets, got ",
+                      _config.tasklets);
+    if (_config.refreshPeriod < 0)
+        SWIFTRL_FATAL("refresh period must be >= 0 (0 = never)");
+    if (_config.collectSecPerTransition < 0.0)
+        SWIFTRL_FATAL("per-transition collection cost must be >= 0");
+}
+
+double
+StreamingTrainer::collectDuration(std::size_t num_transitions) const
+{
+    // Mirror rlcore::collectPolicyBlocks's round-robin assignment:
+    // actor t executes blocks t, t+A, t+2A, ... The generation's
+    // collection slice lasts as long as the busiest actor.
+    const std::size_t block = _config.blockTransitions;
+    const std::size_t blocks = (num_transitions + block - 1) / block;
+    const std::size_t a = std::clamp<std::size_t>(
+        _config.actors, std::size_t{1}, blocks);
+    double busiest = 0.0;
+    for (std::size_t t = 0; t < a; ++t) {
+        std::size_t mine = 0;
+        for (std::size_t i = t; i < blocks; i += a) {
+            const std::size_t first = i * block;
+            mine += std::min(block, num_transitions - first);
+        }
+        busiest = std::max(busiest, static_cast<double>(mine));
+    }
+    return busiest * _config.collectSecPerTransition;
+}
+
+void
+StreamingTrainer::scatterGeneration(
+    pimsim::CommandStream &stream, const Dataset &data,
+    const std::vector<std::size_t> &firsts,
+    const std::vector<std::size_t> &counts, std::size_t data_offset,
+    int generation)
+{
+    const std::size_t n = _system.numDpus();
+    std::vector<std::vector<std::uint8_t>> packed(n);
+    std::vector<std::span<const std::uint8_t>> spans(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        packed[i] =
+            _config.workload.format == NumericFormat::Fp32
+                ? data.packFp32(firsts[i], counts[i])
+                : data.packInt32(firsts[i], counts[i],
+                                 _qio.fixedScale());
+        spans[i] = packed[i];
+    }
+    const std::string label =
+        "scatter:gen" + std::to_string(generation);
+    stream.pushChunks(data_offset, spans, TimeBucket::CpuToPim, label);
+}
+
+StreamingResult
+StreamingTrainer::train(const rlcore::EnvFactory &make_env,
+                        StateId num_states, ActionId num_actions)
+{
+    const std::size_t n = _system.numDpus();
+    const std::size_t entries =
+        static_cast<std::size_t>(num_states) *
+        static_cast<std::size_t>(num_actions);
+    const std::size_t q_bytes = entries * 4;
+    // Transitions start at the next 8-byte boundary past the Q region.
+    const std::size_t data_offset = (q_bytes + 7) / 8 * 8;
+
+    StreamingResult result;
+    result.coresUsed = n;
+    result.generations = _config.generations;
+
+    pimsim::CommandStream stream(_system);
+    _qio.initQTables(stream, num_states, num_actions);
+
+    // Persistent LCG streams, one per (core, tasklet), carried across
+    // generations exactly as a real deployment would keep the DPU
+    // binaries resident.
+    const std::size_t streams = n * _config.tasklets;
+    std::vector<std::uint32_t> lcg_states(streams);
+    for (std::size_t i = 0; i < streams; ++i)
+        lcg_states[i] = rlcore::deriveLcgSeed(_config.hyper.seed, i);
+
+    // The actors start uniform-random, like the paper's collector,
+    // until the first policy refresh (if any).
+    rlcore::BehaviourPolicy policy =
+        rlcore::makeRandomPolicy(num_actions);
+
+    QTable aggregated(num_states, num_actions);
+    // Aggregate after each generation, and the stream time its last
+    // training command retired — the refresh schedule reads both.
+    std::vector<QTable> q_after;
+    std::vector<double> train_end;
+    double host_clock = 0.0; // when the actor pool is next free
+
+    const double reduce_per_entry =
+        _system.config().transferModel.hostReduceSecPerEntry;
+
+    for (int g = 0; g < _config.generations; ++g) {
+        // --- behaviour-policy refresh (generation-indexed) ----------
+        if (_config.refreshPeriod > 0 && g >= 2 &&
+            g % _config.refreshPeriod == 0) {
+            // Newest aggregate available when g's collection starts:
+            // generation g-1 is still on the PIM side under the
+            // overlap, so the actors see the table through g-2.
+            policy = rlcore::makeEpsilonGreedyPolicy(
+                q_after[static_cast<std::size_t>(g) - 2],
+                _config.behaviourEpsilon);
+            const double cost =
+                reduce_per_entry * static_cast<double>(entries);
+            const double start =
+                std::max(host_clock,
+                         train_end[static_cast<std::size_t>(g) - 2]);
+            const std::string label =
+                "refresh:gen" + std::to_string(g);
+            stream.recordHostSpan(Phase::HostCollect,
+                                  TimeBucket::HostCollect, start, cost,
+                                  label);
+            host_clock = start + cost;
+            ++result.policyRefreshes;
+        }
+
+        // --- host-side collection (functional) ----------------------
+        const auto blocks = rlcore::collectPolicyBlocks(
+            make_env, policy, _config.transitionsPerGeneration,
+            _config.blockTransitions,
+            rlcore::deriveHostSeed(_config.collectSeed,
+                                   static_cast<std::uint64_t>(g)),
+            _config.actors);
+        const Dataset gen_data = rlcore::concatBlocks(blocks);
+
+        // --- host-side collection (temporal) ------------------------
+        // Overlap mode: the slice starts as soon as the actors are
+        // free — while generation g-1 still trains. Sequential mode
+        // additionally gates on the previous training finishing,
+        // which is the only difference between the two modes.
+        double collect_start = host_clock;
+        if (!_config.overlap && g > 0)
+            collect_start = std::max(
+                collect_start,
+                train_end[static_cast<std::size_t>(g) - 1]);
+        const double dur =
+            collectDuration(_config.transitionsPerGeneration);
+        const std::string collect_label =
+            "collect:gen" + std::to_string(g);
+        stream.recordHostSpan(Phase::HostCollect,
+                              TimeBucket::HostCollect, collect_start,
+                              dur, collect_label);
+        host_clock = collect_start + dur;
+        result.collectSeconds += dur;
+
+        // --- PIM-side training on the fresh generation --------------
+        // The scatter depends on the collection having finished; the
+        // queue idles if the data is not ready yet.
+        stream.waitUntil(host_clock);
+
+        const auto chunks = partitionDataset(gen_data.size(), n);
+        std::vector<std::size_t> firsts(n), counts(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            firsts[i] = chunks[i].first;
+            counts[i] = chunks[i].count;
+        }
+        scatterGeneration(stream, gen_data, firsts, counts,
+                          data_offset, g);
+
+        KernelParams params;
+        params.workload = _config.workload;
+        params.hyper = _config.hyper;
+        params.numStates = num_states;
+        params.numActions = num_actions;
+        params.qOffset = _qio.qOffset();
+        params.dataOffset = data_offset;
+        params.chunkCounts = &counts;
+        params.lcgStates = &lcg_states;
+        params.blockTransitions = _config.blockTransitions;
+        params.tasklets = _config.tasklets;
+
+        int remaining = _config.hyper.episodes;
+        while (remaining > 0) {
+            params.episodes = std::min(_config.tau, remaining);
+            remaining -= params.episodes;
+
+            stream.launch(
+                [&params](pimsim::KernelContext &ctx) {
+                    runTrainingKernel(ctx, params);
+                },
+                _config.tasklets, TimeBucket::Kernel, "kernel:round");
+
+            auto tables = _qio.gatherQTables(
+                stream, num_states, num_actions, TimeBucket::InterCore);
+            aggregated = QTable::average(tables);
+            stream.hostReduce(reduce_per_entry *
+                                  static_cast<double>(entries) *
+                                  static_cast<double>(n),
+                              "reduce:average");
+            _qio.broadcastQTable(stream, aggregated,
+                                 TimeBucket::InterCore);
+            ++result.commRounds;
+        }
+
+        train_end.push_back(stream.now());
+        q_after.push_back(aggregated);
+    }
+
+    // Final retrieval, identical to the offline trainer's step 3+4.
+    const double convert =
+        _qio.conversionSeconds(stream, entries, /*to_float=*/true);
+    if (convert > 0.0)
+        stream.onCoreCompute(convert, TimeBucket::PimToCpu,
+                             "convert:descale");
+    stream.gatherTimed(_qio.qOffset(), q_bytes, TimeBucket::PimToCpu,
+                       "gather:final");
+
+    result.finalQ = std::move(aggregated);
+    result.time = breakdownFromTimeline(stream.timeline());
+    result.timeline = stream.timeline();
+    result.endToEnd = result.timeline.endTime();
+    result.transitions =
+        static_cast<std::size_t>(_config.generations) *
+        _config.transitionsPerGeneration;
+    return result;
+}
+
+} // namespace swiftrl

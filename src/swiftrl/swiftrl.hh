@@ -38,6 +38,7 @@
 #include "rlenv/taxi.hh"
 #include "swiftrl/partition.hh"
 #include "swiftrl/pim_trainer.hh"
+#include "swiftrl/streaming_trainer.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
 

@@ -14,6 +14,7 @@ breakdownFromTimeline(const pimsim::Timeline &timeline)
         case TimeBucket::CpuToPim: time.cpuToPim += d; break;
         case TimeBucket::PimToCpu: time.pimToCpu += d; break;
         case TimeBucket::InterCore: time.interCore += d; break;
+        case TimeBucket::HostCollect: time.hostCollect += d; break;
         }
     }
     return time;

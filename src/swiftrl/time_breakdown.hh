@@ -30,7 +30,17 @@ struct TimeBreakdown
     /** Q-value exchange between PIM cores (via the host). */
     double interCore = 0.0;
 
-    /** Sum of all components. */
+    /**
+     * Host-side actor collection busy time (streaming mode only; 0
+     * for the paper's offline runs). Deliberately *excluded* from
+     * total(): collection overlaps the PIM pipeline in modelled time,
+     * so adding it would double-count wall-clock the overlap already
+     * hid. The streaming makespan is StreamingResult::endToEnd (the
+     * timeline's end), not a sum of busy times.
+     */
+    double hostCollect = 0.0;
+
+    /** Sum of the four Figure 5/6 components (PIM-pipeline time). */
     double
     total() const
     {
@@ -52,6 +62,7 @@ struct TimeBreakdown
         cpuToPim += other.cpuToPim;
         pimToCpu += other.pimToCpu;
         interCore += other.interCore;
+        hostCollect += other.hostCollect;
         return *this;
     }
 };

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "rlcore/collection.hh"
 #include "rlcore/evaluate.hh"
 #include "rlcore/trainers.hh"
@@ -88,6 +91,95 @@ TEST(Collection, BoltzmannPolicyCollects)
     for (std::size_t i = 0; i < data.size(); ++i)
         seen.insert(data.get(i).action);
     EXPECT_EQ(seen.size(), 4u); // high temperature explores
+}
+
+// --- block-granular collection (streaming extension) ----------------
+
+std::unique_ptr<swiftrl::rlenv::Environment>
+makeSlipperyLake()
+{
+    return std::make_unique<FrozenLake>(true);
+}
+
+void
+expectSameData(const Dataset &a, const Dataset &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.get(i), b.get(i)) << "transition " << i;
+}
+
+TEST(CollectionBlocks, ExactCountWhenNotDivisible)
+{
+    // 1000 = 7 full blocks of 128 plus a short tail of 104.
+    const auto blocks = collectPolicyBlocks(
+        makeSlipperyLake, makeRandomPolicy(4), 1000, 128, 5);
+    ASSERT_EQ(blocks.size(), 8u);
+    for (std::size_t i = 0; i + 1 < blocks.size(); ++i)
+        EXPECT_EQ(blocks[i].size(), 128u) << "block " << i;
+    EXPECT_EQ(blocks.back().size(), 104u);
+    EXPECT_EQ(concatBlocks(blocks).size(), 1000u);
+}
+
+TEST(CollectionBlocks, ThreadCountNeverChangesTheData)
+{
+    const auto reference = concatBlocks(collectPolicyBlocks(
+        makeSlipperyLake, makeRandomPolicy(4), 3000, 256, 6, 1));
+    for (const unsigned threads : {3u, 8u}) {
+        const auto parallel = concatBlocks(collectPolicyBlocks(
+            makeSlipperyLake, makeRandomPolicy(4), 3000, 256, 6,
+            threads));
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectSameData(reference, parallel);
+    }
+}
+
+TEST(CollectionBlocks, BlocksAreIndependentOfEachOther)
+{
+    // Block i depends only on (policy, seed, i): collecting a single
+    // block's worth reproduces block 0 of the full run exactly.
+    const auto full = collectPolicyBlocks(
+        makeSlipperyLake, makeRandomPolicy(4), 512, 128, 7);
+    const auto lone = collectPolicyBlocks(
+        makeSlipperyLake, makeRandomPolicy(4), 128, 128, 7);
+    ASSERT_EQ(lone.size(), 1u);
+    expectSameData(full[0], lone[0]);
+}
+
+TEST(CollectionBlocks, EpisodeResetExactlyAtBlockEdge)
+{
+    // On the non-slippery lake this policy walks S->G in exactly 6
+    // steps: 0 ->R 1 ->R 2 ->D 6 ->D 10 ->D 14 ->R 15 (goal). With
+    // 6-transition blocks every block is one complete episode that
+    // terminates exactly on the block edge, and the next block must
+    // start from a fresh reset (state 0) like any other block.
+    const BehaviourPolicy solver =
+        [](StateId s, swiftrl::common::XorShift128 &) -> ActionId {
+        switch (s) {
+        case 2:
+        case 6:
+        case 10:
+            return 1; // Down
+        default:
+            return 2; // Right
+        }
+    };
+    const auto blocks = collectPolicyBlocks(
+        [] { return std::make_unique<FrozenLake>(false); }, solver,
+        24, 6, 9);
+    ASSERT_EQ(blocks.size(), 4u);
+    const StateId path[6] = {0, 1, 2, 6, 10, 14};
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        SCOPED_TRACE("block " + std::to_string(b));
+        ASSERT_EQ(blocks[b].size(), 6u);
+        for (std::size_t i = 0; i < 6; ++i) {
+            const auto t = blocks[b].get(i);
+            EXPECT_EQ(t.state, path[i]);
+            EXPECT_EQ(t.terminal, i == 5);
+        }
+        EXPECT_EQ(blocks[b].get(5).nextState, 15);
+        EXPECT_EQ(blocks[b].get(5).reward, 1.0f);
+    }
 }
 
 TEST(Collection, MixedPolicyDataTrainsBetterThanItsSource)

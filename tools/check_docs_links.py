@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Check that the repository's markdown documentation is self-consistent.
+
+Two classes of reference are verified, stdlib only:
+
+ 1. relative markdown links ``[text](path)`` and ``[text](path#anchor)``
+    must resolve to an existing file or directory (http(s)/mailto links
+    are skipped);
+ 2. backtick code references that look like repository paths
+    (``src/...``, ``tests/...``, ``bench/...``, ``docs/...``,
+    ``examples/...``, ``tools/...``) must name an existing file or
+    directory, so renaming a bench or test without updating the docs
+    fails CI. Extensionless references (``bench/ablation_tau``,
+    ``src/rlcore/mdp``) name a built binary or a module and resolve if
+    a source file with that stem exists.
+
+Machine-provided inputs (PAPER.md, PAPERS.md, SNIPPETS.md, ISSUE.md)
+are not checked — their content is retrieved, not authored here.
+
+Exit status 0 when everything resolves, 1 otherwise (one line per
+broken reference).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+SOURCE_EXTENSIONS = (".cc", ".cpp", ".hh", ".h", ".py", ".md")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `bench/foo_bar` or `tests/test_x.cc` etc.; a trailing §/: suffix or
+# anchor is not part of the path.
+CODE_REF = re.compile(
+    r"`((?:src|tests|bench|docs|examples|tools)/[A-Za-z0-9_./-]+)`")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files():
+    for path in sorted(REPO.glob("*.md")):
+        if path.name not in SKIP_FILES:
+            yield path
+    for path in sorted((REPO / "docs").rglob("*.md")):
+        yield path
+
+
+def path_ref_resolves(ref):
+    target = REPO / ref
+    if target.exists():
+        return True
+    # `bench/ablation_tau` = the binary built from bench/ablation_tau.cc;
+    # `src/rlcore/mdp` = the mdp.hh/.cc module.
+    return any(
+        target.with_suffix(ext).exists() for ext in SOURCE_EXTENSIONS)
+
+
+def check_file(md):
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for match in MD_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or target.startswith(SKIP_SCHEMES):
+            continue
+        resolved = (md.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+    for match in CODE_REF.finditer(text):
+        ref = match.group(1)
+        if not path_ref_resolves(ref):
+            errors.append(f"{md.relative_to(REPO)}: missing path -> `{ref}`")
+    return errors
+
+
+def main():
+    errors = []
+    count = 0
+    for md in markdown_files():
+        count += 1
+        errors.extend(check_file(md))
+    for line in errors:
+        print(line)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken reference(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
