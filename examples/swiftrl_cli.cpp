@@ -93,7 +93,8 @@ main(int argc, char **argv)
          "save-qtable", "save-dataset", "load-dataset", "stats",
          "alpha", "gamma", "epsilon", "weighted", "trace",
          "host-threads", "streaming", "actors", "refresh-period",
-         "generations"});
+         "generations", "fault-seed", "fault-rate", "dropout-rate",
+         "retry-limit"});
 
     const auto env_name = flags.getString("env", "frozenlake");
     auto env = rlenv::makeEnvironment(env_name);
@@ -106,7 +107,26 @@ main(int argc, char **argv)
         static_cast<std::size_t>(flags.getInt("cores", 256));
     pim.hostThreads =
         static_cast<unsigned>(flags.getInt("host-threads", 0));
+    // Fault injection (off by default): --fault-rate covers transient
+    // kernel faults and wire corruption, --dropout-rate permanent
+    // core loss; draws are seeded by --fault-seed, so a run's fault
+    // sequence — and its recovered Q-table — is reproducible.
+    pim.faultPlan.seed =
+        static_cast<std::uint64_t>(flags.getInt("fault-seed", 1));
+    const double fault_rate = flags.getDouble("fault-rate", 0.0);
+    pim.faultPlan.transientRate = fault_rate;
+    pim.faultPlan.corruptRate = fault_rate;
+    pim.faultPlan.dropoutRate = flags.getDouble("dropout-rate", 0.0);
     pimsim::PimSystem system(pim);
+
+    RetryPolicy retry;
+    retry.limit = static_cast<int>(flags.getInt("retry-limit", 3));
+    if (pim.faultPlan.enabled()) {
+        std::cout << "fault injection:  rate " << fault_rate
+                  << ", dropout " << pim.faultPlan.dropoutRate
+                  << ", seed " << pim.faultPlan.seed
+                  << ", retry limit " << retry.limit << "\n";
+    }
 
     // Workload, shared by both modes.
     Workload workload;
@@ -158,6 +178,7 @@ main(int argc, char **argv)
             static_cast<int>(flags.getInt("refresh-period", 0));
         cfg.collectSeed =
             static_cast<std::uint64_t>(flags.getInt("seed", 1)) + 977;
+        cfg.retry = retry;
 
         std::cout << "streaming " << cfg.workload.name() << " on "
                   << pim.numDpus << " PIM cores, " << cfg.generations
@@ -183,6 +204,13 @@ main(int argc, char **argv)
                   << "comm rounds:      " << result.commRounds
                   << ", policy refreshes " << result.policyRefreshes
                   << ", transitions " << result.transitions << "\n";
+        if (pim.faultPlan.enabled()) {
+            std::cout << "recovery:         "
+                      << result.faultsDetected << " fault(s), "
+                      << result.coresLost << " core(s) lost, "
+                      << result.time.recovery
+                      << " s recovery overhead\n";
+        }
         return finishRun(flags, *env, result.finalQ, result.timeline,
                          system);
     }
@@ -217,6 +245,7 @@ main(int argc, char **argv)
     cfg.tasklets =
         static_cast<unsigned>(flags.getInt("tasklets", 1));
     cfg.weightedAggregation = flags.getBool("weighted", false);
+    cfg.retry = retry;
 
     std::cout << "training " << cfg.workload.name() << " on "
               << pim.numDpus << " PIM cores x " << cfg.tasklets
@@ -234,6 +263,12 @@ main(int argc, char **argv)
               << result.time.pimToCpu << ", inter-core "
               << result.time.interCore << ")\n"
               << "comm rounds:      " << result.commRounds << "\n";
+    if (pim.faultPlan.enabled()) {
+        std::cout << "recovery:         " << result.faultsDetected
+                  << " fault(s), " << result.coresLost
+                  << " core(s) lost, " << result.time.recovery
+                  << " s recovery overhead\n";
+    }
     return finishRun(flags, *env, result.finalQ, result.timeline,
                      system);
 }

@@ -1,6 +1,8 @@
 #include "common/cli.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -21,23 +23,34 @@ CliFlags::CliFlags(int argc, char **argv, std::vector<std::string> known)
         }
         arg.erase(0, 2);
         std::string name, value;
+        bool bare = false;
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
             name = arg.substr(0, eq);
             value = arg.substr(eq + 1);
         } else {
             name = arg;
-            // --name value (when the next token is not a flag)
+            // --name value (when the next token is not a flag). A
+            // bare flag reads as "true", but only getBool accepts
+            // that — the typed getters reject it, so a value
+            // swallowed by the next flag is caught at this flag.
             if (i + 1 < argc &&
                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
                 value = argv[++i];
             } else {
                 value = "true";
+                bare = true;
             }
         }
         if (!is_known(name))
             SWIFTRL_FATAL("unknown flag --", name);
+        // Last-one-wins would silently ignore half of an experiment
+        // command line; repeating a flag is always a mistake here.
+        if (_values.count(name) > 0)
+            SWIFTRL_FATAL("duplicate flag --", name);
         _values[name] = value;
+        if (bare)
+            _bare.insert(name);
     }
 }
 
@@ -61,11 +74,20 @@ CliFlags::getInt(const std::string &name, std::int64_t fallback) const
     const auto it = _values.find(name);
     if (it == _values.end())
         return fallback;
+    if (_bare.count(name) > 0)
+        SWIFTRL_FATAL("flag --", name, " expects a value");
     char *end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(it->second.c_str(), &end, 10);
     if (end == it->second.c_str() || *end != '\0')
         SWIFTRL_FATAL("flag --", name, " expects an integer, got '",
                       it->second, "'");
+    // strtoll clamps out-of-range input to the extremes and flags it
+    // via errno; silently training with INT64_MAX episodes is not an
+    // acceptable reading of a typo'd seed.
+    if (errno == ERANGE)
+        SWIFTRL_FATAL("flag --", name, " value '", it->second,
+                      "' is out of range for a 64-bit integer");
     return v;
 }
 
@@ -75,11 +97,20 @@ CliFlags::getDouble(const std::string &name, double fallback) const
     const auto it = _values.find(name);
     if (it == _values.end())
         return fallback;
+    if (_bare.count(name) > 0)
+        SWIFTRL_FATAL("flag --", name, " expects a value");
     char *end = nullptr;
+    errno = 0;
     const double v = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0')
         SWIFTRL_FATAL("flag --", name, " expects a number, got '",
                       it->second, "'");
+    // Overflow clamps to +/-HUGE_VAL with ERANGE; reject it loudly.
+    // (Underflow to a denormal also raises ERANGE but is a usable
+    // value, so it passes.)
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+        SWIFTRL_FATAL("flag --", name, " value '", it->second,
+                      "' is out of range for a double");
     return v;
 }
 

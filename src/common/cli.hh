@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,15 @@ class CliFlags
 
   private:
     std::map<std::string, std::string> _values;
+
+    /**
+     * Flags passed bare (no value token followed). Only getBool may
+     * read these as "true"; the typed getters reject them with an
+     * "expects a value" diagnostic, which catches --seed --trace
+     * (value swallowed by the next flag) at the right flag instead of
+     * as a confusing type error downstream.
+     */
+    std::set<std::string> _bare;
     std::vector<std::string> _positional;
 };
 

@@ -1,6 +1,7 @@
 #include "pimsim/command_stream.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
 #include "pimsim/host_pool.hh"
@@ -8,7 +9,23 @@
 
 namespace swiftrl::pimsim {
 
-CommandStream::CommandStream(PimSystem &system) : _system(system) {}
+namespace {
+
+/** Recovery-track label of a failed attempt: "fault:<kind>". */
+std::string
+faultLabel(FaultKind kind)
+{
+    return std::string("fault:") + faultKindName(kind);
+}
+
+} // namespace
+
+CommandStream::CommandStream(PimSystem &system)
+    : _system(system),
+      _dead(system.numDpus(), false),
+      _liveCount(system.numDpus())
+{
+}
 
 double
 CommandStream::record(Phase phase, TimeBucket bucket, double seconds,
@@ -29,6 +46,39 @@ CommandStream::record(Phase phase, TimeBucket bucket, double seconds,
 }
 
 double
+CommandStream::checksumSeconds(std::size_t bytes) const
+{
+    return _system.config().faultPlan.checksumSecPerByte *
+           static_cast<double>(bytes);
+}
+
+bool
+CommandStream::isDead(std::size_t dpu) const
+{
+    SWIFTRL_ASSERT(dpu < _dead.size(), "DPU id ", dpu,
+                   " out of range");
+    return _dead[dpu];
+}
+
+std::vector<std::size_t>
+CommandStream::deadDpus() const
+{
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < _dead.size(); ++i) {
+        if (_dead[i])
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+double
+CommandStream::recoveryDelay(double seconds, std::string_view label)
+{
+    return record(Phase::Recovery, TimeBucket::Recovery, seconds,
+                  label);
+}
+
+double
 CommandStream::pushChunks(
     std::size_t offset,
     const std::vector<std::span<const std::uint8_t>> &per_dpu,
@@ -39,6 +89,8 @@ CommandStream::pushChunks(
                    "pushChunks needs exactly one payload per core");
     std::size_t max_bytes = 0;
     for (std::size_t i = 0; i < per_dpu.size(); ++i) {
+        if (_dead[i])
+            continue;
         const auto &payload = per_dpu[i];
         if (!payload.empty())
             dpus[i].mramWrite(offset, payload.data(), payload.size());
@@ -46,7 +98,7 @@ CommandStream::pushChunks(
     }
     const double seconds =
         _system.config().transferModel.scatterSeconds(max_bytes,
-                                                      dpus.size());
+                                                      _liveCount);
     return record(Phase::Scatter, bucket, seconds, label);
 }
 
@@ -55,31 +107,75 @@ CommandStream::pushBroadcast(std::size_t offset,
                              std::span<const std::uint8_t> payload,
                              TimeBucket bucket, std::string_view label)
 {
-    for (auto &dpu : _system._dpus) {
+    auto &dpus = _system._dpus;
+    for (std::size_t i = 0; i < dpus.size(); ++i) {
+        if (_dead[i])
+            continue;
         if (!payload.empty())
-            dpu.mramWrite(offset, payload.data(), payload.size());
+            dpus[i].mramWrite(offset, payload.data(), payload.size());
     }
     const double seconds =
         _system.config().transferModel.broadcastSeconds(
-            payload.size(), _system._dpus.size());
+            payload.size(), _liveCount);
     return record(Phase::Broadcast, bucket, seconds, label);
 }
 
-double
+CommandStatus
 CommandStream::gather(std::size_t offset, std::size_t bytes,
                       std::vector<std::vector<std::uint8_t>> &out,
                       TimeBucket bucket, std::string_view label)
 {
     auto &dpus = _system._dpus;
+    const FaultPlan &plan = _system.config().faultPlan;
+    const bool faulty = plan.enabled();
+    const std::size_t site = faulty ? _faultSites++ : 0;
+
     out.assign(dpus.size(), std::vector<std::uint8_t>(bytes));
     for (std::size_t i = 0; i < dpus.size(); ++i) {
+        if (_dead[i])
+            continue;
         if (bytes > 0)
             dpus[i].mramRead(offset, out[i].data(), bytes);
     }
-    const double seconds =
+    const double transfer =
         _system.config().transferModel.pimToCpuSeconds(bytes,
-                                                       dpus.size());
-    return record(Phase::Gather, bucket, seconds, label);
+                                                       _liveCount);
+    if (!faulty || bytes == 0) {
+        record(Phase::Gather, bucket, transfer, label);
+        return {transfer, std::nullopt};
+    }
+
+    // Wire corruption: a fated chunk arrives flipped, so the FNV
+    // checksum its bank computed over the true payload no longer
+    // matches what the host recomputes over the received bytes.
+    std::vector<std::size_t> corrupted;
+    for (std::size_t i = 0; i < dpus.size(); ++i) {
+        if (_dead[i])
+            continue;
+        const std::uint64_t sent = chunkChecksum(out[i]);
+        if (plan.fires(FaultKind::CorruptGather, site, i))
+            out[i][0] ^= 0xFFu;
+        if (chunkChecksum(out[i]) != sent)
+            corrupted.push_back(i);
+    }
+    const double verify = checksumSeconds(bytes * _liveCount);
+    if (!corrupted.empty()) {
+        // No functional effect: the whole gather is discarded. The
+        // banks are intact — a retry re-reads them cleanly.
+        out.clear();
+        const double seconds = transfer + verify;
+        record(Phase::Recovery, TimeBucket::Recovery, seconds,
+               faultLabel(FaultKind::CorruptGather));
+        CommandStatus status;
+        status.seconds = seconds;
+        status.error = CommandError{FaultKind::CorruptGather,
+                                    std::move(corrupted), site};
+        return status;
+    }
+    record(Phase::Gather, bucket, transfer, label);
+    record(Phase::Recovery, TimeBucket::Recovery, verify,
+           "verify:checksum");
+    return {transfer + verify, std::nullopt};
 }
 
 double
@@ -89,18 +185,30 @@ CommandStream::gatherTimed(std::size_t offset, std::size_t bytes,
     // The transfer is charged as if performed; validate the range so
     // the timing-only path fails exactly where the functional one
     // would (an out-of-bank gather is a bug either way).
+    auto &dpus = _system._dpus;
     if (bytes > 0) {
         std::uint8_t probe = 0;
-        for (const auto &dpu : _system._dpus)
-            dpu.mramRead(offset + bytes - 1, &probe, 1);
+        for (std::size_t i = 0; i < dpus.size(); ++i) {
+            if (_dead[i])
+                continue;
+            dpus[i].mramRead(offset + bytes - 1, &probe, 1);
+        }
     }
     const double seconds =
-        _system.config().transferModel.pimToCpuSeconds(
-            bytes, _system._dpus.size());
-    return record(Phase::Gather, bucket, seconds, label);
+        _system.config().transferModel.pimToCpuSeconds(bytes,
+                                                       _liveCount);
+    record(Phase::Gather, bucket, seconds, label);
+    const FaultPlan &plan = _system.config().faultPlan;
+    if (plan.enabled() && bytes > 0) {
+        const double verify = checksumSeconds(bytes * _liveCount);
+        record(Phase::Recovery, TimeBucket::Recovery, verify,
+               "verify:checksum");
+        return seconds + verify;
+    }
+    return seconds;
 }
 
-double
+CommandStatus
 CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
                       TimeBucket bucket, std::string_view label)
 {
@@ -109,6 +217,48 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
                    "UPMEM DPUs support 1-24 tasklets, got ",
                    tasklets);
     const auto &config = _system.config();
+
+    const FaultPlan &plan = config.faultPlan;
+    if (plan.enabled()) {
+        const std::size_t site = _faultSites++;
+        std::vector<std::size_t> dropped;
+        std::vector<std::size_t> transient;
+        for (std::size_t i = 0; i < _dead.size(); ++i) {
+            if (_dead[i])
+                continue;
+            if (plan.fires(FaultKind::PermanentDropout, site, i))
+                dropped.push_back(i);
+            else if (plan.fires(FaultKind::TransientKernel, site, i))
+                transient.push_back(i);
+        }
+        if (!dropped.empty() || !transient.empty()) {
+            // The launch is abandoned before any core commits work
+            // (no MRAM writes, no cycle advance): the host sees the
+            // fault line, polls per-core status, reports. A dropout
+            // outranks a transient fault at the same site — the
+            // caller must redistribute before any retry can succeed.
+            const FaultKind kind = dropped.empty()
+                                       ? FaultKind::TransientKernel
+                                       : FaultKind::PermanentDropout;
+            auto &faultyDpus = dropped.empty() ? transient : dropped;
+            if (kind == FaultKind::PermanentDropout) {
+                for (const std::size_t i : faultyDpus) {
+                    _dead[i] = true;
+                    --_liveCount;
+                }
+            }
+            const double seconds =
+                config.launchOverheadSec + plan.detectSec;
+            record(Phase::Recovery, TimeBucket::Recovery, seconds,
+                   faultLabel(kind));
+            CommandStatus status;
+            status.seconds = seconds;
+            status.error =
+                CommandError{kind, std::move(faultyDpus), site};
+            return status;
+        }
+    }
+
     // Fine-grained multithreading: t resident tasklets retire t
     // instructions per pipelineInterval window (saturating at one
     // instruction per cycle), so balanced kernels finish
@@ -120,8 +270,11 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
     const std::size_t n = dpus.size();
     std::vector<Cycles> effective(n, 0);
     // Functional execution across the host pool: one item per core,
-    // each touching only its own Dpu and effective[] slot.
+    // each touching only its own Dpu and effective[] slot. Dropped
+    // cores run nothing and stay at their last clock.
     _system._pool->parallelFor(n, [&](std::size_t i) {
+        if (_dead[i])
+            return;
         KernelContext ctx(dpus[i], config.costModel,
                           config.wramBytesPerDpu);
         kernel(ctx);
@@ -131,12 +284,15 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
     // order: bit-identical for every pool size.
     Cycles slowest = 0;
     for (std::size_t i = 0; i < n; ++i) {
+        if (_dead[i])
+            continue;
         dpus[i].addCycles(effective[i]);
         slowest = std::max(slowest, effective[i]);
     }
     const double seconds = config.launchOverheadSec +
                            config.costModel.seconds(slowest);
-    return record(Phase::Kernel, bucket, seconds, label);
+    record(Phase::Kernel, bucket, seconds, label);
+    return {seconds, std::nullopt};
 }
 
 double

@@ -30,6 +30,18 @@
  * recordHostSpan records host work at an explicit interval that may
  * overlap the command queue — how the streaming trainer draws actor
  * collection slices under concurrent PIM training.
+ *
+ * Fault injection (PimConfig::faultPlan, inert by default): kernel
+ * launches and functional gathers are *fault sites*, numbered per
+ * stream in enqueue order. A faulted command has **no functional
+ * effect** — launches are abandoned before any core commits work,
+ * corrupted gathers discard the received payloads — and returns a
+ * typed CommandError inside its CommandStatus instead of dying; the
+ * failed attempt's modelled cost lands on the Recovery track. Cores
+ * hit by a permanent dropout are tracked per stream and skipped by
+ * every later command (transfers re-time over the survivors);
+ * recovery — bounded retry, chunk redistribution — is the caller's
+ * job (see swiftrl::RetryPolicy and the trainers).
  */
 
 #ifndef SWIFTRL_PIMSIM_COMMAND_STREAM_HH
@@ -40,6 +52,7 @@
 #include <string_view>
 #include <vector>
 
+#include "pimsim/fault_plan.hh"
 #include "pimsim/kernel_context.hh"
 #include "pimsim/timeline.hh"
 
@@ -62,6 +75,7 @@ class CommandStream
     /**
      * Scatter one distinct payload per core to MRAM at @p offset.
      * Timing serialises on the largest payload (rank transfers do).
+     * Dropped-out cores are skipped (pass them empty spans).
      */
     double pushChunks(
         std::size_t offset,
@@ -77,12 +91,19 @@ class CommandStream
 
     /**
      * Gather @p bytes from every core's MRAM at @p offset into
-     * @p out (resized to one payload per core).
+     * @p out (resized to one payload per core; dropped cores'
+     * entries stay zero-filled — filter with isDead()).
+     *
+     * A fault site. While the fault plan is active every received
+     * chunk is checksum-verified (charged to the Recovery track);
+     * on a mismatch the whole gather is discarded (@p out cleared)
+     * and a CorruptGather error returned — the banks are intact, so
+     * a retry re-reads them cleanly.
      */
-    double gather(std::size_t offset, std::size_t bytes,
-                  std::vector<std::vector<std::uint8_t>> &out,
-                  TimeBucket bucket = TimeBucket::PimToCpu,
-                  std::string_view label = "gather");
+    CommandStatus gather(std::size_t offset, std::size_t bytes,
+                         std::vector<std::vector<std::uint8_t>> &out,
+                         TimeBucket bucket = TimeBucket::PimToCpu,
+                         std::string_view label = "gather");
 
     /**
      * Timing-only gather: charges the modelled transfer and records
@@ -90,6 +111,11 @@ class CommandStream
      * payload the host provably already holds (e.g. the final
      * retrieval after a synchronisation round, when every core's
      * table *is* the aggregate the host just broadcast).
+     *
+     * Not a fault site (there is no payload to corrupt), but while
+     * the fault plan is active the modelled checksum verification is
+     * still charged — the real host cannot know in advance that a
+     * transfer is redundant.
      */
     double gatherTimed(std::size_t offset, std::size_t bytes,
                        TimeBucket bucket = TimeBucket::PimToCpu,
@@ -99,12 +125,19 @@ class CommandStream
      * Run @p kernel once per core (functionally on the host pool;
      * temporally in parallel on the modelled machine, so the command
      * lasts as long as the slowest core plus launch overhead).
+     *
+     * A fault site. A transient fault or permanent dropout abandons
+     * the launch before *any* core commits work (no MRAM writes, no
+     * cycle advance), charges the detection cost to the Recovery
+     * track, and returns the error; dropped-out cores are marked dead
+     * on this stream and skipped from then on.
+     *
      * @param tasklets resident hardware threads per core; see
      *        PimSystem::launch.
      */
-    double launch(const KernelFn &kernel, unsigned tasklets = 1,
-                  TimeBucket bucket = TimeBucket::Kernel,
-                  std::string_view label = "kernel");
+    CommandStatus launch(const KernelFn &kernel, unsigned tasklets = 1,
+                         TimeBucket bucket = TimeBucket::Kernel,
+                         std::string_view label = "kernel");
 
     /**
      * Record host-side reduction work of @p seconds (the averaging
@@ -144,6 +177,32 @@ class CommandStream
      */
     double waitUntil(double time);
 
+    // --- fault recovery ----------------------------------------------
+
+    /**
+     * Charge @p seconds of recovery overhead (a RetryPolicy backoff
+     * delay) to the Recovery track. The command queue sits on it like
+     * on any command, so recovery delays push every later command out
+     * — exactly what a trace should show.
+     */
+    double recoveryDelay(double seconds,
+                         std::string_view label = "retry-backoff");
+
+    /** Has @p dpu been lost to a permanent dropout on this stream? */
+    bool isDead(std::size_t dpu) const;
+
+    /** Cores still alive on this stream. */
+    std::size_t liveDpuCount() const { return _liveCount; }
+
+    /** Ids of the cores lost so far, ascending. */
+    std::vector<std::size_t> deadDpus() const;
+
+    /**
+     * Fault sites consumed so far (next launch/gather occupies this
+     * index). Lets tests and tools aim ScheduledFaults precisely.
+     */
+    std::size_t faultSitesUsed() const { return _faultSites; }
+
     // --- clock --------------------------------------------------------
 
     /**
@@ -169,10 +228,20 @@ class CommandStream
     double record(Phase phase, TimeBucket bucket, double seconds,
                   std::string_view label);
 
+    /** Modelled host cost of checksum-verifying @p bytes. */
+    double checksumSeconds(std::size_t bytes) const;
+
     PimSystem &_system;
     Timeline _timeline;
     double _cursor = 0.0;
     double _syncMark = 0.0;
+
+    /** Per-stream dropout state: _dead[i] once core i is lost. */
+    std::vector<bool> _dead;
+    std::size_t _liveCount = 0;
+
+    /** Fault sites consumed (launches + functional gathers). */
+    std::size_t _faultSites = 0;
 };
 
 } // namespace swiftrl::pimsim

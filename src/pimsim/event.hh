@@ -43,10 +43,17 @@ enum class Phase
     Gather,      ///< MRAM banks -> CPU
     HostReduce,  ///< host-side reduction between gather and broadcast
     HostCollect, ///< host actor threads rolling out behaviour policies
+    /**
+     * Fault handling: failed command attempts (the detection cost of
+     * a faulted launch or a checksum-mismatched gather) and the
+     * trainers' retry backoff delays. A separate track so traces show
+     * exactly where recovery time goes.
+     */
+    Recovery,
 };
 
 /** Number of phases (trace tracks). */
-inline constexpr std::size_t kNumPhases = 6;
+inline constexpr std::size_t kNumPhases = 7;
 
 /** Stable lower-case name of a phase (trace track title). */
 constexpr const char *
@@ -59,6 +66,7 @@ phaseName(Phase phase)
     case Phase::Gather: return "gather";
     case Phase::HostReduce: return "host-reduce";
     case Phase::HostCollect: return "host-collect";
+    case Phase::Recovery: return "recovery";
     }
     return "?";
 }
@@ -77,10 +85,18 @@ enum class TimeBucket
      * never added to the Figure 5/6 four-way total.
      */
     HostCollect,
+    /**
+     * Fault-recovery overhead: failed command attempts, retry
+     * backoff, and redistribution transfers after a permanent core
+     * dropout. On the PIM command queue (it delays every later
+     * command) but reported separately from the Figure 5/6 four-way
+     * total, which describes fault-free pipeline work.
+     */
+    Recovery,
 };
 
 /** Number of buckets (TimeBreakdown components). */
-inline constexpr std::size_t kNumBuckets = 5;
+inline constexpr std::size_t kNumBuckets = 6;
 
 /** Stable name of a bucket. */
 constexpr const char *
@@ -92,6 +108,7 @@ bucketName(TimeBucket bucket)
     case TimeBucket::PimToCpu: return "pim-to-cpu";
     case TimeBucket::InterCore: return "inter-core";
     case TimeBucket::HostCollect: return "host-collect";
+    case TimeBucket::Recovery: return "recovery";
     }
     return "?";
 }

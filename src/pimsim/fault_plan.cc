@@ -1,0 +1,78 @@
+#include "pimsim/fault_plan.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace swiftrl::pimsim {
+
+bool
+FaultPlan::enabled() const
+{
+    return transientRate > 0.0 || corruptRate > 0.0 ||
+           dropoutRate > 0.0 || !scheduled.empty();
+}
+
+bool
+FaultPlan::fires(FaultKind kind, std::size_t site, std::size_t dpu) const
+{
+    for (const auto &f : scheduled) {
+        if (f.kind == kind && f.site == site && f.dpu == dpu)
+            return true;
+    }
+
+    double rate = 0.0;
+    switch (kind) {
+    case FaultKind::TransientKernel: rate = transientRate; break;
+    case FaultKind::CorruptGather: rate = corruptRate; break;
+    case FaultKind::PermanentDropout: rate = dropoutRate; break;
+    }
+    if (rate <= 0.0)
+        return false;
+
+    // One SplitMix64 draw keyed purely on (seed, kind, site, dpu):
+    // the decision cannot depend on host-pool size, actor count, or
+    // wall clock, which is what keeps faulted runs bit-reproducible.
+    std::uint64_t key = seed;
+    key ^= (static_cast<std::uint64_t>(site) + 1) *
+           0x9e3779b97f4a7c15ull;
+    key ^= (static_cast<std::uint64_t>(dpu) + 1) *
+           0xbf58476d1ce4e5b9ull;
+    key ^= (static_cast<std::uint64_t>(kind) + 1) *
+           0x94d049bb133111ebull;
+    common::SplitMix64 mix(key);
+    const double u =
+        static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    return u < rate;
+}
+
+void
+validate(const FaultPlan &plan)
+{
+    const auto check_rate = [](double rate, const char *name) {
+        if (rate < 0.0 || rate > 1.0)
+            SWIFTRL_FATAL("fault plan ", name, " must be in [0, 1], got ",
+                          rate);
+    };
+    check_rate(plan.transientRate, "transientRate");
+    check_rate(plan.corruptRate, "corruptRate");
+    check_rate(plan.dropoutRate, "dropoutRate");
+    if (plan.detectSec < 0.0)
+        SWIFTRL_FATAL("fault detection cost must be >= 0, got ",
+                      plan.detectSec);
+    if (plan.checksumSecPerByte < 0.0)
+        SWIFTRL_FATAL("checksum verification cost must be >= 0, got ",
+                      plan.checksumSecPerByte);
+}
+
+std::uint64_t
+chunkChecksum(std::span<const std::uint8_t> data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint8_t b : data) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace swiftrl::pimsim

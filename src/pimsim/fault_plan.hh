@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Deterministic fault injection for the command-stream runtime.
+ *
+ * Real multi-rank UPMEM deployments see transient kernel faults,
+ * corrupted host<->MRAM transfers, and (rarely) permanently failed
+ * cores; the UPMEM ML-training study (Gomez-Luna et al., 2022) notes
+ * the host must absorb all three at fleet scale. The simulator models
+ * them with a seeded `FaultPlan` carried in `PimConfig` (off by
+ * default): faults fire at *fault sites* — the stream-local enqueue
+ * index over the fault-eligible commands (kernel launches and
+ * functional gathers, counted together in enqueue order) — either
+ * from an explicit `scheduled` list or from per-(site, core) rate
+ * draws derived purely from `(seed, kind, site, core)`.
+ *
+ * Because the draw depends on nothing but those integers, a fixed
+ * fault seed produces the *same* fault sequence — and therefore the
+ * same recovery path and the same final Q-table — for every host-pool
+ * size and actor count. That extends the repository's determinism
+ * contract (docs/ARCHITECTURE.md §5) to the failure path.
+ *
+ * A faulted command returns a typed `CommandError` inside its
+ * `CommandStatus` instead of dying via SWIFTRL_FATAL; the failed
+ * attempt's modelled cost is charged to the timeline's Recovery
+ * track. Recovery itself (bounded retry with backoff, chunk
+ * redistribution on dropout) is the trainers' job — see
+ * `swiftrl::RetryPolicy`.
+ */
+
+#ifndef SWIFTRL_PIMSIM_FAULT_PLAN_HH
+#define SWIFTRL_PIMSIM_FAULT_PLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace swiftrl::pimsim {
+
+/** The three modelled fault classes. */
+enum class FaultKind
+{
+    /**
+     * A kernel launch attempt fails before completion (DPU fault
+     * line raised); no functional work is committed. Retrying the
+     * launch usually succeeds.
+     */
+    TransientKernel,
+
+    /**
+     * A gathered MRAM chunk arrives corrupted on the wire, detected
+     * by a per-chunk checksum mismatch. The bank contents are intact;
+     * re-gathering usually succeeds.
+     */
+    CorruptGather,
+
+    /**
+     * A core stops responding permanently. Its chunk of work must be
+     * redistributed over the surviving cores.
+     */
+    PermanentDropout,
+};
+
+/** Stable lower-case name of a fault kind (labels, diagnostics). */
+constexpr const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::TransientKernel: return "transient-kernel";
+    case FaultKind::CorruptGather: return "corrupt-gather";
+    case FaultKind::PermanentDropout: return "permanent-dropout";
+    }
+    return "?";
+}
+
+/** One explicitly scheduled fault at a (site, core) point. */
+struct ScheduledFault
+{
+    FaultKind kind = FaultKind::TransientKernel;
+
+    /**
+     * Fault-site index on the stream: launches and functional
+     * gathers each consume one site, in enqueue order (a retried
+     * command occupies a *new* site).
+     */
+    std::size_t site = 0;
+
+    /** Core the fault strikes. */
+    std::size_t dpu = 0;
+};
+
+/**
+ * Seeded, deterministic fault schedule. Part of `PimConfig`; all
+ * rates default to 0 and no faults are scheduled, so the plan is
+ * inert unless configured — zero-fault runs are byte-identical in
+ * time and results to a build without fault injection.
+ */
+struct FaultPlan
+{
+    /** Root seed of the per-(kind, site, core) fault draws. */
+    std::uint64_t seed = 0;
+
+    /** Per-(launch-site, core) transient kernel fault probability. */
+    double transientRate = 0.0;
+
+    /** Per-(gather-site, core) wire-corruption probability. */
+    double corruptRate = 0.0;
+
+    /** Per-(launch-site, core) permanent dropout probability. */
+    double dropoutRate = 0.0;
+
+    /** Explicit faults, fired in addition to the rate draws. */
+    std::vector<ScheduledFault> scheduled;
+
+    /**
+     * Modelled host cost of detecting a failed launch (fault-line
+     * poll + per-core fault status readback). See docs/COSTMODEL.md.
+     */
+    double detectSec = 25.0e-6;
+
+    /**
+     * Modelled host cost per gathered byte of verifying the
+     * per-chunk checksums (one streaming pass over the received
+     * payloads). Charged on every gather while the plan is active —
+     * detection is not free. See docs/COSTMODEL.md.
+     */
+    double checksumSecPerByte = 0.2e-9;
+
+    /** True when any fault can ever fire (rates or schedule). */
+    bool enabled() const;
+
+    /**
+     * Deterministic decision: does a fault of @p kind fire at fault
+     * site @p site on core @p dpu? Pure in (seed, kind, site, dpu).
+     */
+    bool fires(FaultKind kind, std::size_t site, std::size_t dpu) const;
+};
+
+/** Validate fault-plan parameters; fatal on nonsense. */
+void validate(const FaultPlan &plan);
+
+/**
+ * Per-chunk transfer checksum (FNV-1a 64): what a DPU-side routine
+ * would compute over its outgoing MRAM chunk and the host recomputes
+ * over the received payload to detect wire corruption.
+ */
+std::uint64_t chunkChecksum(std::span<const std::uint8_t> data);
+
+/** Typed description of a failed command attempt. */
+struct CommandError
+{
+    FaultKind kind = FaultKind::TransientKernel;
+
+    /** Faulting core ids, ascending. */
+    std::vector<std::size_t> dpus;
+
+    /** Fault site the command occupied. */
+    std::size_t site = 0;
+};
+
+/**
+ * Outcome of a fault-eligible command attempt: the modelled seconds
+ * charged to the timeline (a failed attempt still costs time — it
+ * lands on the Recovery track) plus the error, if any.
+ */
+struct CommandStatus
+{
+    /** Modelled seconds charged for this attempt. */
+    double seconds = 0.0;
+
+    /** Set when the attempt failed; the command had no functional
+     *  effect and the caller must recover (retry / redistribute). */
+    std::optional<CommandError> error;
+
+    /** True when the command completed. */
+    bool ok() const { return !error.has_value(); }
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_FAULT_PLAN_HH

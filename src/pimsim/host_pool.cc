@@ -51,8 +51,12 @@ HostPool::workerLoop()
             return;
         seen = _generation;
         // Hold a reference: a worker late to a drained job must not
-        // steal indices from the next one.
+        // steal indices from the next one. The caller may even have
+        // drained *and retired* the job before this worker woke — the
+        // pointer is null then, and there is nothing left to share.
         const auto job = _job;
+        if (!job)
+            continue;
         lock.unlock();
         const std::size_t did = runShare(*job);
         lock.lock();

@@ -35,6 +35,7 @@ PimSystem::PimSystem(PimConfig config) : _config(std::move(config))
         SWIFTRL_FATAL("per-core memories must be non-empty");
     validate(_config.costModel);
     validate(_config.transferModel);
+    validate(_config.faultPlan);
 
     _dpus.reserve(_config.numDpus);
     for (std::size_t i = 0; i < _config.numDpus; ++i)
@@ -86,13 +87,29 @@ double
 PimSystem::gather(std::size_t offset, std::size_t bytes,
                   std::vector<std::vector<std::uint8_t>> &out)
 {
-    return defaultStream().gather(offset, bytes, out);
+    const CommandStatus status =
+        defaultStream().gather(offset, bytes, out);
+    if (!status.ok())
+        SWIFTRL_FATAL("gather failed (", faultKindName(
+                          status.error->kind),
+                      " at fault site ", status.error->site,
+                      ") and the blocking API has no recovery path; "
+                      "drive a CommandStream with a RetryPolicy");
+    return status.seconds;
 }
 
 double
 PimSystem::launch(const KernelFn &kernel, unsigned tasklets)
 {
-    return defaultStream().launch(kernel, tasklets);
+    const CommandStatus status =
+        defaultStream().launch(kernel, tasklets);
+    if (!status.ok())
+        SWIFTRL_FATAL("kernel launch failed (", faultKindName(
+                          status.error->kind),
+                      " at fault site ", status.error->site,
+                      ") and the blocking API has no recovery path; "
+                      "drive a CommandStream with a RetryPolicy");
+    return status.seconds;
 }
 
 Cycles

@@ -26,6 +26,7 @@
 
 #include "pimsim/cost_model.hh"
 #include "pimsim/dpu.hh"
+#include "pimsim/fault_plan.hh"
 #include "pimsim/kernel_context.hh"
 #include "pimsim/transfer_model.hh"
 
@@ -77,6 +78,13 @@ struct PimConfig
 
     /** Host<->PIM transfer timing model. */
     TransferModel transferModel;
+
+    /**
+     * Seeded fault-injection schedule. Inert by default (no rates,
+     * nothing scheduled): zero-fault runs are byte-identical in time
+     * and results to a build without fault injection.
+     */
+    FaultPlan faultPlan;
 };
 
 /**
@@ -139,6 +147,10 @@ class PimSystem
     /**
      * Gather @p bytes from every core's MRAM at @p offset into
      * @p out (resized to numDpus() payloads).
+     *
+     * The blocking wrapper has no recovery path: if the default
+     * stream reports a fault it dies loudly. Fault-tolerant code
+     * drives a CommandStream directly and handles the CommandStatus.
      * @return modelled transfer seconds.
      */
     double gather(std::size_t offset, std::size_t bytes,
@@ -159,6 +171,10 @@ class PimSystem
      *        pipelineInterval). The kernel is responsible for
      *        splitting its work across tasklets (see
      *        swiftrl::KernelParams::tasklets).
+     *
+     * Like gather(), the blocking wrapper is fail-fast under an
+     * active fault plan: a faulted launch is fatal here. Recovery
+     * belongs to CommandStream callers with a RetryPolicy.
      * @return modelled seconds for the launch.
      */
     double launch(const KernelFn &kernel, unsigned tasklets = 1);

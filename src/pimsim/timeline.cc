@@ -1,6 +1,7 @@
 #include "pimsim/timeline.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <ostream>
@@ -40,18 +41,28 @@ Timeline::totalForBucket(TimeBucket bucket) const
 
 namespace {
 
-/** Minimal JSON string escaping (labels are plain ASCII). */
+/**
+ * Minimal JSON string escaping. Control characters become \uXXXX
+ * escapes — dropping them would make trace labels diverge from the
+ * labels tests and tools grep for.
+ */
 std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
-        if (c == '"' || c == '\\')
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
             out.push_back('\\');
-        if (static_cast<unsigned char>(c) < 0x20)
-            continue;
-        out.push_back(c);
+            out.push_back(c);
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
     }
     return out;
 }

@@ -29,6 +29,7 @@ PimTrainer::PimTrainer(pimsim::PimSystem &system, PimTrainConfig config)
     if (_config.tasklets < 1 || _config.tasklets > 24)
         SWIFTRL_FATAL("UPMEM DPUs support 1-24 tasklets, got ",
                       _config.tasklets);
+    validate(_config.retry);
 }
 
 std::size_t
@@ -42,7 +43,8 @@ void
 PimTrainer::distribute(pimsim::CommandStream &stream,
                        const std::vector<const Dataset *> &sources,
                        const std::vector<std::size_t> &firsts,
-                       const std::vector<std::size_t> &counts)
+                       const std::vector<std::size_t> &counts,
+                       TimeBucket bucket, std::string_view label)
 {
     const std::size_t n = _system.numDpus();
     SWIFTRL_ASSERT(sources.size() == n && firsts.size() == n &&
@@ -61,8 +63,7 @@ PimTrainer::distribute(pimsim::CommandStream &stream,
         spans[i] = packed[i];
     }
 
-    stream.pushChunks(_dataOffsetCache, spans, TimeBucket::CpuToPim,
-                      "scatter:dataset");
+    stream.pushChunks(_dataOffsetCache, spans, bucket, label);
 }
 
 QTable
@@ -157,38 +158,96 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     // after each round the cores exchange Q-values through the host
     // (gather -> average -> broadcast).
     QTable aggregated(num_states, num_actions);
+
+    // Permanent dropout recovery: re-partition the *whole* dataset
+    // over the survivors (dead cores get empty chunks) and restart
+    // the interrupted round from the last aggregate. The re-broadcast
+    // is functionally idempotent — every survivor already holds the
+    // aggregate, because the faulted launch committed nothing — but
+    // the real host cannot know that, so both transfers are paid for
+    // on the Recovery track.
+    const auto redistribute = [&](const pimsim::CommandError &) {
+        const std::size_t live = stream.liveDpuCount();
+        if (live == 0)
+            SWIFTRL_FATAL("all ", n, " cores lost to permanent "
+                          "dropouts; nothing left to redistribute to");
+        const auto live_chunks = partitionDataset(data.size(), live);
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stream.isDead(i)) {
+                firsts[i] = 0;
+                counts[i] = 0;
+                continue;
+            }
+            firsts[i] = live_chunks[next].first;
+            counts[i] = live_chunks[next].count;
+            ++next;
+        }
+        distribute(stream, sources, firsts, counts,
+                   TimeBucket::Recovery, "scatter:redistribute");
+        _qio.broadcastQTable(stream, aggregated, TimeBucket::Recovery,
+                             "broadcast:recover");
+    };
+
     int remaining = _config.hyper.episodes;
     while (remaining > 0) {
         params.episodes = std::min(_config.tau, remaining);
         remaining -= params.episodes;
 
-        stream.launch(
-            [&params](pimsim::KernelContext &ctx) {
-                runTrainingKernel(ctx, params);
+        runWithRecovery(
+            stream, _config.retry, "kernel:round",
+            [&] {
+                return stream.launch(
+                    [&params](pimsim::KernelContext &ctx) {
+                        runTrainingKernel(ctx, params);
+                    },
+                    _config.tasklets, TimeBucket::Kernel,
+                    "kernel:round");
             },
-            _config.tasklets, TimeBucket::Kernel, "kernel:round");
+            redistribute);
 
         auto tables = _qio.gatherQTables(
-            stream, num_states, num_actions, TimeBucket::InterCore);
+            stream, num_states, num_actions, TimeBucket::InterCore,
+            &_config.retry);
         const QTable previous = aggregated;
         if (_config.weightedAggregation) {
             // Extra gather of the per-core visit counts, then a
             // count-weighted mean with fallback to the previous
             // aggregate for entries no core visited this round.
+            // Dropped cores come back zero-filled with zero counts,
+            // so they carry no weight.
             std::vector<std::vector<std::uint8_t>> raw_counts;
-            stream.gather(visits_offset, entries * 4, raw_counts,
-                          TimeBucket::InterCore, "gather:visits");
+            runWithRecovery(
+                stream, _config.retry, "gather:visits",
+                [&] {
+                    return stream.gather(visits_offset, entries * 4,
+                                         raw_counts,
+                                         TimeBucket::InterCore,
+                                         "gather:visits");
+                },
+                [](const pimsim::CommandError &) {
+                    SWIFTRL_PANIC("gathers cannot drop cores");
+                });
             aggregated =
                 weightedAverage(tables, raw_counts, previous);
         } else {
-            aggregated = QTable::average(tables);
+            // Plain mean over the *surviving* cores only; a dropped
+            // core's zero-filled placeholder must not dilute it.
+            std::vector<QTable> live_tables;
+            live_tables.reserve(stream.liveDpuCount());
+            for (std::size_t i = 0; i < tables.size(); ++i) {
+                if (!stream.isDead(i))
+                    live_tables.push_back(std::move(tables[i]));
+            }
+            aggregated = QTable::average(live_tables);
         }
         result.roundDeltas.push_back(
             QTable::maxAbsDifference(aggregated, previous));
         // Host-side reduction cost of the averaging itself.
         stream.hostReduce(
             _system.config().transferModel.hostReduceSecPerEntry *
-                static_cast<double>(entries) * static_cast<double>(n),
+                static_cast<double>(entries) *
+                static_cast<double>(stream.liveDpuCount()),
             "reduce:average");
         _qio.broadcastQTable(stream, aggregated,
                              TimeBucket::InterCore);
@@ -209,6 +268,8 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     result.finalQ = std::move(aggregated);
     result.time = breakdownFromTimeline(stream.timeline());
     result.timeline = stream.timeline();
+    result.faultsDetected = countFaultEvents(result.timeline);
+    result.coresLost = n - stream.liveDpuCount();
     return result;
 }
 
@@ -268,19 +329,35 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
     // synchronisation rounds (the aggregation step "would be
     // unnecessary in this setting", Sec. 3.2.1).
     params.episodes = _config.hyper.episodes;
-    stream.launch(
-        [&params](pimsim::KernelContext &ctx) {
-            runTrainingKernel(ctx, params);
+    runWithRecovery(
+        stream, _config.retry, "kernel:episodes",
+        [&] {
+            return stream.launch(
+                [&params](pimsim::KernelContext &ctx) {
+                    runTrainingKernel(ctx, params);
+                },
+                _config.tasklets, TimeBucket::Kernel,
+                "kernel:episodes");
         },
-        _config.tasklets, TimeBucket::Kernel, "kernel:episodes");
+        [](const pimsim::CommandError &error) {
+            // Independent learners are pinned to their cores: there
+            // is no dataset to redistribute, so a lost core means a
+            // lost agent.
+            SWIFTRL_FATAL("core ", error.dpus.front(),
+                          " dropped out in multi-agent mode; "
+                          "independent learners cannot be "
+                          "redistributed");
+        });
 
     result.perCore = _qio.gatherQTables(
-        stream, num_states, num_actions, TimeBucket::PimToCpu);
+        stream, num_states, num_actions, TimeBucket::PimToCpu,
+        &_config.retry);
     // finalQ kept as the average for convenience (diagnostics only;
     // each agent deploys its own table).
     result.finalQ = QTable::average(result.perCore);
     result.time = breakdownFromTimeline(stream.timeline());
     result.timeline = stream.timeline();
+    result.faultsDetected = countFaultEvents(result.timeline);
     return result;
 }
 

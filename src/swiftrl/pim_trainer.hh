@@ -28,6 +28,7 @@
 #include "rlcore/dataset.hh"
 #include "rlcore/qtable.hh"
 #include "swiftrl/qtable_io.hh"
+#include "swiftrl/retry_policy.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
 
@@ -59,6 +60,14 @@ struct PimTrainConfig
      * speeds up by min(tasklets, pipelineInterval).
      */
     unsigned tasklets = 1;
+
+    /**
+     * Fault recovery under an active PimConfig::faultPlan: bounded
+     * relaunch with modelled backoff for transient/corruption faults,
+     * chunk redistribution over the survivors for permanent dropouts.
+     * Unused (and cost-free) when the fault plan is inert.
+     */
+    RetryPolicy retry;
 
     /**
      * Extension beyond the paper: weight each core's Q-entries by
@@ -109,6 +118,12 @@ struct PimTrainResult
     /** PIM cores that participated. */
     std::size_t coresUsed = 0;
 
+    /** Faulted command attempts absorbed by the retry policy. */
+    int faultsDetected = 0;
+
+    /** Cores lost to permanent dropouts (work redistributed). */
+    std::size_t coresLost = 0;
+
     PimTrainResult() : finalQ(1, 1) {}
 };
 
@@ -149,7 +164,10 @@ class PimTrainer
     void distribute(pimsim::CommandStream &stream,
                     const std::vector<const rlcore::Dataset *> &sources,
                     const std::vector<std::size_t> &firsts,
-                    const std::vector<std::size_t> &counts);
+                    const std::vector<std::size_t> &counts,
+                    pimsim::TimeBucket bucket =
+                        pimsim::TimeBucket::CpuToPim,
+                    std::string_view label = "scatter:dataset");
 
     /**
      * Visit-count-weighted mean of per-core tables; entries with

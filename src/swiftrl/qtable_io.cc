@@ -56,7 +56,8 @@ QTableIo::initQTables(pimsim::CommandStream &stream, StateId ns,
 
 std::vector<QTable>
 QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
-                        ActionId na, TimeBucket bucket) const
+                        ActionId na, TimeBucket bucket,
+                        const RetryPolicy *retry) const
 {
     const std::size_t entries = static_cast<std::size_t>(ns) *
                                 static_cast<std::size_t>(na);
@@ -64,12 +65,24 @@ QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
     std::vector<std::vector<std::uint8_t>> raw;
     // INT32 kernels descale their tables to FP32 on-core before the
     // transfer (Sec. 4.2); the conversion runs in parallel on all
-    // cores, so it costs one per-core table pass.
+    // cores, so it costs one per-core table pass. Charged once even
+    // under retries — a corrupted wire transfer does not un-convert
+    // the table sitting in the bank.
     const double convert =
         conversionSeconds(stream, entries, /*to_float=*/true);
     if (convert > 0.0)
         stream.onCoreCompute(convert, bucket, "convert:descale");
-    stream.gather(qOffset(), q_bytes, raw, bucket, "gather:q");
+    // No policy = no recovery: a single fault is then fatal.
+    static constexpr RetryPolicy kNoRetries{.limit = 0};
+    runWithRecovery(
+        stream, retry ? *retry : kNoRetries, "gather:q",
+        [&] {
+            return stream.gather(qOffset(), q_bytes, raw, bucket,
+                                 "gather:q");
+        },
+        [](const pimsim::CommandError &) {
+            SWIFTRL_PANIC("gathers cannot drop cores");
+        });
 
     std::vector<QTable> tables;
     tables.reserve(raw.size());
@@ -97,7 +110,8 @@ QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
 
 void
 QTableIo::broadcastQTable(pimsim::CommandStream &stream,
-                          const QTable &q, TimeBucket bucket) const
+                          const QTable &q, TimeBucket bucket,
+                          std::string_view label) const
 {
     const std::size_t entries = q.entryCount();
     std::vector<std::uint8_t> bytes(entries * 4);
@@ -107,7 +121,7 @@ QTableIo::broadcastQTable(pimsim::CommandStream &stream,
         const auto fixed = q.toFixed(fixedScale());
         std::memcpy(bytes.data(), fixed.data(), bytes.size());
     }
-    stream.pushBroadcast(qOffset(), bytes, bucket, "broadcast:q");
+    stream.pushBroadcast(qOffset(), bytes, bucket, label);
     // Re-quantisation back to raw fixed point happens on-core after
     // the broadcast lands.
     const double convert =

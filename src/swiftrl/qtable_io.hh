@@ -16,11 +16,13 @@
 #define SWIFTRL_SWIFTRL_QTABLE_IO_HH
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "pimsim/command_stream.hh"
 #include "rlcore/qtable.hh"
 #include "rlcore/types.hh"
+#include "swiftrl/retry_policy.hh"
 #include "swiftrl/workload.hh"
 
 namespace swiftrl {
@@ -73,10 +75,18 @@ class QTableIo
     /**
      * Gather all per-core Q-tables (functional + timing), including
      * the on-core descale-to-FP32 step, charged to @p bucket.
+     * Dropped cores' tables come back zero-filled — filter with
+     * CommandStream::isDead before aggregating.
+     *
+     * A corrupted gather is retried under @p retry (the on-core
+     * conversion is *not* redone — the converted table still sits in
+     * the bank, only the wire transfer failed). With no policy, or
+     * once its limit is exhausted, the run dies loudly.
      */
     std::vector<rlcore::QTable> gatherQTables(
         pimsim::CommandStream &stream, rlcore::StateId num_states,
-        rlcore::ActionId num_actions, pimsim::TimeBucket bucket) const;
+        rlcore::ActionId num_actions, pimsim::TimeBucket bucket,
+        const RetryPolicy *retry = nullptr) const;
 
     /**
      * Broadcast one Q-table to every core's MRAM Q region, including
@@ -84,7 +94,8 @@ class QTableIo
      */
     void broadcastQTable(pimsim::CommandStream &stream,
                          const rlcore::QTable &q,
-                         pimsim::TimeBucket bucket) const;
+                         pimsim::TimeBucket bucket,
+                         std::string_view label = "broadcast:q") const;
 
   private:
     Workload _workload;

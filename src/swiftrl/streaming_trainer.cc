@@ -44,6 +44,7 @@ StreamingTrainer::StreamingTrainer(pimsim::PimSystem &system,
         SWIFTRL_FATAL("refresh period must be >= 0 (0 = never)");
     if (_config.collectSecPerTransition < 0.0)
         SWIFTRL_FATAL("per-transition collection cost must be >= 0");
+    validate(_config.retry);
 }
 
 double
@@ -73,7 +74,7 @@ StreamingTrainer::scatterGeneration(
     pimsim::CommandStream &stream, const Dataset &data,
     const std::vector<std::size_t> &firsts,
     const std::vector<std::size_t> &counts, std::size_t data_offset,
-    int generation)
+    int generation, TimeBucket bucket, std::string_view label)
 {
     const std::size_t n = _system.numDpus();
     std::vector<std::vector<std::uint8_t>> packed(n);
@@ -86,9 +87,11 @@ StreamingTrainer::scatterGeneration(
                                  _qio.fixedScale());
         spans[i] = packed[i];
     }
-    const std::string label =
+    const std::string fallback =
         "scatter:gen" + std::to_string(generation);
-    stream.pushChunks(data_offset, spans, TimeBucket::CpuToPim, label);
+    stream.pushChunks(data_offset, spans, bucket,
+                      label.empty() ? std::string_view(fallback)
+                                    : label);
 }
 
 StreamingResult
@@ -191,14 +194,49 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
         // queue idles if the data is not ready yet.
         stream.waitUntil(host_clock);
 
-        const auto chunks = partitionDataset(gen_data.size(), n);
-        std::vector<std::size_t> firsts(n), counts(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            firsts[i] = chunks[i].first;
-            counts[i] = chunks[i].count;
-        }
+        // Partition over the cores still alive — a dropout in an
+        // earlier generation shrinks every later generation's share
+        // map (dead cores keep empty chunks).
+        std::vector<std::size_t> firsts(n, 0), counts(n, 0);
+        const auto repartition = [&] {
+            const std::size_t live = stream.liveDpuCount();
+            if (live == 0)
+                SWIFTRL_FATAL("all ", n, " cores lost to permanent "
+                              "dropouts; nothing left to "
+                              "redistribute to");
+            const auto live_chunks =
+                partitionDataset(gen_data.size(), live);
+            std::size_t next = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (stream.isDead(i)) {
+                    firsts[i] = 0;
+                    counts[i] = 0;
+                    continue;
+                }
+                firsts[i] = live_chunks[next].first;
+                counts[i] = live_chunks[next].count;
+                ++next;
+            }
+        };
+        repartition();
         scatterGeneration(stream, gen_data, firsts, counts,
                           data_offset, g);
+
+        // Permanent dropout recovery, mid-generation: re-partition
+        // the *current* generation's dataset over the survivors and
+        // restart the interrupted round from the last aggregate (the
+        // re-broadcast is functionally idempotent — the faulted
+        // launch committed nothing — but the real host cannot know
+        // that, so both transfers are paid for as recovery).
+        const auto redistribute = [&](const pimsim::CommandError &) {
+            repartition();
+            scatterGeneration(stream, gen_data, firsts, counts,
+                              data_offset, g, TimeBucket::Recovery,
+                              "scatter:redistribute");
+            _qio.broadcastQTable(stream, aggregated,
+                                 TimeBucket::Recovery,
+                                 "broadcast:recover");
+        };
 
         KernelParams params;
         params.workload = _config.workload;
@@ -217,19 +255,34 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
             params.episodes = std::min(_config.tau, remaining);
             remaining -= params.episodes;
 
-            stream.launch(
-                [&params](pimsim::KernelContext &ctx) {
-                    runTrainingKernel(ctx, params);
+            runWithRecovery(
+                stream, _config.retry, "kernel:round",
+                [&] {
+                    return stream.launch(
+                        [&params](pimsim::KernelContext &ctx) {
+                            runTrainingKernel(ctx, params);
+                        },
+                        _config.tasklets, TimeBucket::Kernel,
+                        "kernel:round");
                 },
-                _config.tasklets, TimeBucket::Kernel, "kernel:round");
+                redistribute);
 
             auto tables = _qio.gatherQTables(
-                stream, num_states, num_actions, TimeBucket::InterCore);
-            aggregated = QTable::average(tables);
-            stream.hostReduce(reduce_per_entry *
-                                  static_cast<double>(entries) *
-                                  static_cast<double>(n),
-                              "reduce:average");
+                stream, num_states, num_actions, TimeBucket::InterCore,
+                &_config.retry);
+            // Mean over the surviving cores only; a dropped core's
+            // zero-filled placeholder must not dilute it.
+            std::vector<QTable> live_tables;
+            live_tables.reserve(stream.liveDpuCount());
+            for (std::size_t i = 0; i < tables.size(); ++i) {
+                if (!stream.isDead(i))
+                    live_tables.push_back(std::move(tables[i]));
+            }
+            aggregated = QTable::average(live_tables);
+            stream.hostReduce(
+                reduce_per_entry * static_cast<double>(entries) *
+                    static_cast<double>(stream.liveDpuCount()),
+                "reduce:average");
             _qio.broadcastQTable(stream, aggregated,
                                  TimeBucket::InterCore);
             ++result.commRounds;
@@ -252,6 +305,8 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
     result.time = breakdownFromTimeline(stream.timeline());
     result.timeline = stream.timeline();
     result.endToEnd = result.timeline.endTime();
+    result.faultsDetected = countFaultEvents(result.timeline);
+    result.coresLost = n - stream.liveDpuCount();
     result.transitions =
         static_cast<std::size_t>(_config.generations) *
         _config.transitionsPerGeneration;

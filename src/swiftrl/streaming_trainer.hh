@@ -25,6 +25,7 @@
 #define SWIFTRL_SWIFTRL_STREAMING_TRAINER_HH
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "baselines/platform_model.hh"
@@ -34,6 +35,7 @@
 #include "rlcore/collection.hh"
 #include "rlcore/qtable.hh"
 #include "swiftrl/qtable_io.hh"
+#include "swiftrl/retry_policy.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
 
@@ -106,6 +108,16 @@ struct StreamingConfig
     double collectSecPerTransition = baselines::kActorStepSec;
 
     /**
+     * Fault recovery under an active PimConfig::faultPlan: bounded
+     * relaunch with modelled backoff for transient/corruption faults;
+     * on a permanent dropout the *current generation's* dataset is
+     * re-partitioned over the survivors and the interrupted round
+     * restarted from the last aggregate. Unused (and cost-free) when
+     * the fault plan is inert.
+     */
+    RetryPolicy retry;
+
+    /**
      * true: collection of generation k+1 overlaps training of k (the
      * streaming pipeline). false: strict collect-then-train baseline.
      * Timing-only — the functional command order is identical, so the
@@ -153,6 +165,12 @@ struct StreamingResult
     /** PIM cores that participated. */
     std::size_t coresUsed = 0;
 
+    /** Faulted command attempts absorbed by the retry policy. */
+    int faultsDetected = 0;
+
+    /** Cores lost to permanent dropouts (work redistributed). */
+    std::size_t coresLost = 0;
+
     StreamingResult() : finalQ(1, 1) {}
 };
 
@@ -180,12 +198,20 @@ class StreamingTrainer
     const StreamingConfig &config() const { return _config; }
 
   private:
-    /** Pack + enqueue one generation's per-core chunk scatter. */
+    /**
+     * Pack + enqueue one generation's per-core chunk scatter.
+     * @p label overrides the default "scatter:gen<g>" (the dropout
+     * redistribution path labels and buckets its re-scatter as
+     * recovery work).
+     */
     void scatterGeneration(pimsim::CommandStream &stream,
                            const rlcore::Dataset &data,
                            const std::vector<std::size_t> &firsts,
                            const std::vector<std::size_t> &counts,
-                           std::size_t data_offset, int generation);
+                           std::size_t data_offset, int generation,
+                           pimsim::TimeBucket bucket =
+                               pimsim::TimeBucket::CpuToPim,
+                           std::string_view label = {});
 
     /**
      * Modelled duration of one generation's collection: the busiest

@@ -15,6 +15,7 @@ breakdownFromTimeline(const pimsim::Timeline &timeline)
         case TimeBucket::PimToCpu: time.pimToCpu += d; break;
         case TimeBucket::InterCore: time.interCore += d; break;
         case TimeBucket::HostCollect: time.hostCollect += d; break;
+        case TimeBucket::Recovery: time.recovery += d; break;
         }
     }
     return time;

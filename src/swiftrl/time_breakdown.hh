@@ -40,6 +40,16 @@ struct TimeBreakdown
      */
     double hostCollect = 0.0;
 
+    /**
+     * Fault-recovery overhead (failed attempts, retry backoff,
+     * checksum verification, dropout redistribution); 0 when the
+     * fault plan is inert. Also *excluded* from total(): the four-way
+     * split describes the fault-free pipeline of Figures 5/6, and
+     * recovery is exactly the overhead on top of it — reported
+     * separately so the two remain comparable across fault rates.
+     */
+    double recovery = 0.0;
+
     /** Sum of the four Figure 5/6 components (PIM-pipeline time). */
     double
     total() const
@@ -63,6 +73,7 @@ struct TimeBreakdown
         pimToCpu += other.pimToCpu;
         interCore += other.interCore;
         hostCollect += other.hostCollect;
+        recovery += other.recovery;
         return *this;
     }
 };

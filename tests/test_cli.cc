@@ -95,4 +95,56 @@ TEST(CliDeath, NonBooleanIsFatal)
                 ::testing::ExitedWithCode(1), "expects a boolean");
 }
 
+TEST(CliDeath, IntegerOverflowIsFatal)
+{
+    // strtoll clamps 2^64-scale input to INT64_MAX with ERANGE; the
+    // parser must reject it instead of silently training with the
+    // clamped extreme.
+    const auto flags =
+        parse({"--episodes=99999999999999999999"}, {"episodes"});
+    EXPECT_EXIT((void)flags.getInt("episodes", 0),
+                ::testing::ExitedWithCode(1),
+                "out of range for a 64-bit integer");
+}
+
+TEST(CliDeath, DoubleOverflowIsFatal)
+{
+    const auto flags = parse({"--alpha=1e999"}, {"alpha"});
+    EXPECT_EXIT((void)flags.getDouble("alpha", 0.0),
+                ::testing::ExitedWithCode(1),
+                "out of range for a double");
+}
+
+TEST(Cli, DenormalUnderflowIsAccepted)
+{
+    // Underflow also raises ERANGE but yields a usable denormal; only
+    // overflow to +/-HUGE_VAL is rejected.
+    const auto flags = parse({"--alpha=1e-320"}, {"alpha"});
+    EXPECT_GT(flags.getDouble("alpha", 1.0), 0.0);
+    EXPECT_LT(flags.getDouble("alpha", 1.0), 1e-300);
+}
+
+TEST(CliDeath, DuplicateFlagIsFatal)
+{
+    EXPECT_EXIT(parse({"--seed=1", "--seed=2"}, {"seed"}),
+                ::testing::ExitedWithCode(1), "duplicate flag --seed");
+}
+
+TEST(CliDeath, BareFlagRejectedByTypedGetters)
+{
+    // "--seed --trace=t.json": the seed's value was forgotten, so the
+    // next flag swallowed the slot. The typed getter must name the
+    // flag that is missing its value.
+    const auto flags =
+        parse({"--seed", "--trace=t.json"}, {"seed", "trace"});
+    EXPECT_EXIT((void)flags.getInt("seed", 0),
+                ::testing::ExitedWithCode(1),
+                "flag --seed expects a value");
+    EXPECT_EXIT((void)flags.getDouble("seed", 0.0),
+                ::testing::ExitedWithCode(1),
+                "flag --seed expects a value");
+    // getBool alone may read a bare flag as true.
+    EXPECT_TRUE(flags.getBool("seed", false));
+}
+
 } // namespace

@@ -113,7 +113,9 @@ TEST(CommandStream, TimedGatherChargesExactlyTheFunctionalCost)
     stream.pushBroadcast(0, payload);
 
     std::vector<std::vector<std::uint8_t>> out;
-    const double functional = stream.gather(0, payload.size(), out);
+    const auto status = stream.gather(0, payload.size(), out);
+    ASSERT_TRUE(status.ok());
+    const double functional = status.seconds;
     const double timed = stream.gatherTimed(0, payload.size());
     EXPECT_EQ(timed, functional);
     ASSERT_EQ(out.size(), 3u);
@@ -252,6 +254,83 @@ TEST(CommandStream, ChromeTraceExportsOneSlicePerCommand)
     expect_us(TimeBucket::CpuToPim, result.time.cpuToPim);
     expect_us(TimeBucket::PimToCpu, result.time.pimToCpu);
     expect_us(TimeBucket::InterCore, result.time.interCore);
+}
+
+/** Undo the exporter's JSON string escaping. */
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out.push_back(s[i]);
+            continue;
+        }
+        ++i;
+        if (s[i] == 'u') {
+            out.push_back(static_cast<char>(
+                std::stoi(s.substr(i + 1, 4), nullptr, 16)));
+            i += 4;
+        } else {
+            out.push_back(s[i]);
+        }
+    }
+    return out;
+}
+
+TEST(CommandStream, TraceEscapesLabelsLosslessly)
+{
+    // Labels with every character class the escaper must handle:
+    // quotes, backslashes, and control characters (which used to be
+    // silently dropped, making trace labels diverge from the labels
+    // tools grep for). The exported slice name must unescape back to
+    // the exact original label.
+    const std::vector<std::string> labels = {
+        "plain", "quo\"te", "back\\slash", "new\nline", "tab\there",
+        "bell\x07", "mix\"\\\x1f",
+    };
+    auto system = makeSystem(1);
+    CommandStream stream(system);
+    for (const auto &label : labels)
+        stream.recordHostSpan(Phase::HostCollect,
+                              TimeBucket::HostCollect, 0.0, 1.0e-6,
+                              label);
+
+    std::ostringstream os;
+    stream.timeline().exportChromeTrace(os);
+    const std::string json = os.str();
+
+    // Control characters never appear raw in valid JSON strings (the
+    // exporter's own inter-event newlines are whitespace outside any
+    // string, which is fine).
+    for (const char c : json) {
+        if (c != '\n') {
+            EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+        }
+    }
+
+    // Each slice's name unescapes to the exact original label.
+    std::istringstream lines(json);
+    std::string line;
+    std::vector<std::string> names;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\":\"X\"") == std::string::npos)
+            continue;
+        const auto at = line.find("{\"name\":\"") + 9;
+        // Find the closing quote, skipping escaped ones.
+        std::size_t end = at;
+        while (line[end] != '"' || line[end - 1] == '\\') {
+            // A literal backslash escape ("\\") must not hide the
+            // closing quote that follows it.
+            if (line[end] == '\\' && line[end + 1] == '\\')
+                ++end;
+            ++end;
+        }
+        names.push_back(jsonUnescape(line.substr(at, end - at)));
+    }
+    ASSERT_EQ(names.size(), labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        EXPECT_EQ(names[i], labels[i]) << "label " << i;
 }
 
 TEST(CommandStreamDeath, OutOfBankTimedGatherIsFatal)
