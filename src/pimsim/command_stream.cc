@@ -23,8 +23,21 @@ faultLabel(FaultKind kind)
 CommandStream::CommandStream(PimSystem &system)
     : _system(system),
       _dead(system.numDpus(), false),
-      _liveCount(system.numDpus())
+      _liveCount(system.numDpus()),
+      _launchWorkers(system.hostThreadCount())
 {
+}
+
+CommandStream::LaunchWorker &
+CommandStream::launchWorker(unsigned worker)
+{
+    // One slot per host-pool worker, pre-sized at construction, so
+    // concurrent first touches hit distinct slots and never race on
+    // the vector itself.
+    auto &slot = _launchWorkers[worker];
+    if (!slot)
+        slot = std::make_unique<LaunchWorker>();
+    return *slot;
 }
 
 double
@@ -147,14 +160,20 @@ CommandStream::gather(std::size_t offset, std::size_t bytes,
 
     // Wire corruption: a fated chunk arrives flipped, so the FNV
     // checksum its bank computed over the true payload no longer
-    // matches what the host recomputes over the received bytes.
-    std::vector<std::size_t> corrupted;
+    // matches what the host recomputes over the received bytes. A
+    // byte flip always changes an FNV-1a digest, so only fated
+    // chunks need the send/recompute pair — unaffected chunks verify
+    // clean by construction (their modelled verify time is charged
+    // below either way).
+    std::vector<std::size_t> &corrupted = _faultScratchA;
+    corrupted.clear();
     for (std::size_t i = 0; i < dpus.size(); ++i) {
         if (_dead[i])
             continue;
+        if (!plan.fires(FaultKind::CorruptGather, site, i))
+            continue;
         const std::uint64_t sent = chunkChecksum(out[i]);
-        if (plan.fires(FaultKind::CorruptGather, site, i))
-            out[i][0] ^= 0xFFu;
+        out[i][0] ^= 0xFFu;
         if (chunkChecksum(out[i]) != sent)
             corrupted.push_back(i);
     }
@@ -168,8 +187,9 @@ CommandStream::gather(std::size_t offset, std::size_t bytes,
                faultLabel(FaultKind::CorruptGather));
         CommandStatus status;
         status.seconds = seconds;
-        status.error = CommandError{FaultKind::CorruptGather,
-                                    std::move(corrupted), site};
+        // Copied, not moved: corrupted aliases reusable scratch.
+        status.error =
+            CommandError{FaultKind::CorruptGather, corrupted, site};
         return status;
     }
     record(Phase::Gather, bucket, transfer, label);
@@ -221,8 +241,10 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
     const FaultPlan &plan = config.faultPlan;
     if (plan.enabled()) {
         const std::size_t site = _faultSites++;
-        std::vector<std::size_t> dropped;
-        std::vector<std::size_t> transient;
+        std::vector<std::size_t> &dropped = _faultScratchA;
+        std::vector<std::size_t> &transient = _faultScratchB;
+        dropped.clear();
+        transient.clear();
         for (std::size_t i = 0; i < _dead.size(); ++i) {
             if (_dead[i])
                 continue;
@@ -253,8 +275,8 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
                    faultLabel(kind));
             CommandStatus status;
             status.seconds = seconds;
-            status.error =
-                CommandError{kind, std::move(faultyDpus), site};
+            // Copied, not moved: faultyDpus aliases reusable scratch.
+            status.error = CommandError{kind, faultyDpus, site};
             return status;
         }
     }
@@ -268,17 +290,28 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
 
     auto &dpus = _system._dpus;
     const std::size_t n = dpus.size();
-    std::vector<Cycles> effective(n, 0);
+    _effective.assign(n, 0);
     // Functional execution across the host pool: one item per core,
-    // each touching only its own Dpu and effective[] slot. Dropped
+    // each touching only its own Dpu, its host worker's reusable
+    // context + scratch arena, and its _effective[] slot. Dropped
     // cores run nothing and stay at their last clock.
-    _system._pool->parallelFor(n, [&](std::size_t i) {
+    _system._pool->parallelFor(n, [&](std::size_t i,
+                                      unsigned worker) {
         if (_dead[i])
             return;
-        KernelContext ctx(dpus[i], config.costModel,
-                          config.wramBytesPerDpu);
-        kernel(ctx);
-        effective[i] = ctx.cycles() / speedup;
+        LaunchWorker &w = launchWorker(worker);
+        w.scratch.reset();
+        if (w.ctx)
+            w.ctx->rebind(dpus[i]);
+        else
+            w.ctx = std::make_unique<KernelContext>(
+                dpus[i], config.costModel, config.wramBytesPerDpu,
+                &w.scratch);
+        kernel(*w.ctx);
+        // Commit the kernel's ledger to its Dpu while still on the
+        // worker (per-core counters, so this is race-free).
+        w.ctx->flush();
+        _effective[i] = w.ctx->cycles() / speedup;
     });
     // Commit clocks and reduce the slowest core serially, in core
     // order: bit-identical for every pool size.
@@ -286,8 +319,8 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
     for (std::size_t i = 0; i < n; ++i) {
         if (_dead[i])
             continue;
-        dpus[i].addCycles(effective[i]);
-        slowest = std::max(slowest, effective[i]);
+        dpus[i].addCycles(_effective[i]);
+        slowest = std::max(slowest, _effective[i]);
     }
     const double seconds = config.launchOverheadSec +
                            config.costModel.seconds(slowest);

@@ -48,12 +48,14 @@
 #define SWIFTRL_PIMSIM_COMMAND_STREAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "pimsim/fault_plan.hh"
 #include "pimsim/kernel_context.hh"
+#include "pimsim/kernel_scratch.hh"
 #include "pimsim/timeline.hh"
 
 namespace swiftrl::pimsim {
@@ -231,6 +233,21 @@ class CommandStream
     /** Modelled host cost of checksum-verifying @p bytes. */
     double checksumSeconds(std::size_t bytes) const;
 
+    /**
+     * Per-host-worker launch state, reused across launches: the
+     * staging arena (reset per kernel instance) and a rebindable
+     * KernelContext, so steady-state launches construct nothing.
+     * Heap-allocated individually so workers never false-share.
+     */
+    struct LaunchWorker
+    {
+        KernelScratch scratch;
+        std::unique_ptr<KernelContext> ctx;
+    };
+
+    /** The launch worker for host-pool worker @p worker (lazy). */
+    LaunchWorker &launchWorker(unsigned worker);
+
     PimSystem &_system;
     Timeline _timeline;
     double _cursor = 0.0;
@@ -242,6 +259,17 @@ class CommandStream
 
     /** Fault sites consumed (launches + functional gathers). */
     std::size_t _faultSites = 0;
+
+    /** Per-worker launch state, indexed by host-pool worker id. */
+    std::vector<std::unique_ptr<LaunchWorker>> _launchWorkers;
+
+    /** Per-core effective cycles of the current launch (reused). */
+    std::vector<Cycles> _effective;
+
+    /** Faulting-core scratch lists (reused; copied on the rare
+     *  error path so their capacity survives). */
+    std::vector<std::size_t> _faultScratchA;
+    std::vector<std::size_t> _faultScratchB;
 };
 
 } // namespace swiftrl::pimsim

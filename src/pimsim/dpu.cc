@@ -19,8 +19,17 @@ Dpu::ensure(std::size_t end)
         SWIFTRL_FATAL("DPU ", _id, ": MRAM access up to byte ", end,
                       " exceeds the ", _mramCapacity, "-byte bank");
     }
-    if (end > _mram.size())
-        _mram.resize(end, 0);
+    if (end > _mram.size()) {
+        // Geometric growth (doubling, clamped to the bank) so a
+        // sequence of boundary-crossing writes costs amortised O(1)
+        // reallocations instead of one per write. resize()
+        // value-initialises the new bytes, and mramRead zero-fills
+        // past the valid size anyway, so the functional contract —
+        // never-written MRAM reads as zero — is unchanged.
+        const std::size_t grown = std::min(
+            std::max(end, _mram.size() * 2), _mramCapacity);
+        _mram.resize(grown, 0);
+    }
 }
 
 void

@@ -1,5 +1,7 @@
 #include "pimsim/host_pool.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace swiftrl::pimsim {
@@ -10,7 +12,7 @@ HostPool::HostPool(unsigned threads) : _threads(threads)
                    "a host pool needs at least the calling thread");
     _workers.reserve(threads - 1);
     for (unsigned i = 0; i + 1 < threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 HostPool::~HostPool()
@@ -25,22 +27,25 @@ HostPool::~HostPool()
 }
 
 std::size_t
-HostPool::runShare(Job &job)
+HostPool::runShare(Job &job, unsigned worker)
 {
     std::size_t did = 0;
     for (;;) {
-        const std::size_t i =
-            job.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= job.n)
+        const std::size_t start =
+            job.next.fetch_add(job.grain, std::memory_order_relaxed);
+        if (start >= job.n)
             break;
-        (*job.fn)(i);
-        ++did;
+        const std::size_t end =
+            std::min(start + job.grain, job.n);
+        for (std::size_t i = start; i < end; ++i)
+            job.fn(job.ctx, i, worker);
+        did += end - start;
     }
     return did;
 }
 
 void
-HostPool::workerLoop()
+HostPool::workerLoop(unsigned worker)
 {
     std::uint64_t seen = 0;
     std::unique_lock lock(_mutex);
@@ -58,7 +63,7 @@ HostPool::workerLoop()
         if (!job)
             continue;
         lock.unlock();
-        const std::size_t did = runShare(*job);
+        const std::size_t did = runShare(*job, worker);
         lock.lock();
         job->finished += did;
         if (job->finished == job->n)
@@ -67,19 +72,24 @@ HostPool::workerLoop()
 }
 
 void
-HostPool::parallelFor(std::size_t n,
-                      const std::function<void(std::size_t)> &fn)
+HostPool::run(std::size_t n, RawFn fn, void *ctx)
 {
     if (n == 0)
         return;
     if (_workers.empty() || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            fn(ctx, i, 0);
         return;
     }
     const auto job = std::make_shared<Job>();
-    job->fn = &fn;
+    job->fn = fn;
+    job->ctx = ctx;
     job->n = n;
+    // Oversubscribe ~4 chunks per thread: large enough that a full
+    // launch costs O(threads) atomics, small enough to rebalance
+    // when per-index costs are skewed.
+    job->grain = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(_threads) * 4));
     {
         std::lock_guard lock(_mutex);
         _job = job;
@@ -87,7 +97,7 @@ HostPool::parallelFor(std::size_t n,
     }
     _wake.notify_all();
     // The caller works too; it then waits for stragglers.
-    const std::size_t did = runShare(*job);
+    const std::size_t did = runShare(*job, 0);
     std::unique_lock lock(_mutex);
     job->finished += did;
     _done.wait(lock, [&] { return job->finished == job->n; });

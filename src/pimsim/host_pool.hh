@@ -10,17 +10,30 @@
  * per-index functions, so the result is bit-identical for any pool
  * size, including 1 (where everything runs inline on the caller with
  * no synchronisation at all).
+ *
+ * Dispatch is built for launch-rate workloads: callables are passed
+ * by reference through a type-erased function pointer (no
+ * std::function allocation per parallelFor), and indices are claimed
+ * in *chunks* of `grain` at a time, so a 2,000-core launch costs on
+ * the order of `threads` atomic operations rather than 2,000.
+ *
+ * Each invocation also receives the id of the host worker running it
+ * (0 = the calling thread, 1..threadCount()-1 = resident workers),
+ * letting callers keep per-worker scratch state without locks. Which
+ * worker runs which index is scheduling-dependent — determinism of
+ * results must never hang on it.
  */
 
 #ifndef SWIFTRL_PIMSIM_HOST_POOL_HH
 #define SWIFTRL_PIMSIM_HOST_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace swiftrl::pimsim {
@@ -45,28 +58,53 @@ class HostPool
     unsigned threadCount() const { return _threads; }
 
     /**
-     * Run fn(0) .. fn(n-1), distributing indices across the pool and
-     * the calling thread; returns when every call has completed.
-     * @p fn must be safe to invoke concurrently for distinct indices
-     * and must not touch state shared across indices.
+     * Run fn(index, worker) for index 0..n-1, distributing chunks of
+     * indices across the pool and the calling thread; returns when
+     * every call has completed. @p fn must be safe to invoke
+     * concurrently for distinct indices and must not touch state
+     * shared across indices (per-@p worker state is fine). Accepts
+     * any callable `void(std::size_t index, unsigned worker)`; the
+     * callable is borrowed for the duration of the call, never
+     * copied or heap-allocated.
      */
-    void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &fn);
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        static_assert(
+            std::is_invocable_v<Fn &, std::size_t, unsigned>,
+            "parallelFor callables take (index, worker)");
+        auto *ctx = std::addressof(fn);
+        run(n,
+            [](void *opaque, std::size_t index, unsigned worker) {
+                (*static_cast<std::remove_reference_t<Fn> *>(
+                    opaque))(index, worker);
+            },
+            ctx);
+    }
 
   private:
-    /** One in-flight parallelFor: shared claim counter + progress. */
+    /** Type-erased work item: (context, index, worker id). */
+    using RawFn = void (*)(void *, std::size_t, unsigned);
+
+    /** One in-flight parallelFor: shared claim state + progress. */
     struct Job
     {
-        const std::function<void(std::size_t)> *fn = nullptr;
+        RawFn fn = nullptr;
+        void *ctx = nullptr;
         std::size_t n = 0;
+        std::size_t grain = 1; ///< indices claimed per atomic op
         std::atomic<std::size_t> next{0};
         std::size_t finished = 0; ///< items done; guarded by _mutex
     };
 
-    /** Claim and run indices until the job is drained. */
-    static std::size_t runShare(Job &job);
+    /** Dispatch @p fn over @p n indices (see parallelFor). */
+    void run(std::size_t n, RawFn fn, void *ctx);
 
-    void workerLoop();
+    /** Claim and run index chunks until the job is drained. */
+    static std::size_t runShare(Job &job, unsigned worker);
+
+    void workerLoop(unsigned worker);
 
     std::vector<std::thread> _workers;
     std::mutex _mutex;

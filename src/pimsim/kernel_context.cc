@@ -1,259 +1,11 @@
 #include "pimsim/kernel_context.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-
 namespace swiftrl::pimsim {
 
-KernelContext::KernelContext(Dpu &dpu, const DpuCostModel &model,
-                             std::size_t wram_capacity)
-    : _dpu(dpu), _model(model), _wramCapacity(wram_capacity)
-{
-}
-
-void
-KernelContext::charge(OpClass op, std::uint64_t count)
-{
-    _cycles += _model.cyclesFor(op) * count;
-    _dpu.countOps(op, count);
-}
-
-void
-KernelContext::chargeDma(std::size_t bytes)
-{
-    // Pad the tail up to the DMA alignment, as the hardware engine
-    // always moves whole aligned words.
-    const std::size_t align = _model.mramDmaAlignBytes;
-    const std::size_t padded = (bytes + align - 1) / align * align;
-    _cycles += _model.dmaCycles(static_cast<std::uint32_t>(padded));
-    _dpu.addDmaBytes(padded);
-}
-
-void
-KernelContext::wramAlloc(std::size_t bytes)
-{
-    _wramUsed += bytes;
-    if (_wramUsed > _wramCapacity) {
-        SWIFTRL_FATAL("DPU ", _dpu.id(), ": kernel WRAM footprint ",
-                      _wramUsed, " bytes exceeds the ", _wramCapacity,
-                      "-byte scratchpad");
-    }
-}
-
-void
-KernelContext::mramToWram(std::size_t offset, void *dst,
-                          std::size_t bytes)
-{
-    std::uint8_t *out = static_cast<std::uint8_t *>(dst);
-    std::size_t done = 0;
-    while (done < bytes) {
-        const std::size_t piece =
-            std::min<std::size_t>(bytes - done, _model.mramDmaMaxBytes);
-        _dpu.mramRead(offset + done, out + done, piece);
-        chargeDma(piece);
-        done += piece;
-    }
-}
-
-void
-KernelContext::wramToMram(std::size_t offset, const void *src,
-                          std::size_t bytes)
-{
-    const std::uint8_t *in = static_cast<const std::uint8_t *>(src);
-    std::size_t done = 0;
-    while (done < bytes) {
-        const std::size_t piece =
-            std::min<std::size_t>(bytes - done, _model.mramDmaMaxBytes);
-        _dpu.mramWrite(offset + done, in + done, piece);
-        chargeDma(piece);
-        done += piece;
-    }
-}
-
-float
-KernelContext::fadd(float a, float b)
-{
-    charge(OpClass::Fp32Add);
-    return a + b;
-}
-
-float
-KernelContext::fsub(float a, float b)
-{
-    charge(OpClass::Fp32Add);
-    return a - b;
-}
-
-float
-KernelContext::fmul(float a, float b)
-{
-    charge(OpClass::Fp32Mul);
-    return a * b;
-}
-
-float
-KernelContext::fdiv(float a, float b)
-{
-    charge(OpClass::Fp32Div);
-    return a / b;
-}
-
-bool
-KernelContext::fgt(float a, float b)
-{
-    charge(OpClass::Fp32Cmp);
-    return a > b;
-}
-
-std::int32_t
-KernelContext::iadd(std::int32_t a, std::int32_t b)
-{
-    charge(OpClass::IntAlu);
-    return static_cast<std::int32_t>(
-        static_cast<std::int64_t>(a) + static_cast<std::int64_t>(b));
-}
-
-std::int32_t
-KernelContext::isub(std::int32_t a, std::int32_t b)
-{
-    charge(OpClass::IntAlu);
-    return static_cast<std::int32_t>(
-        static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b));
-}
-
-std::int64_t
-KernelContext::imul32(std::int32_t a, std::int32_t b)
-{
-    charge(OpClass::Int32Mul);
-    return static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
-}
-
-std::int32_t
-KernelContext::idiv32(std::int32_t a, std::int32_t b)
-{
-    SWIFTRL_ASSERT(b != 0, "integer division by zero in kernel");
-    charge(OpClass::Int32Div);
-    return a / b;
-}
-
-std::int32_t
-KernelContext::rescale(std::int64_t value, std::int32_t scale)
-{
-    SWIFTRL_ASSERT(scale != 0, "rescale by zero");
-    // The scale constant is known at compile time, so the division is
-    // strength-reduced to a reciprocal multiply plus shifts — priced
-    // as one emulated multiply and two ALU ops rather than a full
-    // runtime divide.
-    charge(OpClass::Int32Mul);
-    charge(OpClass::IntAlu, 2);
-    return static_cast<std::int32_t>(value / scale);
-}
-
-std::int32_t
-KernelContext::imul8(std::int8_t a, std::int8_t b)
-{
-    charge(OpClass::Int8Mul);
-    return static_cast<std::int32_t>(a) * static_cast<std::int32_t>(b);
-}
-
-std::int64_t
-KernelContext::imulSmall(std::int32_t a, std::int32_t b)
-{
-    SWIFTRL_ASSERT(a >= -32768 && a <= 32767,
-                   "imulSmall wide operand ", a,
-                   " exceeds 16 bits: the environment's value range "
-                   "does not fit the INT8 optimisation");
-    SWIFTRL_ASSERT(b >= -128 && b <= 127,
-                   "imulSmall narrow operand ", b,
-                   " exceeds 8 bits");
-    // Two native 8x8 multiplies (low/high byte of a) plus shift+add.
-    charge(OpClass::Int8Mul, 2);
-    charge(OpClass::IntAlu, 2);
-    return static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
-}
-
-std::int32_t
-KernelContext::rescaleShift(std::int64_t value, int shift)
-{
-    SWIFTRL_ASSERT(shift >= 0 && shift < 31, "bad shift ", shift);
-    charge(OpClass::IntAlu);
-    return static_cast<std::int32_t>(value >> shift);
-}
-
-bool
-KernelContext::igt(std::int32_t a, std::int32_t b)
-{
-    charge(OpClass::IntAlu);
-    return a > b;
-}
-
-std::int32_t
-KernelContext::wramLoadI32(const std::int32_t &slot)
-{
-    charge(OpClass::WramAccess);
-    return slot;
-}
-
-void
-KernelContext::wramStoreI32(std::int32_t &slot, std::int32_t value)
-{
-    charge(OpClass::WramAccess);
-    slot = value;
-}
-
-float
-KernelContext::wramLoadF32(const float &slot)
-{
-    charge(OpClass::WramAccess);
-    return slot;
-}
-
-void
-KernelContext::wramStoreF32(float &slot, float value)
-{
-    charge(OpClass::WramAccess);
-    slot = value;
-}
-
-void
-KernelContext::branch(std::uint64_t count)
-{
-    charge(OpClass::Branch, count);
-}
-
-void
-KernelContext::aluOps(std::uint64_t count)
-{
-    charge(OpClass::IntAlu, count);
-}
-
-void
-KernelContext::lcgSeed(std::uint32_t seed)
-{
-    charge(OpClass::IntAlu);
-    _lcg.seed(seed);
-}
-
-std::uint32_t
-KernelContext::lcgNext()
-{
-    // state = state * A + C: one emulated 32-bit multiply, one add.
-    charge(OpClass::Int32Mul);
-    charge(OpClass::IntAlu);
-    return _lcg.next();
-}
-
-std::uint32_t
-KernelContext::lcgNextBounded(std::uint32_t bound)
-{
-    SWIFTRL_ASSERT(bound > 0, "lcgNextBounded requires a positive bound");
-    const std::uint64_t wide =
-        static_cast<std::uint64_t>(lcgNext()) * bound;
-    // High-bits reduction: one more emulated multiply plus a shift.
-    charge(OpClass::Int32Mul);
-    charge(OpClass::IntAlu);
-    return static_cast<std::uint32_t>(wide >> 32);
-}
+// The context is header-only so charges inline into kernel code; the
+// explicit instantiations here make this translation unit compile
+// every member of both policies even when no kernel exercises them.
+template class BasicKernelContext<ChargePolicy::Batched>;
+template class BasicKernelContext<ChargePolicy::Reference>;
 
 } // namespace swiftrl::pimsim

@@ -1,0 +1,60 @@
+#include "pimsim/kernel_scratch.hh"
+
+#include <algorithm>
+
+namespace swiftrl::pimsim {
+
+void *
+KernelScratch::allocBytes(std::size_t bytes)
+{
+    const std::size_t need = (bytes + kAlign - 1) / kAlign * kAlign;
+    // Advance through already-reserved slabs first; a launch whose
+    // allocation sequence matches the previous one walks the same
+    // slabs and never reaches the reserve path.
+    while (_active < _slabs.size()) {
+        Slab &slab = _slabs[_active];
+        if (slab.size - slab.used >= need) {
+            void *p = slab.data.get() + slab.used;
+            slab.used += need;
+            return p;
+        }
+        ++_active;
+    }
+    Slab slab;
+    slab.size = std::max(need, kMinSlabBytes);
+    // operator new[] guarantees alignof(max_align_t) >= kAlign here.
+    static_assert(alignof(std::max_align_t) >= kAlign);
+    slab.data = std::make_unique<std::uint8_t[]>(slab.size);
+    slab.used = need;
+    _slabs.push_back(std::move(slab));
+    _active = _slabs.size() - 1;
+    return _slabs.back().data.get();
+}
+
+void
+KernelScratch::reset()
+{
+    for (Slab &slab : _slabs)
+        slab.used = 0;
+    _active = 0;
+}
+
+std::size_t
+KernelScratch::usedBytes() const
+{
+    std::size_t total = 0;
+    for (const Slab &slab : _slabs)
+        total += slab.used;
+    return total;
+}
+
+std::size_t
+KernelScratch::capacityBytes() const
+{
+    std::size_t total = 0;
+    for (const Slab &slab : _slabs)
+        total += slab.size;
+    return total;
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bump-allocated scratch arena for kernel-side staging buffers.
+ *
+ * Kernel instances need short-lived host buffers — the WRAM-resident
+ * Q-table image, TransitionFetcher staging blocks, visit counters —
+ * whose lifetime is exactly one launch. Allocating them from the heap
+ * per core per launch puts the allocator on the simulator's hottest
+ * path (2,000 cores x thousands of synchronisation rounds). A
+ * KernelScratch instead hands out pointers from reusable slabs:
+ * `reset()` rewinds the arena in O(slabs) while keeping the memory,
+ * so steady-state launches allocate nothing.
+ *
+ * Slabs are append-only: growing the arena adds a new slab and never
+ * moves existing ones, so pointers handed out earlier in the same
+ * launch stay valid. The command stream owns one arena per host-pool
+ * worker and resets it at the start of each work item; the arena is
+ * NOT thread-safe — each worker must use its own.
+ *
+ * Purely a host-side mechanism: WRAM capacity accounting stays in
+ * KernelContext::wramAlloc, and nothing here touches modelled cycles,
+ * op counts, or DMA bytes.
+ */
+
+#ifndef SWIFTRL_PIMSIM_KERNEL_SCRATCH_HH
+#define SWIFTRL_PIMSIM_KERNEL_SCRATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace swiftrl::pimsim {
+
+/** Slab-based bump allocator. See file comment. */
+class KernelScratch
+{
+  public:
+    KernelScratch() = default;
+
+    KernelScratch(const KernelScratch &) = delete;
+    KernelScratch &operator=(const KernelScratch &) = delete;
+
+    /**
+     * Allocate an uninitialised array of @p count Ts, valid until the
+     * next reset(). T must be trivially copyable (the arena never
+     * runs constructors or destructors) and at most 16-byte aligned.
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "scratch arenas hold raw POD buffers only");
+        static_assert(alignof(T) <= kAlign,
+                      "over-aligned type in scratch arena");
+        return static_cast<T *>(allocBytes(count * sizeof(T)));
+    }
+
+    /** Rewind every slab; capacity is kept for the next launch. */
+    void reset();
+
+    /** Bytes currently handed out (since the last reset). */
+    std::size_t usedBytes() const;
+
+    /** Total bytes reserved across all slabs. */
+    std::size_t capacityBytes() const;
+
+  private:
+    /** Every pointer handed out is aligned to this. */
+    static constexpr std::size_t kAlign = 16;
+
+    /** Smallest slab ever reserved; amortises tiny allocations. */
+    static constexpr std::size_t kMinSlabBytes = 64 * 1024;
+
+    struct Slab
+    {
+        std::unique_ptr<std::uint8_t[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    /** Aligned bump allocation; appends a slab when nothing fits. */
+    void *allocBytes(std::size_t bytes);
+
+    std::vector<Slab> _slabs;
+    std::size_t _active = 0; ///< slab currently bump-allocating
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_KERNEL_SCRATCH_HH

@@ -1,5 +1,6 @@
 #include "swiftrl/pim_kernels.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <limits>
@@ -23,20 +24,25 @@ using rlcore::StateId;
  * records through a WRAM staging buffer (one DMA per block); RAN
  * kernels issue one small DMA per record, since consecutive draws land
  * in unrelated MRAM rows — the access pattern PIM tolerates and caches
- * do not.
+ * do not. The staging buffer lives in the context's scratch arena, so
+ * it is recycled across launches instead of heap-allocated per core
+ * per generation.
  */
+template <typename Ctx>
 class TransitionFetcher
 {
   public:
-    TransitionFetcher(pimsim::KernelContext &ctx, std::size_t data_offset,
+    TransitionFetcher(Ctx &ctx, std::size_t data_offset,
                       std::size_t count, std::size_t block_transitions,
                       bool block_mode)
         : _ctx(ctx), _dataOffset(data_offset), _count(count),
           _blockTransitions(block_transitions), _blockMode(block_mode)
     {
         SWIFTRL_ASSERT(_blockTransitions > 0, "empty staging block");
-        if (_blockMode)
-            _buffer.resize(_blockTransitions);
+        if (_blockMode) {
+            _buffer = ctx.scratch().template alloc<PackedTransition>(
+                _blockTransitions);
+        }
     }
 
     /** Fetch record @p idx, charging its DMA and WRAM traffic. */
@@ -70,16 +76,16 @@ class TransitionFetcher
             idx / _blockTransitions * _blockTransitions;
         _blockLen = std::min(_blockTransitions, _count - start);
         _ctx.mramToWram(_dataOffset + start * kTransitionBytes,
-                        _buffer.data(), _blockLen * kTransitionBytes);
+                        _buffer, _blockLen * kTransitionBytes);
         _blockStart = start;
     }
 
-    pimsim::KernelContext &_ctx;
+    Ctx &_ctx;
     std::size_t _dataOffset;
     std::size_t _count;
     std::size_t _blockTransitions;
     bool _blockMode;
-    std::vector<PackedTransition> _buffer;
+    PackedTransition *_buffer = nullptr;
     std::size_t _blockStart = std::numeric_limits<std::size_t>::max();
     std::size_t _blockLen = 0;
 };
@@ -94,8 +100,9 @@ struct RecordFields
     bool terminal;
 };
 
+template <typename Ctx>
 RecordFields
-decodeRecord(pimsim::KernelContext &ctx, const PackedTransition &rec)
+decodeRecord(Ctx &ctx, const PackedTransition &rec)
 {
     RecordFields f;
     f.s = rec.state;
@@ -111,11 +118,10 @@ decodeRecord(pimsim::KernelContext &ctx, const PackedTransition &rec)
 }
 
 /** Single-tasklet training loop (the paper's configuration). */
-template <typename QWord, typename UpdateFn>
+template <typename Ctx, typename QWord, typename UpdateFn>
 void
-trainCoreSingleTasklet(pimsim::KernelContext &ctx,
-                       const KernelParams &p, std::size_t count,
-                       std::vector<QWord> &q, UpdateFn &&update)
+trainCoreSingleTasklet(Ctx &ctx, const KernelParams &p,
+                       std::size_t count, QWord *q, UpdateFn &&update)
 {
     const std::size_t core = ctx.dpuId();
     const bool block_mode =
@@ -129,8 +135,8 @@ trainCoreSingleTasklet(pimsim::KernelContext &ctx,
     rlcore::SampleWalker walker(
         count, p.workload.sampling,
         static_cast<std::size_t>(p.hyper.stride));
-    TransitionFetcher fetcher(ctx, p.dataOffset, count,
-                              p.blockTransitions, block_mode);
+    TransitionFetcher<Ctx> fetcher(ctx, p.dataOffset, count,
+                                   p.blockTransitions, block_mode);
 
     for (int ep = 0; ep < p.episodes; ++ep) {
         walker.startEpisode();
@@ -149,7 +155,7 @@ trainCoreSingleTasklet(pimsim::KernelContext &ctx,
 
             const PackedTransition rec = fetcher.fetch(idx);
             const RecordFields f = decodeRecord(ctx, rec);
-            update(ctx, q.data(), f);
+            update(ctx, q, f);
         }
     }
 
@@ -165,11 +171,10 @@ trainCoreSingleTasklet(pimsim::KernelContext &ctx,
  * interleaves round-robin, one update per tasklet per turn, matching
  * the pipeline's fine-grained multithreading order.
  */
-template <typename QWord, typename UpdateFn>
+template <typename Ctx, typename QWord, typename UpdateFn>
 void
-trainCoreMultiTasklet(pimsim::KernelContext &ctx,
-                      const KernelParams &p, std::size_t count,
-                      std::vector<QWord> &q, UpdateFn &&update)
+trainCoreMultiTasklet(Ctx &ctx, const KernelParams &p,
+                      std::size_t count, QWord *q, UpdateFn &&update)
 {
     const std::size_t core = ctx.dpuId();
     const unsigned t = p.tasklets;
@@ -194,7 +199,7 @@ trainCoreMultiTasklet(pimsim::KernelContext &ctx,
     }
 
     std::vector<std::unique_ptr<rlcore::SampleWalker>> walkers(t);
-    std::vector<std::unique_ptr<TransitionFetcher>> fetchers(t);
+    std::vector<std::unique_ptr<TransitionFetcher<Ctx>>> fetchers(t);
     std::vector<std::uint32_t> lcg(t);
     std::size_t longest = 0;
     for (unsigned tl = 0; tl < t; ++tl) {
@@ -208,7 +213,7 @@ trainCoreMultiTasklet(pimsim::KernelContext &ctx,
         walkers[tl] = std::make_unique<rlcore::SampleWalker>(
             sub_count[tl], p.workload.sampling,
             static_cast<std::size_t>(p.hyper.stride));
-        fetchers[tl] = std::make_unique<TransitionFetcher>(
+        fetchers[tl] = std::make_unique<TransitionFetcher<Ctx>>(
             ctx, p.dataOffset, count, p.blockTransitions,
             block_mode);
         longest = std::max(longest, sub_count[tl]);
@@ -238,7 +243,7 @@ trainCoreMultiTasklet(pimsim::KernelContext &ctx,
                 const PackedTransition rec =
                     fetchers[tl]->fetch(sub_first[tl] + idx);
                 const RecordFields f = decodeRecord(ctx, rec);
-                update(ctx, q.data(), f);
+                update(ctx, q, f);
                 lcg[tl] = ctx.lcgState();
             }
         }
@@ -249,10 +254,9 @@ trainCoreMultiTasklet(pimsim::KernelContext &ctx,
 }
 
 /** Shared training kernel body, templated on the Q-word type. */
-template <typename QWord, typename UpdateFn>
+template <typename QWord, typename Ctx, typename UpdateFn>
 void
-trainCore(pimsim::KernelContext &ctx, const KernelParams &p,
-          UpdateFn &&update)
+trainCore(Ctx &ctx, const KernelParams &p, UpdateFn &&update)
 {
     const std::size_t core = ctx.dpuId();
     SWIFTRL_ASSERT(p.chunkCounts && core < p.chunkCounts->size(),
@@ -268,20 +272,24 @@ trainCore(pimsim::KernelContext &ctx, const KernelParams &p,
         static_cast<std::size_t>(p.numStates) *
         static_cast<std::size_t>(p.numActions);
     const std::size_t q_bytes = q_entries * sizeof(QWord);
+    pimsim::KernelScratch &scratch = ctx.scratch();
 
-    // Shared WRAM Q-table, DMA'd in at entry and out at exit.
+    // Shared WRAM Q-table, DMA'd in at entry and out at exit. The
+    // host image lives in the launch's scratch arena; the inbound
+    // DMA overwrites every entry.
     ctx.wramAlloc(q_bytes);
-    std::vector<QWord> q(q_entries);
-    ctx.mramToWram(p.qOffset, q.data(), q_bytes);
+    QWord *q = scratch.template alloc<QWord>(q_entries);
+    ctx.mramToWram(p.qOffset, q, q_bytes);
 
     // Optional visit counters for weighted aggregation: zeroed each
     // launch (weights reflect the current round's coverage).
-    std::vector<std::uint32_t> visits;
+    std::uint32_t *visits = nullptr;
     if (p.trackVisits) {
         ctx.wramAlloc(q_entries * sizeof(std::uint32_t));
-        visits.assign(q_entries, 0);
+        visits = scratch.template alloc<std::uint32_t>(q_entries);
+        std::fill_n(visits, q_entries, 0u);
     }
-    auto counted_update = [&](pimsim::KernelContext &c, QWord *table,
+    auto counted_update = [&](Ctx &c, QWord *table,
                               const RecordFields &f) {
         update(c, table, f);
         if (p.trackVisits) {
@@ -299,17 +307,18 @@ trainCore(pimsim::KernelContext &ctx, const KernelParams &p,
         trainCoreMultiTasklet(ctx, p, count, q, counted_update);
     }
 
-    ctx.wramToMram(p.qOffset, q.data(), q_bytes);
+    ctx.wramToMram(p.qOffset, q, q_bytes);
     if (p.trackVisits) {
-        ctx.wramToMram(p.visitsOffset, visits.data(),
+        ctx.wramToMram(p.visitsOffset, visits,
                        q_entries * sizeof(std::uint32_t));
     }
 }
 
 } // namespace
 
+template <typename Ctx>
 void
-runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
+runTrainingKernel(Ctx &ctx, const KernelParams &p)
 {
     using rlcore::Algorithm;
     using rlcore::NumericFormat;
@@ -326,8 +335,7 @@ runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
         if (p.workload.algo == Algorithm::QLearning) {
             trainCore<float>(
                 ctx, p,
-                [&](pimsim::KernelContext &c, float *q,
-                    const RecordFields &f) {
+                [&](Ctx &c, float *q, const RecordFields &f) {
                     rlcore::qlearningUpdateFp32(
                         c, q, num_actions, f.s, f.a,
                         std::bit_cast<float>(f.rewardBits), f.s2,
@@ -336,8 +344,7 @@ runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
         } else {
             trainCore<float>(
                 ctx, p,
-                [&](pimsim::KernelContext &c, float *q,
-                    const RecordFields &f) {
+                [&](Ctx &c, float *q, const RecordFields &f) {
                     rlcore::sarsaUpdateFp32(
                         c, q, num_actions, f.s, f.a,
                         std::bit_cast<float>(f.rewardBits), f.s2,
@@ -352,7 +359,7 @@ runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
         if (p.workload.algo == Algorithm::QLearning) {
             trainCore<std::int32_t>(
                 ctx, p,
-                [&](pimsim::KernelContext &c, std::int32_t *q,
+                [&](Ctx &c, std::int32_t *q,
                     const RecordFields &f) {
                     rlcore::qlearningUpdateInt8(c, q, num_actions,
                                                 f.s, f.a,
@@ -362,7 +369,7 @@ runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
         } else {
             trainCore<std::int32_t>(
                 ctx, p,
-                [&](pimsim::KernelContext &c, std::int32_t *q,
+                [&](Ctx &c, std::int32_t *q,
                     const RecordFields &f) {
                     rlcore::sarsaUpdateInt8(c, q, num_actions, f.s,
                                             f.a, f.rewardBits, f.s2,
@@ -375,8 +382,7 @@ runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
     if (p.workload.algo == Algorithm::QLearning) {
         trainCore<std::int32_t>(
             ctx, p,
-            [&](pimsim::KernelContext &c, std::int32_t *q,
-                const RecordFields &f) {
+            [&](Ctx &c, std::int32_t *q, const RecordFields &f) {
                 rlcore::qlearningUpdateInt32(c, q, num_actions, f.s,
                                              f.a, f.rewardBits, f.s2,
                                              f.terminal, scaled);
@@ -384,13 +390,29 @@ runTrainingKernel(pimsim::KernelContext &ctx, const KernelParams &p)
     } else {
         trainCore<std::int32_t>(
             ctx, p,
-            [&](pimsim::KernelContext &c, std::int32_t *q,
-                const RecordFields &f) {
+            [&](Ctx &c, std::int32_t *q, const RecordFields &f) {
                 rlcore::sarsaUpdateInt32(c, q, num_actions, f.s, f.a,
                                          f.rewardBits, f.s2,
                                          f.terminal, scaled);
             });
     }
 }
+
+// The production engine drives the batched context; the parity test
+// drives the write-through reference. Instantiated here so kernel
+// code stays out of the header while callers link either flavour.
+// Named by policy, not alias: under SWIFTRL_REFERENCE_CHARGING both
+// aliases denote the Reference policy and alias-named instantiations
+// would collide.
+template void
+runTrainingKernel<pimsim::BasicKernelContext<
+    pimsim::ChargePolicy::Batched>>(
+    pimsim::BasicKernelContext<pimsim::ChargePolicy::Batched> &,
+    const KernelParams &);
+template void
+runTrainingKernel<pimsim::BasicKernelContext<
+    pimsim::ChargePolicy::Reference>>(
+    pimsim::BasicKernelContext<pimsim::ChargePolicy::Reference> &,
+    const KernelParams &);
 
 } // namespace swiftrl

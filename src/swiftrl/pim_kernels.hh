@@ -90,9 +90,15 @@ struct KernelParams
 /**
  * Kernel entry point, executed once per core by PimSystem::launch.
  * Dispatches on the workload's algorithm and numeric format.
+ *
+ * Templated on the context type so the charge-ledger parity test can
+ * drive the same kernel through a write-through
+ * pimsim::ReferenceKernelContext; explicitly instantiated in
+ * pim_kernels.cc for both context types — production callers just
+ * pass a pimsim::KernelContext.
  */
-void runTrainingKernel(pimsim::KernelContext &ctx,
-                       const KernelParams &params);
+template <typename Ctx>
+void runTrainingKernel(Ctx &ctx, const KernelParams &params);
 
 /** Bytes of one packed transition record. */
 inline constexpr std::size_t kTransitionBytes = 16;

@@ -189,6 +189,15 @@ PimTrainer::train(const Dataset &data, StateId num_states,
                              "broadcast:recover");
     };
 
+    // One kernel wrapper for every round and retry: the KernelFn
+    // (a std::function) allocates, so it is built once and reused
+    // rather than reconstructed per launch. It reads the episode
+    // count through `params` at call time.
+    const pimsim::KernelFn kernel =
+        [&params](pimsim::KernelContext &ctx) {
+            runTrainingKernel(ctx, params);
+        };
+
     int remaining = _config.hyper.episodes;
     while (remaining > 0) {
         params.episodes = std::min(_config.tau, remaining);
@@ -197,12 +206,9 @@ PimTrainer::train(const Dataset &data, StateId num_states,
         runWithRecovery(
             stream, _config.retry, "kernel:round",
             [&] {
-                return stream.launch(
-                    [&params](pimsim::KernelContext &ctx) {
-                        runTrainingKernel(ctx, params);
-                    },
-                    _config.tasklets, TimeBucket::Kernel,
-                    "kernel:round");
+                return stream.launch(kernel, _config.tasklets,
+                                     TimeBucket::Kernel,
+                                     "kernel:round");
             },
             redistribute);
 
@@ -329,15 +335,16 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
     // synchronisation rounds (the aggregation step "would be
     // unnecessary in this setting", Sec. 3.2.1).
     params.episodes = _config.hyper.episodes;
+    const pimsim::KernelFn kernel =
+        [&params](pimsim::KernelContext &ctx) {
+            runTrainingKernel(ctx, params);
+        };
     runWithRecovery(
         stream, _config.retry, "kernel:episodes",
         [&] {
-            return stream.launch(
-                [&params](pimsim::KernelContext &ctx) {
-                    runTrainingKernel(ctx, params);
-                },
-                _config.tasklets, TimeBucket::Kernel,
-                "kernel:episodes");
+            return stream.launch(kernel, _config.tasklets,
+                                 TimeBucket::Kernel,
+                                 "kernel:episodes");
         },
         [](const pimsim::CommandError &error) {
             // Independent learners are pinned to their cores: there

@@ -250,6 +250,13 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
         params.blockTransitions = _config.blockTransitions;
         params.tasklets = _config.tasklets;
 
+        // One kernel wrapper per generation, reused across rounds
+        // and retries (a KernelFn allocates when constructed).
+        const pimsim::KernelFn kernel =
+            [&params](pimsim::KernelContext &ctx) {
+                runTrainingKernel(ctx, params);
+            };
+
         int remaining = _config.hyper.episodes;
         while (remaining > 0) {
             params.episodes = std::min(_config.tau, remaining);
@@ -258,12 +265,9 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
             runWithRecovery(
                 stream, _config.retry, "kernel:round",
                 [&] {
-                    return stream.launch(
-                        [&params](pimsim::KernelContext &ctx) {
-                            runTrainingKernel(ctx, params);
-                        },
-                        _config.tasklets, TimeBucket::Kernel,
-                        "kernel:round");
+                    return stream.launch(kernel, _config.tasklets,
+                                         TimeBucket::Kernel,
+                                         "kernel:round");
                 },
                 redistribute);
 

@@ -117,4 +117,43 @@ TEST(Dpu, WriteUpToCapacityIsAllowed)
     EXPECT_EQ(out, data);
 }
 
+TEST(Dpu, IncrementalWritesKeepContentsAndZeroFill)
+{
+    // The lazy buffer grows geometrically under a long sequence of
+    // boundary-crossing writes; growth policy must never change what
+    // a read returns — written bytes verbatim, unwritten bytes zero.
+    Dpu dpu(0, 1 << 20);
+    std::vector<std::uint8_t> expect(1 << 20, 0);
+    std::size_t end = 0;
+    for (std::size_t i = 0; i < 300; ++i) {
+        const std::uint8_t value =
+            static_cast<std::uint8_t>(i + 1);
+        const std::size_t at = i * 331; // crosses every boundary
+        dpu.mramWrite(at, &value, 1);
+        expect[at] = value;
+        end = std::max(end, at + 1);
+    }
+    std::vector<std::uint8_t> out(end + 512, 0xff);
+    dpu.mramRead(0, out.data(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], expect[i]) << "byte " << i;
+}
+
+TEST(Dpu, GrowthClampsToCapacityAtTheTail)
+{
+    // A write landing in the last bytes of the bank must succeed
+    // even though doubling from the current size would overshoot
+    // the capacity.
+    Dpu dpu(0, 100);
+    const std::uint8_t low = 0x01;
+    dpu.mramWrite(0, &low, 1);
+    const std::vector<std::uint8_t> tail(10, 0xee);
+    dpu.mramWrite(90, tail.data(), tail.size());
+    std::vector<std::uint8_t> out(100);
+    dpu.mramRead(0, out.data(), 100);
+    EXPECT_EQ(out[0], 0x01);
+    EXPECT_EQ(out[50], 0x00);
+    EXPECT_EQ(out[99], 0xee);
+}
+
 } // namespace

@@ -116,6 +116,9 @@ TEST(KernelContext, OpCountsRecordedOnDpu)
     f.ctx.fadd(1, 2);
     f.ctx.fadd(3, 4);
     f.ctx.branch(5);
+    // The ledger batches op counts; Dpu counters update on flush
+    // (the command stream flushes at kernel return).
+    f.ctx.flush();
     EXPECT_EQ(f.dpu.opCounts()[static_cast<std::size_t>(
                   OpClass::Fp32Add)],
               2u);
@@ -145,6 +148,7 @@ TEST(KernelContext, DmaPadsUnalignedTail)
     f.ctx.mramToWram(0, out.data(), 5);
     // 5 bytes pad to one 8-byte transfer.
     EXPECT_EQ(f.ctx.cycles() - before, f.model.dmaCycles(8));
+    f.ctx.flush();
     EXPECT_EQ(f.dpu.dmaBytes(), 8u);
 }
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sim_throughput.json files and print per-workload
+speedup.
+
+Usage:
+    tools/bench_compare.py BEFORE.json AFTER.json
+
+Each input is either a raw ``bench/perf_sim_throughput`` output
+(``{"bench": ..., "workloads": [...]}``) or a checked-in combined
+record (``{"before": {...}, "after": {...}}``), from which the
+``before`` file contributes its ``before`` run and the ``after`` file
+its ``after`` run — so the tool also works when pointed twice at the
+repository's own ``BENCH_sim_throughput.json``.
+
+Workloads are matched by ``name``. For every pair the tool prints the
+wall-clock times, the speedup, and verifies that the modelled outputs
+(``modelled_max_cycles``, ``sim_ops``, ``dma_bytes``) are identical —
+a perf change must never move a modelled number. Exit status is 0 when
+every matched workload's modelled outputs agree, 1 otherwise. Stdlib
+only.
+"""
+
+import json
+import pathlib
+import sys
+
+MODELLED_KEYS = ("modelled_max_cycles", "sim_ops", "dma_bytes")
+
+
+def load_workloads(path, role):
+    """Return {name: record} from a raw or combined bench file."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if "workloads" not in data and role in data:
+        data = data[role]
+    if "workloads" not in data and "full" in data:
+        data = data["full"]
+    runs = data.get("workloads", [])
+    if not runs:
+        sys.exit(f"{path}: no workloads found (expected a "
+                 "perf_sim_throughput output)")
+    return {w["name"]: w for w in runs}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    before = load_workloads(argv[1], "before")
+    after = load_workloads(argv[2], "after")
+
+    common = [name for name in before if name in after]
+    if not common:
+        sys.exit("no workloads in common between the two files")
+
+    width = max(len(name) for name in common)
+    print(f"{'workload':<{width}}  {'before':>9}  {'after':>9}  "
+          f"{'speedup':>8}  modelled")
+    mismatches = 0
+    for name in common:
+        b, a = before[name], after[name]
+        speedup = b["wall_sec"] / a["wall_sec"] if a["wall_sec"] else 0.0
+        identical = all(b.get(k) == a.get(k) for k in MODELLED_KEYS)
+        if not identical:
+            mismatches += 1
+        print(f"{name:<{width}}  {b['wall_sec']:>8.4f}s  "
+              f"{a['wall_sec']:>8.4f}s  {speedup:>7.2f}x  "
+              f"{'identical' if identical else 'MISMATCH'}")
+
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    for name in only_before:
+        print(f"{name}: only in {argv[1]}")
+    for name in only_after:
+        print(f"{name}: only in {argv[2]}")
+
+    if mismatches:
+        print(f"{mismatches} workload(s) changed modelled outputs — "
+              "the cost model contract is broken", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
