@@ -31,6 +31,7 @@
 
 #include "bench/bench_common.hh"
 #include "common/stopwatch.hh"
+#include "pimsim/device_counters.hh"
 
 namespace {
 
@@ -121,14 +122,13 @@ measureCase(const PerfCase &shape, const rlcore::Dataset &data,
             r.wallSec = sec;
         }
         if (rep == 0) {
-            std::uint64_t ops = 0, dma = 0;
-            for (std::size_t i = 0; i < system.numDpus(); ++i) {
-                for (const auto n : system.dpu(i).opCounts())
-                    ops += n;
-                dma += system.dpu(i).dmaBytes();
-            }
-            r.simOps = ops;
-            r.dmaBytes = dma;
+            // Same snapshot path telemetry and StatsReport read —
+            // the reported sim_ops/dma_bytes can never drift from
+            // what a --metrics run exports.
+            const auto counters =
+                pimsim::DeviceCounters::fromSystem(system);
+            r.simOps = counters.totalOps();
+            r.dmaBytes = counters.dmaBytes;
             r.updates = static_cast<std::uint64_t>(data.size()) *
                         static_cast<std::uint64_t>(tau);
             r.launches =

@@ -13,11 +13,19 @@
  * the behaviour policy refreshed from the learner every
  * --refresh-period generations.
  *
+ * With --metrics (JSON) / --metrics-prom (Prometheus text) the run
+ * additionally exports the telemetry registry — per-DPU instruction
+ * mix, MRAM DMA bytes, straggler histograms, per-generation RL
+ * metrics — together with a run manifest recording config, seeds,
+ * fault plan, and cost-model provenance (docs/OBSERVABILITY.md).
+ * --log-level (or SWIFTRL_LOG) sets the stderr verbosity.
+ *
  * Examples:
  *   swiftrl_cli --env taxi --algo sarsa --sampling ran --format int32
  *   swiftrl_cli --env frozenlake --cores 2000 --episodes 200 --tau 50
  *   swiftrl_cli --env frozenlake --save-qtable policy.swrl
  *   swiftrl_cli --env frozenlake --tasklets 11 --stats
+ *   swiftrl_cli --env frozenlake --metrics run.json --trace run.trace
  *   swiftrl_cli --env taxi --streaming --actors 4 --generations 8 \
  *               --refresh-period 2 --trace stream.json
  */
@@ -26,19 +34,25 @@
 #include <iostream>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "pimsim/stats_report.hh"
 #include "rlcore/serialization.hh"
 #include "swiftrl/swiftrl.hh"
+#include "telemetry/export.hh"
+#include "telemetry/metric_registry.hh"
+#include "telemetry/run_manifest.hh"
 
 namespace {
 
-/** Shared tail of both modes: evaluate, report, trace, checkpoint. */
+/** Shared tail of both modes: evaluate, report, export, checkpoint. */
 int
 finishRun(const swiftrl::common::CliFlags &flags,
           swiftrl::rlenv::Environment &env,
           const swiftrl::rlcore::QTable &final_q,
           const swiftrl::pimsim::Timeline &timeline,
-          swiftrl::pimsim::PimSystem &system)
+          swiftrl::pimsim::PimSystem &system,
+          swiftrl::telemetry::MetricRegistry &metrics,
+          const swiftrl::telemetry::RunManifest &manifest)
 {
     using namespace swiftrl;
 
@@ -50,6 +64,8 @@ finishRun(const swiftrl::common::CliFlags &flags,
               << eval_episodes << " episodes (success rate "
               << eval.successRate << ", mean steps " << eval.meanSteps
               << ")\n";
+    metrics.gauge("rl_eval_mean_reward").set(eval.meanReward);
+    metrics.gauge("rl_eval_success_rate").set(eval.successRate);
 
     if (flags.getBool("stats", false)) {
         std::cout << "\n";
@@ -58,15 +74,41 @@ finishRun(const swiftrl::common::CliFlags &flags,
     }
 
     // Export the run's command timeline as Chrome trace JSON: open
-    // the file in chrome://tracing or https://ui.perfetto.dev.
+    // the file in chrome://tracing or https://ui.perfetto.dev. With
+    // telemetry on, the trace additionally carries counter tracks
+    // (straggler ratio, DMA bytes, live cores, max |dQ|).
     const auto trace_path = flags.getString("trace", "");
     if (!trace_path.empty()) {
         if (timeline.writeChromeTrace(trace_path)) {
             std::cout << "trace written to " << trace_path << " ("
                       << timeline.size() << " commands)\n";
         } else {
-            std::cerr << "cannot write trace file " << trace_path
+            SWIFTRL_WARN("cannot write trace file ", trace_path);
+            return 1;
+        }
+    }
+
+    // Metrics export: JSON (tools/check_metrics.py validates it,
+    // tools/bench_compare.py diffs it) and Prometheus text format.
+    const auto metrics_path = flags.getString("metrics", "");
+    if (!metrics_path.empty()) {
+        if (telemetry::writeMetricsJson(metrics_path, manifest,
+                                        metrics)) {
+            std::cout << "metrics written to " << metrics_path << " ("
+                      << metrics.size() << " metrics)\n";
+        } else {
+            SWIFTRL_WARN("cannot write metrics file ", metrics_path);
+            return 1;
+        }
+    }
+    const auto prom_path = flags.getString("metrics-prom", "");
+    if (!prom_path.empty()) {
+        if (telemetry::writeMetricsPrometheus(prom_path, manifest,
+                                              metrics)) {
+            std::cout << "prometheus metrics written to " << prom_path
                       << "\n";
+        } else {
+            SWIFTRL_WARN("cannot write metrics file ", prom_path);
             return 1;
         }
     }
@@ -94,7 +136,18 @@ main(int argc, char **argv)
          "alpha", "gamma", "epsilon", "weighted", "trace",
          "host-threads", "streaming", "actors", "refresh-period",
          "generations", "fault-seed", "fault-rate", "dropout-rate",
-         "retry-limit"});
+         "retry-limit", "metrics", "metrics-prom", "log-level"});
+
+    // --log-level overrides the SWIFTRL_LOG environment variable.
+    const auto log_level_name = flags.getString("log-level", "");
+    if (!log_level_name.empty()) {
+        const auto level = common::parseLogLevel(log_level_name);
+        if (!level) {
+            SWIFTRL_FATAL("--log-level must be quiet|warn|inform|"
+                          "debug, got ", log_level_name);
+        }
+        common::setLogLevel(*level);
+    }
 
     const auto env_name = flags.getString("env", "frozenlake");
     auto env = rlenv::makeEnvironment(env_name);
@@ -118,6 +171,18 @@ main(int argc, char **argv)
     pim.faultPlan.corruptRate = fault_rate;
     pim.faultPlan.dropoutRate = flags.getDouble("dropout-rate", 0.0);
     pimsim::PimSystem system(pim);
+
+    // Telemetry: enabled only when an export was requested, so
+    // default runs construct nothing but an inert registry. The
+    // trainers see a null registry pointer in that case and skip
+    // collector attachment entirely.
+    const bool want_metrics =
+        !flags.getString("metrics", "").empty() ||
+        !flags.getString("metrics-prom", "").empty();
+    telemetry::MetricRegistry metrics(want_metrics);
+    auto manifest = telemetry::RunManifest::fromSystem(system);
+    manifest.tool = "swiftrl_cli";
+    manifest.environment = env_name;
 
     RetryPolicy retry;
     retry.limit = static_cast<int>(flags.getInt("retry-limit", 3));
@@ -151,11 +216,9 @@ main(int argc, char **argv)
 
     if (flags.getBool("streaming", false)) {
         // --- streaming actor–learner mode ---------------------------
-        if (flags.getBool("weighted", false)) {
-            std::cerr << "--weighted is not available in streaming "
-                         "mode\n";
-            return 1;
-        }
+        if (flags.getBool("weighted", false))
+            SWIFTRL_FATAL("--weighted is not available in streaming "
+                          "mode");
         StreamingConfig cfg;
         cfg.workload = workload;
         cfg.hyper = hyper;
@@ -179,6 +242,23 @@ main(int argc, char **argv)
         cfg.collectSeed =
             static_cast<std::uint64_t>(flags.getInt("seed", 1)) + 977;
         cfg.retry = retry;
+        cfg.metrics = want_metrics ? &metrics : nullptr;
+
+        manifest.mode = "streaming";
+        manifest.workload = cfg.workload.name();
+        manifest.tasklets = cfg.tasklets;
+        manifest.episodes = cfg.hyper.episodes;
+        manifest.tau = cfg.tau;
+        manifest.transitions = cfg.transitionsPerGeneration;
+        manifest.generations = cfg.generations;
+        manifest.actors = cfg.actors;
+        manifest.refreshPeriod = cfg.refreshPeriod;
+        manifest.alpha = cfg.hyper.alpha;
+        manifest.gamma = cfg.hyper.gamma;
+        manifest.epsilon = cfg.hyper.epsilon;
+        manifest.collectSeed = cfg.collectSeed;
+        manifest.trainSeed = cfg.hyper.seed;
+        manifest.retryLimit = retry.limit;
 
         std::cout << "streaming " << cfg.workload.name() << " on "
                   << pim.numDpus << " PIM cores, " << cfg.generations
@@ -212,7 +292,7 @@ main(int argc, char **argv)
                       << " s recovery overhead\n";
         }
         return finishRun(flags, *env, result.finalQ, result.timeline,
-                         system);
+                         system, metrics, manifest);
     }
 
     // --- offline (paper) mode ---------------------------------------
@@ -246,6 +326,22 @@ main(int argc, char **argv)
         static_cast<unsigned>(flags.getInt("tasklets", 1));
     cfg.weightedAggregation = flags.getBool("weighted", false);
     cfg.retry = retry;
+    cfg.metrics = want_metrics ? &metrics : nullptr;
+
+    manifest.mode = "offline";
+    manifest.workload = cfg.workload.name();
+    manifest.tasklets = cfg.tasklets;
+    manifest.episodes = cfg.hyper.episodes;
+    manifest.tau = cfg.tau;
+    manifest.transitions = data.size();
+    manifest.weightedAggregation = cfg.weightedAggregation;
+    manifest.alpha = cfg.hyper.alpha;
+    manifest.gamma = cfg.hyper.gamma;
+    manifest.epsilon = cfg.hyper.epsilon;
+    manifest.collectSeed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 1));
+    manifest.trainSeed = cfg.hyper.seed;
+    manifest.retryLimit = retry.limit;
 
     std::cout << "training " << cfg.workload.name() << " on "
               << pim.numDpus << " PIM cores x " << cfg.tasklets
@@ -270,5 +366,5 @@ main(int argc, char **argv)
                   << " s recovery overhead\n";
     }
     return finishRun(flags, *env, result.finalQ, result.timeline,
-                     system);
+                     system, metrics, manifest);
 }

@@ -1,15 +1,69 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <algorithm>
+#include <cctype>
 #include <iostream>
+#include <mutex>
 
 namespace swiftrl::common {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Inform};
+/**
+ * Resolve the initial level once, honouring the SWIFTRL_LOG
+ * environment variable ("quiet" | "warn" | "inform" | "debug"); an
+ * unset or unrecognised value keeps the Inform default (the
+ * unrecognised case warns — silently ignoring a typo would look like
+ * a broken flag).
+ */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("SWIFTRL_LOG");
+    if (!env || !*env)
+        return LogLevel::Inform;
+    const auto parsed = parseLogLevel(env);
+    if (!parsed) {
+        std::cerr << "warn: SWIFTRL_LOG=" << env
+                  << " is not a log level (quiet|warn|inform|debug); "
+                     "keeping 'inform'\n";
+        return LogLevel::Inform;
+    }
+    return *parsed;
+}
+
+std::atomic<LogLevel> g_level{initialLevel()};
+
+/**
+ * One mutex over every message write. Trainer progress lines and
+ * warnings can originate from host-pool workers and actor threads
+ * concurrently; serialising the stream insert keeps lines intact.
+ * fatal/panic take it too (released before exit/abort) so a dying
+ * thread's last message doesn't interleave with a live one's.
+ */
+std::mutex g_mutex;
 
 } // namespace
+
+std::optional<LogLevel>
+parseLogLevel(std::string_view name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    if (lower == "quiet")
+        return LogLevel::Quiet;
+    if (lower == "warn")
+        return LogLevel::Warn;
+    if (lower == "inform" || lower == "info")
+        return LogLevel::Inform;
+    if (lower == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
 
 LogLevel
 logLevel()
@@ -28,36 +82,50 @@ namespace detail {
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        std::cerr << "fatal: " << msg << " (" << file << ":" << line
+                  << ")\n";
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        std::cerr << "panic: " << msg << " (" << file << ":" << line
+                  << ")\n";
+    }
     std::abort();
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (logLevel() >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(g_mutex);
         std::cerr << "warn: " << msg << "\n";
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (logLevel() >= LogLevel::Inform)
+    if (logLevel() >= LogLevel::Inform) {
+        std::lock_guard<std::mutex> lock(g_mutex);
         std::cerr << "info: " << msg << "\n";
+    }
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (logLevel() >= LogLevel::Debug)
+    if (logLevel() >= LogLevel::Debug) {
+        std::lock_guard<std::mutex> lock(g_mutex);
         std::cerr << "debug: " << msg << "\n";
+    }
 }
 
 } // namespace detail

@@ -11,19 +11,33 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace swiftrl::common {
 
 /** Verbosity levels for the message stream. */
 enum class LogLevel { Quiet, Warn, Inform, Debug };
 
-/** Global log verbosity; messages above this level are suppressed. */
+/**
+ * Global log verbosity; messages above this level are suppressed.
+ * Initialised from the SWIFTRL_LOG environment variable
+ * (quiet|warn|inform|debug) when set; Inform otherwise. Message
+ * writes are serialised, so concurrent log lines never interleave.
+ */
 LogLevel logLevel();
 
-/** Set the global log verbosity. */
+/** Set the global log verbosity (overrides SWIFTRL_LOG). */
 void setLogLevel(LogLevel level);
+
+/**
+ * Parse a level name ("quiet", "warn", "inform"/"info", "debug"),
+ * case-insensitive; nullopt when unrecognised. Shared by the
+ * SWIFTRL_LOG environment hook and the --log-level CLI flag.
+ */
+std::optional<LogLevel> parseLogLevel(std::string_view name);
 
 namespace detail {
 

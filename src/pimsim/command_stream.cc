@@ -325,6 +325,15 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
     const double seconds = config.launchOverheadSec +
                            config.costModel.seconds(slowest);
     record(Phase::Kernel, bucket, seconds, label);
+    if (_observer) {
+        LaunchStats stats;
+        stats.label = label;
+        stats.start = _cursor - seconds;
+        stats.end = _cursor;
+        stats.effectiveCycles = _effective;
+        stats.liveCount = _liveCount;
+        _observer->onLaunch(*this, stats);
+    }
     return {seconds, std::nullopt};
 }
 

@@ -61,6 +61,59 @@
 namespace swiftrl::pimsim {
 
 class PimSystem;
+class CommandStream;
+
+/**
+ * Per-launch observation handed to a StreamObserver: the modelled
+ * interval of the completed launch command plus the per-core
+ * effective cycles the serial reduce just computed. Everything in
+ * here is a *modelled* quantity — bit-identical for every host-pool
+ * size — so observers can derive metrics without touching the
+ * determinism contract. The spans alias stream-owned scratch and are
+ * valid only for the duration of the callback.
+ */
+struct LaunchStats
+{
+    /** Command label ("kernel:round"). */
+    std::string_view label;
+
+    /** Launch start on the stream clock, modelled seconds. */
+    double start = 0.0;
+
+    /** Launch end on the stream clock, modelled seconds. */
+    double end = 0.0;
+
+    /**
+     * Per-core cycles consumed by this launch (0 for dead cores —
+     * check CommandStream::isDead to distinguish a dead core from a
+     * live one whose kernel instance happened to charge nothing).
+     */
+    std::span<const Cycles> effectiveCycles;
+
+    /** Cores that executed the launch. */
+    std::size_t liveCount = 0;
+};
+
+/**
+ * Read-only hook called by a CommandStream after each successful
+ * kernel launch (faulted launches commit nothing and are not
+ * observed). The telemetry layer's EngineCollector is the intended
+ * implementation; the engine itself stays telemetry-agnostic.
+ *
+ * Observers run on the enqueue thread after the host pool joins, so
+ * they may read the system's device counters race-free — but they
+ * must not enqueue commands or mutate device state: observation can
+ * never move a modelled number.
+ */
+class StreamObserver
+{
+  public:
+    virtual ~StreamObserver() = default;
+
+    /** One successful kernel launch retired on @p stream. */
+    virtual void onLaunch(CommandStream &stream,
+                          const LaunchStats &stats) = 0;
+};
 
 /** Ordered command queue with a modelled clock. See file comment. */
 class CommandStream
@@ -219,6 +272,33 @@ class CommandStream
     /** The stream's event record. */
     const Timeline &timeline() const { return _timeline; }
 
+    // --- telemetry ----------------------------------------------------
+
+    /**
+     * Attach (or detach, with nullptr) the launch observer. At most
+     * one; must outlive the stream or be detached first. Purely
+     * observational — attaching one never changes modelled numbers.
+     */
+    void setObserver(StreamObserver *observer)
+    {
+        _observer = observer;
+    }
+
+    /** The attached launch observer, or nullptr. */
+    StreamObserver *observer() const { return _observer; }
+
+    /**
+     * Record one sample on the named counter track of this stream's
+     * timeline, at the current stream clock. Counter samples are
+     * annotations for the Chrome trace export — they are not events
+     * and never contribute to phase/bucket totals.
+     */
+    void
+    recordCounter(std::string name, double value)
+    {
+        _timeline.recordCounter(std::move(name), _cursor, value);
+    }
+
     /** System this stream drives. */
     PimSystem &system() { return _system; }
 
@@ -265,6 +345,9 @@ class CommandStream
 
     /** Per-core effective cycles of the current launch (reused). */
     std::vector<Cycles> _effective;
+
+    /** Launch observer (telemetry); nullptr when none attached. */
+    StreamObserver *_observer = nullptr;
 
     /** Faulting-core scratch lists (reused; copied on the rare
      *  error path so their capacity survives). */

@@ -1,0 +1,56 @@
+#include "pimsim/device_counters.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pimsim/pim_system.hh"
+
+namespace swiftrl::pimsim {
+
+DeviceCounters
+DeviceCounters::fromSystem(const PimSystem &system)
+{
+    DeviceCounters c;
+    c.numDpus = system.numDpus();
+    for (std::size_t i = 0; i < system.numDpus(); ++i) {
+        const Dpu &dpu = system.dpu(i);
+        for (std::size_t k = 0; k < kNumOpClasses; ++k)
+            c.opCounts[k] += dpu.opCounts()[k];
+        c.dmaBytes += dpu.dmaBytes();
+        c.maxCycles = std::max(c.maxCycles, dpu.cycles());
+        c.totalCycles += dpu.cycles();
+    }
+    return c;
+}
+
+std::uint64_t
+DeviceCounters::totalOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto n : opCounts)
+        total += n;
+    return total;
+}
+
+DeviceCounters
+DeviceCounters::since(const DeviceCounters &earlier) const
+{
+    SWIFTRL_ASSERT(numDpus == earlier.numDpus,
+                   "counter deltas require snapshots of one system");
+    DeviceCounters d;
+    d.numDpus = numDpus;
+    for (std::size_t k = 0; k < kNumOpClasses; ++k) {
+        SWIFTRL_ASSERT(opCounts[k] >= earlier.opCounts[k],
+                       "op counters are monotone");
+        d.opCounts[k] = opCounts[k] - earlier.opCounts[k];
+    }
+    SWIFTRL_ASSERT(dmaBytes >= earlier.dmaBytes &&
+                       totalCycles >= earlier.totalCycles,
+                   "device counters are monotone");
+    d.dmaBytes = dmaBytes - earlier.dmaBytes;
+    d.totalCycles = totalCycles - earlier.totalCycles;
+    d.maxCycles = maxCycles;
+    return d;
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Aggregated device counters of a PimSystem: the one place that sums
+ * what the simulated cores actually executed — retired ops per class,
+ * MRAM DMA traffic, and the cycle clocks — over all cores.
+ *
+ * Every consumer of device counters reads through this snapshot:
+ * StatsReport (the human-readable stats dump) is computed from it,
+ * the telemetry EngineCollector diffs consecutive snapshots into
+ * per-launch instruction-mix counters, and bench/perf_sim_throughput
+ * reports its sim_ops/dma_bytes from it. One aggregation loop means
+ * the numbers can never disagree between reports.
+ *
+ * All fields are *modelled* quantities: they are bit-identical for
+ * every host-pool size and whether or not telemetry reads them.
+ */
+
+#ifndef SWIFTRL_PIMSIM_DEVICE_COUNTERS_HH
+#define SWIFTRL_PIMSIM_DEVICE_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "pimsim/cost_model.hh"
+#include "pimsim/op_class.hh"
+
+namespace swiftrl::pimsim {
+
+class PimSystem;
+
+/** Summed per-core execution counters at one point in time. */
+struct DeviceCounters
+{
+    /** Cores in the system (dead cores included; they stop moving). */
+    std::size_t numDpus = 0;
+
+    /** Retired ops per class, summed over all cores. */
+    std::array<std::uint64_t, kNumOpClasses> opCounts{};
+
+    /** MRAM DMA bytes moved, summed over all cores. */
+    std::uint64_t dmaBytes = 0;
+
+    /** Slowest core's cycle count. */
+    Cycles maxCycles = 0;
+
+    /** Sum of cycles over all cores. */
+    Cycles totalCycles = 0;
+
+    /** Snapshot the accumulated counters of @p system. */
+    static DeviceCounters fromSystem(const PimSystem &system);
+
+    /** Total retired ops across all classes and cores. */
+    std::uint64_t totalOps() const;
+
+    /**
+     * Monotone-counter delta since an @p earlier snapshot of the same
+     * system: op counts, DMA bytes, and totalCycles subtract;
+     * numDpus and maxCycles keep this snapshot's values (a clock
+     * high-water mark has no meaningful difference).
+     */
+    DeviceCounters since(const DeviceCounters &earlier) const;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_DEVICE_COUNTERS_HH

@@ -2,26 +2,25 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "pimsim/device_counters.hh"
 
 namespace swiftrl::pimsim {
 
 StatsReport
 StatsReport::fromSystem(const PimSystem &system)
 {
-    StatsReport r;
-    r.numDpus = system.numDpus();
+    // The aggregation itself lives in DeviceCounters — the snapshot
+    // path the telemetry registry and the throughput bench also read
+    // — so every report derives from the same sums.
+    const DeviceCounters counters = DeviceCounters::fromSystem(system);
     const auto &model = system.config().costModel;
 
-    Cycles total_cycles = 0;
-    for (std::size_t i = 0; i < system.numDpus(); ++i) {
-        const Dpu &dpu = system.dpu(i);
-        for (std::size_t c = 0; c < kNumOpClasses; ++c)
-            r.opCounts[c] += dpu.opCounts()[c];
-        r.dmaBytes += dpu.dmaBytes();
-        r.maxCycles = std::max(r.maxCycles, dpu.cycles());
-        total_cycles += dpu.cycles();
-    }
-    r.meanCycles = static_cast<double>(total_cycles) /
+    StatsReport r;
+    r.numDpus = counters.numDpus;
+    r.opCounts = counters.opCounts;
+    r.dmaBytes = counters.dmaBytes;
+    r.maxCycles = counters.maxCycles;
+    r.meanCycles = static_cast<double>(counters.totalCycles) /
                    static_cast<double>(r.numDpus);
     r.imbalance = r.meanCycles > 0.0
                       ? static_cast<double>(r.maxCycles) / r.meanCycles

@@ -97,6 +97,14 @@ Timeline::exportChromeTrace(std::ostream &os) const
            << ",\"args\":{\"index\":" << e.index
            << ",\"bucket\":\"" << bucketName(e.bucket) << "\"}}";
     }
+    // Counter tracks ("C" events): one numeric series per counter
+    // name, sampled in modelled time. Present only when a telemetry
+    // collector was attached to the stream.
+    for (const auto &c : _counters) {
+        os << ",\n{\"name\":\"" << jsonEscape(c.name)
+           << "\",\"ph\":\"C\",\"pid\":0,\"ts\":" << c.time * 1e6
+           << ",\"args\":{\"value\":" << c.value << "}}";
+    }
     os << "\n]}\n";
     os.precision(old_precision);
 }

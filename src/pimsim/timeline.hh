@@ -26,6 +26,25 @@
 
 namespace swiftrl::pimsim {
 
+/**
+ * One sample of a named counter track in modelled time. Counter
+ * samples are *annotations*, not commands: they never contribute to
+ * phase/bucket totals or endTime(), and are only written when a
+ * telemetry collector is attached to the stream — a run without one
+ * produces a byte-identical trace to builds that predate telemetry.
+ */
+struct CounterSample
+{
+    /** Counter track name ("straggler-ratio", "mram-dma-bytes"). */
+    std::string name;
+
+    /** Sample time on the stream clock, modelled seconds. */
+    double time = 0.0;
+
+    /** Sampled value. */
+    double value = 0.0;
+};
+
 /** Append-only modelled-time event record. See file comment. */
 class Timeline
 {
@@ -59,15 +78,35 @@ class Timeline
     /** Sum of event durations accounted under one cost bucket. */
     double totalForBucket(TimeBucket bucket) const;
 
-    /** Drop all events (stream reuse across runs). */
-    void clear() { _events.clear(); }
+    /** Append one counter-track sample (see CounterSample). */
+    void
+    recordCounter(std::string name, double time, double value)
+    {
+        _counters.push_back({std::move(name), time, value});
+    }
+
+    /** All counter samples, in record order. */
+    const std::vector<CounterSample> &counters() const
+    {
+        return _counters;
+    }
+
+    /** Drop all events and counter samples (stream reuse). */
+    void
+    clear()
+    {
+        _events.clear();
+        _counters.clear();
+    }
 
     /**
      * Export the timeline as Chrome trace-event JSON ("X" complete
      * events, microsecond timestamps): load the file in
      * `chrome://tracing` or https://ui.perfetto.dev. One track (tid)
      * per phase, one slice per command; each slice's args carry the
-     * command index and its cost bucket.
+     * command index and its cost bucket. Counter samples, when
+     * present, are emitted as `"ph":"C"` counter events — one
+     * numeric track per counter name under the same process.
      */
     void exportChromeTrace(std::ostream &os) const;
 
@@ -79,6 +118,7 @@ class Timeline
 
   private:
     std::vector<Event> _events;
+    std::vector<CounterSample> _counters;
 };
 
 } // namespace swiftrl::pimsim

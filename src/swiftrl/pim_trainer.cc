@@ -1,11 +1,13 @@
 #include "swiftrl/pim_trainer.hh"
 
 #include <cstring>
+#include <optional>
 
 #include "common/logging.hh"
 #include "rlcore/seeds.hh"
 #include "swiftrl/partition.hh"
 #include "swiftrl/pim_kernels.hh"
+#include "telemetry/engine_collector.hh"
 
 namespace swiftrl {
 
@@ -122,6 +124,14 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     // The run is one explicit command sequence on a dedicated stream;
     // the reported time breakdown is a view of its timeline.
     pimsim::CommandStream stream(_system);
+
+    // Telemetry (off unless a registry is configured): per-launch
+    // engine metrics via the stream observer, rl_* metrics below.
+    std::optional<telemetry::EngineCollector> collector;
+    if (_config.metrics) {
+        collector.emplace(*_config.metrics, _system);
+        stream.setObserver(&*collector);
+    }
 
     // Step 1: partition and distribute the dataset (Figure 4 (1)).
     const auto chunks = partitionDataset(data.size(), n);
@@ -258,6 +268,18 @@ PimTrainer::train(const Dataset &data, StateId num_states,
         _qio.broadcastQTable(stream, aggregated,
                              TimeBucket::InterCore);
         ++result.commRounds;
+        SWIFTRL_DEBUG("round ", result.commRounds, ": max |dQ| ",
+                      result.roundDeltas.back(), ", live cores ",
+                      stream.liveDpuCount(), ", modelled t ",
+                      stream.now(), " s");
+        if (_config.metrics) {
+            _config.metrics->counter("rl_comm_rounds_total").add();
+            _config.metrics->series("rl_round_max_abs_dq")
+                .append(result.roundDeltas.back());
+            stream.recordCounter(
+                "max-abs-dq",
+                static_cast<double>(result.roundDeltas.back()));
+        }
     }
 
     // Steps 3+4: final retrieval. After the last synchronisation
@@ -276,6 +298,15 @@ PimTrainer::train(const Dataset &data, StateId num_states,
     result.timeline = stream.timeline();
     result.faultsDetected = countFaultEvents(result.timeline);
     result.coresLost = n - stream.liveDpuCount();
+    if (_config.metrics) {
+        auto &m = *_config.metrics;
+        m.gauge("rl_epsilon").set(_config.hyper.epsilon);
+        m.counter("rl_faults_detected_total")
+            .add(static_cast<std::uint64_t>(result.faultsDetected));
+        m.gauge("rl_live_cores")
+            .set(static_cast<double>(stream.liveDpuCount()));
+        m.gauge("rl_recovery_seconds").set(result.time.recovery);
+    }
     return result;
 }
 
@@ -302,6 +333,12 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
     result.coresUsed = n;
 
     pimsim::CommandStream stream(_system);
+
+    std::optional<telemetry::EngineCollector> collector;
+    if (_config.metrics) {
+        collector.emplace(*_config.metrics, _system);
+        stream.setObserver(&*collector);
+    }
 
     std::vector<const Dataset *> sources(n);
     std::vector<std::size_t> firsts(n, 0), counts(n);
@@ -365,6 +402,15 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
     result.time = breakdownFromTimeline(stream.timeline());
     result.timeline = stream.timeline();
     result.faultsDetected = countFaultEvents(result.timeline);
+    if (_config.metrics) {
+        auto &m = *_config.metrics;
+        m.gauge("rl_epsilon").set(_config.hyper.epsilon);
+        m.counter("rl_faults_detected_total")
+            .add(static_cast<std::uint64_t>(result.faultsDetected));
+        m.gauge("rl_live_cores")
+            .set(static_cast<double>(stream.liveDpuCount()));
+        m.gauge("rl_recovery_seconds").set(result.time.recovery);
+    }
     return result;
 }
 

@@ -34,6 +34,10 @@
 
 namespace swiftrl {
 
+namespace telemetry {
+class MetricRegistry;
+}
+
 /** Configuration for one PIM training run. */
 struct PimTrainConfig
 {
@@ -81,6 +85,16 @@ struct PimTrainConfig
      * one extra per-round gather of the count table.
      */
     bool weightedAggregation = false;
+
+    /**
+     * Telemetry destination (null = off, the default). When set, the
+     * trainer attaches an EngineCollector to its command stream
+     * (per-launch instruction mix, DMA bytes, straggler histograms)
+     * and emits the rl_* training metrics documented in
+     * docs/OBSERVABILITY.md. Purely observational: results and
+     * modelled times are bit-identical with and without a registry.
+     */
+    telemetry::MetricRegistry *metrics = nullptr;
 };
 
 /** Output of a PIM training run. */

@@ -1,12 +1,15 @@
 #include "swiftrl/streaming_trainer.hh"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <string>
 
 #include "common/logging.hh"
 #include "rlcore/seeds.hh"
 #include "swiftrl/partition.hh"
 #include "swiftrl/pim_kernels.hh"
+#include "telemetry/engine_collector.hh"
 
 namespace swiftrl {
 
@@ -111,6 +114,16 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
     result.generations = _config.generations;
 
     pimsim::CommandStream stream(_system);
+
+    // Telemetry (off unless a registry is configured): per-launch
+    // engine metrics via the stream observer, per-generation rl_*
+    // series below.
+    std::optional<telemetry::EngineCollector> collector;
+    if (_config.metrics) {
+        collector.emplace(*_config.metrics, _system);
+        stream.setObserver(&*collector);
+    }
+
     _qio.initQTables(stream, num_states, num_actions);
 
     // Persistent LCG streams, one per (core, tasklet), carried across
@@ -290,10 +303,40 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
             _qio.broadcastQTable(stream, aggregated,
                                  TimeBucket::InterCore);
             ++result.commRounds;
+            if (_config.metrics)
+                _config.metrics->counter("rl_comm_rounds_total")
+                    .add();
         }
 
         train_end.push_back(stream.now());
         q_after.push_back(aggregated);
+        const float gen_delta = QTable::maxAbsDifference(
+            aggregated, g > 0 ? q_after[static_cast<std::size_t>(g) -
+                                        1]
+                              : QTable(num_states, num_actions));
+        SWIFTRL_DEBUG("generation ", g, ": max |dQ| ", gen_delta,
+                      ", live cores ", stream.liveDpuCount(),
+                      ", collect ", dur, " s, modelled t ",
+                      stream.now(), " s");
+        if (_config.metrics) {
+            auto &m = *_config.metrics;
+            // Behaviour-policy reward rate of this generation's
+            // collected data: mean reward per transition.
+            const auto &rewards = gen_data.rewards();
+            const double mean_reward =
+                rewards.empty()
+                    ? 0.0
+                    : std::accumulate(rewards.begin(), rewards.end(),
+                                      0.0) /
+                          static_cast<double>(rewards.size());
+            m.series("rl_generation_mean_reward")
+                .append(mean_reward);
+            m.series("rl_generation_max_abs_dq")
+                .append(static_cast<double>(gen_delta));
+            m.series("rl_generation_collect_seconds").append(dur);
+            stream.recordCounter("max-abs-dq",
+                                 static_cast<double>(gen_delta));
+        }
     }
 
     // Final retrieval, identical to the offline trainer's step 3+4.
@@ -314,6 +357,18 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
     result.transitions =
         static_cast<std::size_t>(_config.generations) *
         _config.transitionsPerGeneration;
+    if (_config.metrics) {
+        auto &m = *_config.metrics;
+        m.gauge("rl_epsilon")
+            .set(static_cast<double>(_config.hyper.epsilon));
+        m.counter("rl_policy_refreshes_total")
+            .add(static_cast<std::uint64_t>(result.policyRefreshes));
+        m.counter("rl_faults_detected_total")
+            .add(static_cast<std::uint64_t>(result.faultsDetected));
+        m.gauge("rl_live_cores")
+            .set(static_cast<double>(stream.liveDpuCount()));
+        m.gauge("rl_recovery_seconds").set(result.time.recovery);
+    }
     return result;
 }
 

@@ -41,6 +41,10 @@
 
 namespace swiftrl {
 
+namespace telemetry {
+class MetricRegistry;
+}
+
 /** Configuration for one streaming (online) training run. */
 struct StreamingConfig
 {
@@ -125,6 +129,15 @@ struct StreamingConfig
      * bench/ext_streaming_overlap.cc compares them fairly).
      */
     bool overlap = true;
+
+    /**
+     * Telemetry destination (null = off, the default). When set, the
+     * trainer attaches an EngineCollector to its command stream and
+     * emits per-generation rl_* metrics (behaviour reward, max |ΔQ|,
+     * collection seconds) on top of the shared training metrics —
+     * see docs/OBSERVABILITY.md. Purely observational.
+     */
+    telemetry::MetricRegistry *metrics = nullptr;
 };
 
 /** Output of a streaming training run. */

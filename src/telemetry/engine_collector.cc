@@ -1,0 +1,112 @@
+#include "telemetry/engine_collector.hh"
+
+#include "pimsim/op_class.hh"
+#include "pimsim/pim_system.hh"
+
+namespace swiftrl::telemetry {
+
+namespace {
+
+/**
+ * Core-cycle buckets: decades from 1e3 to 1e9 cycles. A fig5-sized
+ * round lands mid-range; the decade resolution is enough to spot a
+ * workload whose per-launch cost changed by an order of magnitude.
+ */
+std::vector<double>
+coreCycleBounds()
+{
+    return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+/**
+ * Straggler-ratio buckets (max/mean core cycles per launch). 1.0 is
+ * a perfectly balanced launch; the paper's chunked partitions sit
+ * near 1, redistribution after dropouts pushes upward.
+ */
+std::vector<double>
+stragglerBounds()
+{
+    return {1.0, 1.02, 1.05, 1.1, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0};
+}
+
+std::array<Counter *, pimsim::kNumOpClasses>
+opCounters(MetricRegistry &registry)
+{
+    std::array<Counter *, pimsim::kNumOpClasses> out{};
+    for (std::size_t i = 0; i < pimsim::kNumOpClasses; ++i) {
+        out[i] = &registry.counter(
+            "pim_ops_total",
+            {{"op_class",
+              pimsim::opClassName(static_cast<pimsim::OpClass>(i))}});
+    }
+    return out;
+}
+
+} // namespace
+
+EngineCollector::EngineCollector(MetricRegistry &registry,
+                                 const pimsim::PimSystem &system)
+    : _registry(registry),
+      _last(pimsim::DeviceCounters::fromSystem(system)),
+      _launches(registry.counter("pim_launches_total")),
+      _ops(opCounters(registry)),
+      _dmaBytes(registry.counter("pim_mram_dma_bytes_total")),
+      _coreCycles(
+          registry.histogram("pim_launch_core_cycles",
+                             coreCycleBounds())),
+      _stragglerRatio(
+          registry.histogram("pim_launch_straggler_ratio",
+                             stragglerBounds())),
+      _liveCores(registry.gauge("pim_live_cores"))
+{
+}
+
+void
+EngineCollector::onLaunch(pimsim::CommandStream &stream,
+                          const pimsim::LaunchStats &stats)
+{
+    if constexpr (!kCompiledIn)
+        return;
+
+    _launches.add();
+
+    // Instruction mix and DMA traffic: delta of the device counters
+    // since the previous observed launch. Kernel work is the only
+    // thing that moves them, so the delta is exactly this launch.
+    const auto now =
+        pimsim::DeviceCounters::fromSystem(stream.system());
+    const auto delta = now.since(_last);
+    _last = now;
+    for (std::size_t i = 0; i < pimsim::kNumOpClasses; ++i)
+        _ops[i]->add(delta.opCounts[i]);
+    _dmaBytes.add(delta.dmaBytes);
+
+    // Load-balance shape of this launch: per-core effective cycles
+    // over the live cores, and the slowest core relative to the mean.
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+    for (std::size_t i = 0; i < stats.effectiveCycles.size(); ++i) {
+        if (stream.isDead(i))
+            continue;
+        const auto c = stats.effectiveCycles[i];
+        _coreCycles.observe(static_cast<double>(c));
+        total += c;
+        if (c > max)
+            max = c;
+    }
+    if (total > 0 && stats.liveCount > 0) {
+        const double mean = static_cast<double>(total) /
+                            static_cast<double>(stats.liveCount);
+        const double ratio = static_cast<double>(max) / mean;
+        _stragglerRatio.observe(ratio);
+        stream.recordCounter("straggler-ratio", ratio);
+    }
+    _liveCores.set(static_cast<double>(stats.liveCount));
+
+    stream.recordCounter("mram-dma-bytes",
+                         static_cast<double>(_dmaBytes.value()));
+    stream.recordCounter("live-cores",
+                         static_cast<double>(stats.liveCount));
+}
+
+} // namespace swiftrl::telemetry

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The engine-layer collector: a pimsim::StreamObserver that turns
+ * each retired kernel launch into metrics. After every launch it
+ * snapshots the system's DeviceCounters — the same one-source-of-
+ * truth snapshot StatsReport and the perf bench read — and registers
+ * the delta since the previous launch as instruction-mix counters
+ * and MRAM DMA bytes, then folds the launch's per-core effective
+ * cycles into a core-cycle histogram and a straggler-ratio
+ * (max/mean over live cores) histogram.
+ *
+ * It also drops counter samples ("straggler-ratio",
+ * "mram-dma-bytes", "live-cores") onto the stream's timeline, which
+ * the Chrome trace exporter renders as counter tracks under the
+ * command slices. Because the samples are only written while a
+ * collector is attached, runs without telemetry produce byte-
+ * identical trace files to builds without this subsystem.
+ *
+ * Everything here *reads* modelled state after the serial reduce;
+ * nothing charges cycles or enqueues commands, so attaching a
+ * collector cannot move a modelled number (asserted bit-for-bit by
+ * tests/test_telemetry.cc).
+ */
+
+#ifndef SWIFTRL_TELEMETRY_ENGINE_COLLECTOR_HH
+#define SWIFTRL_TELEMETRY_ENGINE_COLLECTOR_HH
+
+#include <array>
+
+#include "pimsim/command_stream.hh"
+#include "pimsim/device_counters.hh"
+#include "telemetry/metric_registry.hh"
+
+namespace swiftrl::telemetry {
+
+/** Per-launch engine metrics; attach with stream.setObserver(). */
+class EngineCollector : public pimsim::StreamObserver
+{
+  public:
+    /**
+     * @param registry destination for the engine metrics.
+     * @param system machine whose counters are snapshotted; the
+     *        current counter state becomes the baseline, so a system
+     *        reused across runs doesn't leak earlier work into this
+     *        collector's deltas.
+     */
+    EngineCollector(MetricRegistry &registry,
+                    const pimsim::PimSystem &system);
+
+    void onLaunch(pimsim::CommandStream &stream,
+                  const pimsim::LaunchStats &stats) override;
+
+  private:
+    MetricRegistry &_registry;
+
+    /** Counter snapshot as of the previous observed launch. */
+    pimsim::DeviceCounters _last;
+
+    // Metric handles resolved once at construction: onLaunch is on
+    // the per-round path and should not re-hash names.
+    Counter &_launches;
+    std::array<Counter *, pimsim::kNumOpClasses> _ops;
+    Counter &_dmaBytes;
+    Histogram &_coreCycles;
+    Histogram &_stragglerRatio;
+    Gauge &_liveCores;
+};
+
+} // namespace swiftrl::telemetry
+
+#endif // SWIFTRL_TELEMETRY_ENGINE_COLLECTOR_HH

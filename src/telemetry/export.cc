@@ -1,0 +1,301 @@
+#include "telemetry/export.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "pimsim/op_class.hh"
+
+namespace swiftrl::telemetry {
+
+namespace {
+
+/** Escape for a JSON string body (same rules as the trace writer). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Round-trip-exact double rendering shared by both formats: the
+ * shortest decimal string that parses back to the same bits (so
+ * bucket bounds like 1.1 print as "1.1", not "1.1000000000000001",
+ * while exports stay byte-deterministic).
+ */
+std::string
+num(double v)
+{
+    char buf[32];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/** `"labels":{...}` JSON object for one entry. */
+std::string
+jsonLabels(const Labels &labels)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '"' + jsonEscape(labels[i].first) + "\":\"" +
+               jsonEscape(labels[i].second) + '"';
+    }
+    out += '}';
+    return out;
+}
+
+void
+writeManifestJson(std::ostream &os, const RunManifest &m)
+{
+    const auto &fp = m.faultPlan;
+    const auto &cm = m.costModel;
+    os << "  \"manifest\": {\n"
+       << "    \"tool\": \"" << jsonEscape(m.tool) << "\",\n"
+       << "    \"mode\": \"" << jsonEscape(m.mode) << "\",\n"
+       << "    \"environment\": \"" << jsonEscape(m.environment)
+       << "\",\n"
+       << "    \"workload\": \"" << jsonEscape(m.workload) << "\",\n"
+       << "    \"cores\": " << m.cores << ",\n"
+       << "    \"host_threads\": " << m.hostThreads << ",\n"
+       << "    \"tasklets\": " << m.tasklets << ",\n"
+       << "    \"episodes\": " << m.episodes << ",\n"
+       << "    \"tau\": " << m.tau << ",\n"
+       << "    \"transitions\": " << m.transitions << ",\n"
+       << "    \"generations\": " << m.generations << ",\n"
+       << "    \"actors\": " << m.actors << ",\n"
+       << "    \"refresh_period\": " << m.refreshPeriod << ",\n"
+       << "    \"weighted_aggregation\": "
+       << (m.weightedAggregation ? "true" : "false") << ",\n"
+       << "    \"alpha\": " << num(m.alpha) << ",\n"
+       << "    \"gamma\": " << num(m.gamma) << ",\n"
+       << "    \"epsilon\": " << num(m.epsilon) << ",\n"
+       << "    \"collect_seed\": " << m.collectSeed << ",\n"
+       << "    \"train_seed\": " << m.trainSeed << ",\n"
+       << "    \"retry_limit\": " << m.retryLimit << ",\n"
+       << "    \"fault_plan\": {\n"
+       << "      \"seed\": " << fp.seed << ",\n"
+       << "      \"transient_rate\": " << num(fp.transientRate)
+       << ",\n"
+       << "      \"corrupt_rate\": " << num(fp.corruptRate) << ",\n"
+       << "      \"dropout_rate\": " << num(fp.dropoutRate) << ",\n"
+       << "      \"scheduled\": " << fp.scheduled.size() << ",\n"
+       << "      \"detect_sec\": " << num(fp.detectSec) << ",\n"
+       << "      \"checksum_sec_per_byte\": "
+       << num(fp.checksumSecPerByte) << "\n"
+       << "    },\n"
+       << "    \"cost_model\": {\n"
+       << "      \"frequency_hz\": " << num(cm.frequencyHz) << ",\n"
+       << "      \"pipeline_interval\": " << cm.pipelineInterval
+       << ",\n"
+       << "      \"mram_dma_fixed_cycles\": " << cm.mramDmaFixedCycles
+       << ",\n"
+       << "      \"mram_dma_cycles_per_byte\": "
+       << num(cm.mramDmaCyclesPerByte) << ",\n"
+       << "      \"mram_dma_max_bytes\": " << cm.mramDmaMaxBytes
+       << ",\n"
+       << "      \"mram_dma_align_bytes\": " << cm.mramDmaAlignBytes
+       << ",\n"
+       << "      \"instructions\": {";
+    for (std::size_t i = 0; i < pimsim::kNumOpClasses; ++i) {
+        if (i)
+            os << ", ";
+        os << '"'
+           << pimsim::opClassName(static_cast<pimsim::OpClass>(i))
+           << "\": " << cm.instructions[i];
+    }
+    os << "}\n"
+       << "    }\n"
+       << "  }";
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os, const RunManifest &manifest,
+                 const MetricRegistry &registry)
+{
+    const auto entries = registry.entries();
+
+    os << "{\n  \"schema\": \"" << kMetricsSchema << "\",\n";
+    writeManifestJson(os, manifest);
+
+    // Each kind in its own array, each array in registry (sorted)
+    // order. A kind with no entries still emits an empty array so
+    // consumers never need existence checks.
+    const struct
+    {
+        const char *key;
+        MetricKind kind;
+    } sections[] = {
+        {"counters", MetricKind::Counter},
+        {"gauges", MetricKind::Gauge},
+        {"histograms", MetricKind::Histogram},
+        {"series", MetricKind::Series},
+    };
+    for (const auto &sec : sections) {
+        os << ",\n  \"" << sec.key << "\": [";
+        bool first = true;
+        for (const auto &e : entries) {
+            if (e.kind != sec.kind)
+                continue;
+            os << (first ? "\n" : ",\n") << "    {\"name\": \""
+               << jsonEscape(e.name)
+               << "\", \"labels\": " << jsonLabels(e.labels);
+            switch (e.kind) {
+            case MetricKind::Counter:
+                os << ", \"value\": " << e.counter->value();
+                break;
+            case MetricKind::Gauge:
+                os << ", \"value\": " << num(e.gauge->value());
+                break;
+            case MetricKind::Histogram: {
+                const auto &h = *e.histogram;
+                os << ", \"bounds\": [";
+                for (std::size_t i = 0; i < h.bounds().size(); ++i)
+                    os << (i ? ", " : "") << num(h.bounds()[i]);
+                os << "], \"counts\": [";
+                for (std::size_t i = 0; i < h.bucketCounts().size();
+                     ++i)
+                    os << (i ? ", " : "") << h.bucketCounts()[i];
+                os << "], \"count\": " << h.count()
+                   << ", \"sum\": " << num(h.sum());
+                break;
+            }
+            case MetricKind::Series: {
+                const auto &vals = e.series->values();
+                os << ", \"values\": [";
+                for (std::size_t i = 0; i < vals.size(); ++i)
+                    os << (i ? ", " : "") << num(vals[i]);
+                os << ']';
+                break;
+            }
+            }
+            os << '}';
+            first = false;
+        }
+        os << (first ? "]" : "\n  ]");
+    }
+    os << "\n}\n";
+}
+
+bool
+writeMetricsJson(const std::string &path, const RunManifest &manifest,
+                 const MetricRegistry &registry)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeMetricsJson(out, manifest, registry);
+    return static_cast<bool>(out);
+}
+
+void
+writeMetricsPrometheus(std::ostream &os, const RunManifest &manifest,
+                       const MetricRegistry &registry)
+{
+    os << "# " << kMetricsSchema << " (Prometheus text exposition)\n"
+       << "# cost model: frequency_hz="
+       << num(manifest.costModel.frequencyHz)
+       << " pipeline_interval=" << manifest.costModel.pipelineInterval
+       << "\n"
+       << "# seeds: collect=" << manifest.collectSeed
+       << " train=" << manifest.trainSeed
+       << " fault=" << manifest.faultPlan.seed << "\n"
+       << "# TYPE swiftrl_run_info gauge\n"
+       << "swiftrl_run_info{tool=\"" << manifest.tool << "\",mode=\""
+       << manifest.mode << "\",environment=\"" << manifest.environment
+       << "\",workload=\"" << manifest.workload << "\",cores=\""
+       << manifest.cores << "\"} 1\n";
+
+    // Entries are sorted by name, so one # TYPE line ahead of each
+    // name's first sample covers all its label variants.
+    std::string last_name;
+    for (const auto &e : registry.entries()) {
+        if (e.name != last_name) {
+            const char *type = "gauge";
+            if (e.kind == MetricKind::Counter)
+                type = "counter";
+            else if (e.kind == MetricKind::Histogram)
+                type = "histogram";
+            os << "# TYPE " << e.name << ' ' << type << '\n';
+            last_name = e.name;
+        }
+        switch (e.kind) {
+        case MetricKind::Counter:
+            os << e.name << renderLabels(e.labels) << ' '
+               << e.counter->value() << '\n';
+            break;
+        case MetricKind::Gauge:
+            os << e.name << renderLabels(e.labels) << ' '
+               << num(e.gauge->value()) << '\n';
+            break;
+        case MetricKind::Histogram: {
+            const auto &h = *e.histogram;
+            // Prometheus buckets are cumulative and end at +Inf.
+            Labels le = e.labels;
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                cum += h.bucketCounts()[i];
+                le.emplace_back("le", num(h.bounds()[i]));
+                os << e.name << "_bucket" << renderLabels(le) << ' '
+                   << cum << '\n';
+                le.pop_back();
+            }
+            le.emplace_back("le", "+Inf");
+            os << e.name << "_bucket" << renderLabels(le) << ' '
+               << h.count() << '\n';
+            os << e.name << "_sum" << renderLabels(e.labels) << ' '
+               << num(h.sum()) << '\n';
+            os << e.name << "_count" << renderLabels(e.labels) << ' '
+               << h.count() << '\n';
+            break;
+        }
+        case MetricKind::Series: {
+            // No Prometheus series type: expose the latest value.
+            const auto &vals = e.series->values();
+            os << e.name << renderLabels(e.labels) << ' '
+               << (vals.empty() ? "0" : num(vals.back())) << '\n';
+            break;
+        }
+        }
+    }
+}
+
+bool
+writeMetricsPrometheus(const std::string &path,
+                       const RunManifest &manifest,
+                       const MetricRegistry &registry)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeMetricsPrometheus(out, manifest, registry);
+    return static_cast<bool>(out);
+}
+
+} // namespace swiftrl::telemetry

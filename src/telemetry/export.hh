@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Metric serialization: one JSON document (machine-diffable, the
+ * format tools/bench_compare.py and tools/check_metrics.py consume)
+ * and one Prometheus text-format exposition (scrapeable / pushable
+ * as-is). Both embed the RunManifest so a metrics file carries its
+ * own provenance, both iterate the registry in its sorted order, and
+ * both print doubles at max_digits10 — two identical runs produce
+ * byte-identical files regardless of host-pool size.
+ *
+ * Schema (JSON): docs/OBSERVABILITY.md documents every field; the
+ * top-level "schema" key is "swiftrl-metrics-v1" and is bumped on
+ * any incompatible change.
+ *
+ * Prometheus notes: the manifest becomes a `swiftrl_run_info` gauge
+ * (value 1, provenance in labels — the standard *_info idiom) plus
+ * comment lines for the numeric config. Series metrics, which
+ * Prometheus has no type for, export their *last* value as a gauge;
+ * the JSON document carries the full sequence.
+ */
+
+#ifndef SWIFTRL_TELEMETRY_EXPORT_HH
+#define SWIFTRL_TELEMETRY_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metric_registry.hh"
+#include "telemetry/run_manifest.hh"
+
+namespace swiftrl::telemetry {
+
+/** Current JSON schema identifier. */
+inline constexpr const char *kMetricsSchema = "swiftrl-metrics-v1";
+
+/** Serialize manifest + registry as one JSON document to @p os. */
+void writeMetricsJson(std::ostream &os, const RunManifest &manifest,
+                      const MetricRegistry &registry);
+
+/** As above, to @p path. @return false when the file can't open. */
+bool writeMetricsJson(const std::string &path,
+                      const RunManifest &manifest,
+                      const MetricRegistry &registry);
+
+/** Serialize in Prometheus text exposition format to @p os. */
+void writeMetricsPrometheus(std::ostream &os,
+                            const RunManifest &manifest,
+                            const MetricRegistry &registry);
+
+/** As above, to @p path. @return false when the file can't open. */
+bool writeMetricsPrometheus(const std::string &path,
+                            const RunManifest &manifest,
+                            const MetricRegistry &registry);
+
+} // namespace swiftrl::telemetry
+
+#endif // SWIFTRL_TELEMETRY_EXPORT_HH

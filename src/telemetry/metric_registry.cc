@@ -1,0 +1,220 @@
+#include "telemetry/metric_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace swiftrl::telemetry {
+
+namespace {
+
+/** Prometheus metric-name grammar; label keys share it. */
+bool
+validName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    if (!(std::isalpha(static_cast<unsigned char>(name.front())) ||
+          name.front() == '_'))
+        return false;
+    return std::all_of(name.begin(), name.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) ||
+               c == '_';
+    });
+}
+
+} // namespace
+
+std::string
+renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return {};
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ',';
+        out += labels[i].first;
+        out += "=\"";
+        out += labels[i].second;
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+void
+Histogram::observe(double v)
+{
+    if (!_live)
+        return;
+    // First bucket whose upper bound admits v; falls through to the
+    // trailing +Inf bucket.
+    std::size_t idx = 0;
+    while (idx < _bounds.size() && v > _bounds[idx])
+        ++idx;
+    ++_counts[idx];
+    ++_count;
+    _sum += v;
+}
+
+Histogram::Histogram(bool live, std::vector<double> bounds)
+    : _bounds(std::move(bounds)), _counts(_bounds.size() + 1, 0),
+      _live(live)
+{
+}
+
+/** Registry storage: exactly one of the metric members is set. */
+struct MetricRegistry::Slot
+{
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Series> series;
+};
+
+MetricRegistry::MetricRegistry(bool enabled) : _enabled(enabled)
+{
+    if (!this->enabled()) {
+        _deadCounter.reset(new Counter(false));
+        _deadGauge.reset(new Gauge(false));
+        _deadHistogram.reset(new Histogram(false, {}));
+        _deadSeries.reset(new Series(false));
+    }
+}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry::Slot &
+MetricRegistry::resolve(std::string_view name, Labels &&labels,
+                        MetricKind kind, std::vector<double> *bounds)
+{
+    SWIFTRL_ASSERT(validName(name), "bad metric name: ", name);
+    std::sort(labels.begin(), labels.end());
+    for (const auto &[k, v] : labels) {
+        SWIFTRL_ASSERT(validName(k), "bad label key on ", name,
+                       ": ", k);
+        (void)v;
+    }
+    const std::string key =
+        std::string(name) + renderLabels(labels);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _slots.find(key);
+    if (it != _slots.end()) {
+        Slot &slot = *it->second;
+        SWIFTRL_ASSERT(slot.kind == kind, "metric ", key,
+                       " re-registered as a different kind");
+        if (kind == MetricKind::Histogram) {
+            SWIFTRL_ASSERT(*bounds == slot.histogram->bounds(),
+                           "histogram ", key,
+                           " re-registered with different buckets");
+        }
+        return slot;
+    }
+
+    auto slot = std::make_unique<Slot>();
+    slot->name = std::string(name);
+    slot->labels = std::move(labels);
+    slot->kind = kind;
+    switch (kind) {
+    case MetricKind::Counter:
+        slot->counter.reset(new Counter(true));
+        break;
+    case MetricKind::Gauge:
+        slot->gauge.reset(new Gauge(true));
+        break;
+    case MetricKind::Histogram:
+        SWIFTRL_ASSERT(!bounds->empty() &&
+                           std::is_sorted(bounds->begin(),
+                                          bounds->end()),
+                       "histogram ", key,
+                       " needs ascending, non-empty bucket bounds");
+        slot->histogram.reset(
+            new Histogram(true, std::move(*bounds)));
+        break;
+    case MetricKind::Series:
+        slot->series.reset(new Series(true));
+        break;
+    }
+    Slot &ref = *slot;
+    _slots.emplace(key, std::move(slot));
+    return ref;
+}
+
+Counter &
+MetricRegistry::counter(std::string_view name, Labels labels)
+{
+    if (!enabled())
+        return *_deadCounter;
+    return *resolve(name, std::move(labels), MetricKind::Counter,
+                    nullptr)
+                .counter;
+}
+
+Gauge &
+MetricRegistry::gauge(std::string_view name, Labels labels)
+{
+    if (!enabled())
+        return *_deadGauge;
+    return *resolve(name, std::move(labels), MetricKind::Gauge,
+                    nullptr)
+                .gauge;
+}
+
+Histogram &
+MetricRegistry::histogram(std::string_view name,
+                          std::vector<double> bounds, Labels labels)
+{
+    if (!enabled())
+        return *_deadHistogram;
+    return *resolve(name, std::move(labels), MetricKind::Histogram,
+                    &bounds)
+                .histogram;
+}
+
+Series &
+MetricRegistry::series(std::string_view name, Labels labels)
+{
+    if (!enabled())
+        return *_deadSeries;
+    return *resolve(name, std::move(labels), MetricKind::Series,
+                    nullptr)
+                .series;
+}
+
+std::vector<MetricEntry>
+MetricRegistry::entries() const
+{
+    std::vector<MetricEntry> out;
+    std::lock_guard<std::mutex> lock(_mutex);
+    out.reserve(_slots.size());
+    // _slots is a std::map keyed by name+labels: iteration order is
+    // the sorted order the determinism contract requires.
+    for (const auto &[key, slot] : _slots) {
+        (void)key;
+        MetricEntry e;
+        e.name = slot->name;
+        e.labels = slot->labels;
+        e.kind = slot->kind;
+        e.counter = slot->counter.get();
+        e.gauge = slot->gauge.get();
+        e.histogram = slot->histogram.get();
+        e.series = slot->series.get();
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _slots.size();
+}
+
+} // namespace swiftrl::telemetry

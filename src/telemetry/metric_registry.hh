@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The metric registry at the heart of the telemetry subsystem: a
+ * process-local collection of named, optionally labelled metrics —
+ * counters, gauges, fixed-bucket histograms, and per-round series —
+ * that collectors at every layer (engine, trainers, CLI) write into
+ * and the exporters (JSON, Prometheus text, Chrome-trace counter
+ * tracks) read out of.
+ *
+ * Design rules, in order of importance:
+ *
+ *  1. *Observation never moves a modelled number.* Metrics are
+ *     derived from modelled state (cycle clocks, op counters,
+ *     timeline events) strictly after the fact; nothing in this
+ *     subsystem charges cycles or enqueues commands. A run with
+ *     telemetry attached is bit-identical to one without.
+ *  2. *Deterministic export.* Metrics iterate in sorted (name,
+ *     labels) order and doubles render shortest-round-trip, so two
+ *     runs of the same workload produce byte-identical exports for
+ *     any host-pool size — asserted by tests/test_telemetry.cc.
+ *  3. *Zero cost when off.* A disabled registry hands out inert
+ *     metrics whose updates are a single predictable branch, and the
+ *     collectors are never attached when no registry is configured
+ *     (the common case: a null `metrics` pointer in the trainer
+ *     configs). Building with -DSWIFTRL_DISABLE_TELEMETRY=ON
+ *     additionally compiles every collector body out
+ *     (kCompiledIn == false) for belt-and-braces zero cost.
+ *
+ * Threading: metric *creation* (counter()/gauge()/...) is mutex-
+ * guarded and may race freely. Metric *updates* are single-writer:
+ * every collector runs on the command-stream enqueue thread (after
+ * the host pool joins), which is the only place modelled state is
+ * coherent anyway. Counter::add is atomic regardless, as the
+ * cheapest insurance against future multi-stream use.
+ */
+
+#ifndef SWIFTRL_TELEMETRY_METRIC_REGISTRY_HH
+#define SWIFTRL_TELEMETRY_METRIC_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swiftrl::telemetry {
+
+/** True unless the build compiles telemetry out entirely. */
+#ifdef SWIFTRL_DISABLE_TELEMETRY
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/**
+ * Label set of one metric: sorted, unique key/value pairs. Two
+ * metrics with the same name and different labels are distinct
+ * series ("pim_ops_total{op_class=fp32_add}" vs "...{op_class=
+ * int_alu}").
+ */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotone event count (retired ops, DMA bytes, launches). */
+class Counter
+{
+  public:
+    /** Add @p n events; no-op on an inert (disabled) metric. */
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (_live)
+            _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current count. */
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricRegistry;
+    explicit Counter(bool live) : _live(live) {}
+    std::atomic<std::uint64_t> _value{0};
+    const bool _live;
+};
+
+/** Last-value metric (live cores, evaluation reward, ε). */
+class Gauge
+{
+  public:
+    /** Overwrite the value; no-op on an inert metric. */
+    void
+    set(double v)
+    {
+        if (_live)
+            _value = v;
+    }
+
+    /** Current value. */
+    double value() const { return _value; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Gauge(bool live) : _live(live) {}
+    double _value = 0.0;
+    const bool _live;
+};
+
+/**
+ * Fixed-bucket histogram. Buckets are ascending upper bounds; an
+ * implicit +Inf bucket catches the rest, so bucketCounts() has
+ * bounds().size() + 1 entries. Exported cumulatively in Prometheus
+ * convention (le="<bound>").
+ */
+class Histogram
+{
+  public:
+    /** Record @p v into its bucket; no-op on an inert metric. */
+    void observe(double v);
+
+    /** Ascending upper bounds this histogram was created with. */
+    const std::vector<double> &bounds() const { return _bounds; }
+
+    /** Per-bucket (non-cumulative) counts; last entry is +Inf. */
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return _counts;
+    }
+
+    /** Total observations. */
+    std::uint64_t count() const { return _count; }
+
+    /** Sum of observed values. */
+    double sum() const { return _sum; }
+
+  private:
+    friend class MetricRegistry;
+    Histogram(bool live, std::vector<double> bounds);
+    std::vector<double> _bounds;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    const bool _live;
+};
+
+/**
+ * Append-only value sequence, one entry per round/generation/launch —
+ * how per-generation RL metrics stay inspectable individually instead
+ * of being squashed into a distribution. JSON export carries the full
+ * sequence; Prometheus (which has no series type) exports the last
+ * value as a gauge.
+ */
+class Series
+{
+  public:
+    /** Append one value; no-op on an inert metric. */
+    void
+    append(double v)
+    {
+        if (_live)
+            _values.push_back(v);
+    }
+
+    /** All values, in append order. */
+    const std::vector<double> &values() const { return _values; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Series(bool live) : _live(live) {}
+    std::vector<double> _values;
+    const bool _live;
+};
+
+/** The kinds a registry entry can have (export dispatch). */
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+    Series,
+};
+
+/** One registered metric, resolved for export. */
+struct MetricEntry
+{
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    const Counter *counter = nullptr;
+    const Gauge *gauge = nullptr;
+    const Histogram *histogram = nullptr;
+    const Series *series = nullptr;
+};
+
+/** Process-local metric collection. See file comment. */
+class MetricRegistry
+{
+  public:
+    /**
+     * @param enabled false builds a disabled registry: lookups hand
+     *        out inert metrics, updates no-op, exports are empty.
+     */
+    explicit MetricRegistry(bool enabled = true);
+
+    ~MetricRegistry();
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** False when the registry ignores all updates. */
+    bool enabled() const { return _enabled && kCompiledIn; }
+
+    /**
+     * Find-or-create the counter (name, labels). Metric names must
+     * match Prometheus conventions ([a-zA-Z_][a-zA-Z0-9_]*); fatal
+     * otherwise. Re-requesting an existing (name, labels) returns
+     * the same object; requesting it as a different kind is fatal.
+     */
+    Counter &counter(std::string_view name, Labels labels = {});
+
+    /** Find-or-create the gauge (name, labels). */
+    Gauge &gauge(std::string_view name, Labels labels = {});
+
+    /**
+     * Find-or-create the histogram (name, labels) with @p bounds
+     * (ascending, non-empty; fatal otherwise). Bounds are fixed at
+     * creation; re-requesting with different bounds is fatal — the
+     * bucketing of a metric is part of its identity.
+     */
+    Histogram &histogram(std::string_view name,
+                         std::vector<double> bounds,
+                         Labels labels = {});
+
+    /** Find-or-create the series (name, labels). */
+    Series &series(std::string_view name, Labels labels = {});
+
+    /**
+     * Snapshot of all registered metrics in sorted (name, labels)
+     * order — the deterministic iteration order every exporter uses.
+     * Empty for a disabled registry.
+     */
+    std::vector<MetricEntry> entries() const;
+
+    /** Number of registered metrics (0 when disabled). */
+    std::size_t size() const;
+
+  private:
+    struct Slot;
+
+    /** Find-or-create the slot for (name, labels, kind). */
+    Slot &resolve(std::string_view name, Labels &&labels,
+                  MetricKind kind, std::vector<double> *bounds);
+
+    const bool _enabled;
+
+    mutable std::mutex _mutex;
+
+    /** Keyed by name + rendered labels for deterministic order. */
+    std::map<std::string, std::unique_ptr<Slot>> _slots;
+
+    /** Shared inert instances a disabled registry hands out. */
+    std::unique_ptr<Counter> _deadCounter;
+    std::unique_ptr<Gauge> _deadGauge;
+    std::unique_ptr<Histogram> _deadHistogram;
+    std::unique_ptr<Series> _deadSeries;
+};
+
+/**
+ * Render a label set in its canonical form: `{k1="v1",k2="v2"}`,
+ * sorted by key; empty string for no labels. Doubles as the
+ * registry's identity key and the Prometheus label syntax.
+ */
+std::string renderLabels(const Labels &labels);
+
+} // namespace swiftrl::telemetry
+
+#endif // SWIFTRL_TELEMETRY_METRIC_REGISTRY_HH

@@ -1,0 +1,18 @@
+#include "telemetry/run_manifest.hh"
+
+#include "pimsim/pim_system.hh"
+
+namespace swiftrl::telemetry {
+
+RunManifest
+RunManifest::fromSystem(const pimsim::PimSystem &system)
+{
+    RunManifest m;
+    m.cores = system.numDpus();
+    m.hostThreads = system.hostThreadCount();
+    m.faultPlan = system.config().faultPlan;
+    m.costModel = system.config().costModel;
+    return m;
+}
+
+} // namespace swiftrl::telemetry

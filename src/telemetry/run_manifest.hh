@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The run manifest: the answer to "what exactly produced these
+ * numbers?". Every metrics export embeds one, so a metrics file is
+ * self-describing — workload identity, machine shape, every seed,
+ * the fault plan, and the cost-model constants the modelled numbers
+ * were priced with. Two metrics files whose manifests differ are not
+ * comparable, and tools/bench_compare.py refuses to diff them.
+ *
+ * The manifest deliberately embeds the pimsim config structs
+ * (DpuCostModel, FaultPlan) instead of copying fields out one by
+ * one: the serialized provenance can then never drift from what the
+ * simulator actually used.
+ */
+
+#ifndef SWIFTRL_TELEMETRY_RUN_MANIFEST_HH
+#define SWIFTRL_TELEMETRY_RUN_MANIFEST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pimsim/cost_model.hh"
+#include "pimsim/fault_plan.hh"
+
+namespace swiftrl::pimsim {
+class PimSystem;
+}
+
+namespace swiftrl::telemetry {
+
+/** Provenance record embedded in every metrics export. */
+struct RunManifest
+{
+    /** Producing binary ("swiftrl_cli", a bench name, a test). */
+    std::string tool;
+
+    /** "offline", "streaming", or "multi-agent". */
+    std::string mode;
+
+    /** Environment name ("frozenlake", "taxi"). */
+    std::string environment;
+
+    /** Canonical workload variant name (algo/sampling/format). */
+    std::string workload;
+
+    // --- machine shape -------------------------------------------
+
+    /** PIM cores the run was configured with. */
+    std::size_t cores = 0;
+
+    /**
+     * Host-pool width actually used. Recorded for completeness
+     * only: the determinism contract makes every modelled number
+     * independent of it.
+     */
+    unsigned hostThreads = 0;
+
+    /** Tasklets per core. */
+    unsigned tasklets = 1;
+
+    // --- training shape ------------------------------------------
+
+    /** Episodes per core (per generation in streaming mode). */
+    int episodes = 0;
+
+    /** Synchronisation period. */
+    int tau = 0;
+
+    /** Dataset transitions (per generation in streaming mode). */
+    std::size_t transitions = 0;
+
+    /** Streaming only; 0 in offline mode. */
+    int generations = 0;
+
+    /** Streaming only; 0 in offline mode. */
+    unsigned actors = 0;
+
+    /** Streaming only; 0 in offline mode. */
+    int refreshPeriod = 0;
+
+    /** Visit-count-weighted synchronisation average in use. */
+    bool weightedAggregation = false;
+
+    // --- hyper-parameters and seeds ------------------------------
+
+    double alpha = 0.0;
+    double gamma = 0.0;
+    double epsilon = 0.0;
+
+    /** Seed of the offline dataset collection / streaming actors. */
+    std::uint64_t collectSeed = 0;
+
+    /** Seed driving on-core sampling (rlcore::Hyper::seed). */
+    std::uint64_t trainSeed = 0;
+
+    // --- failure model -------------------------------------------
+
+    /** The full fault plan, including its seed (inert by default). */
+    pimsim::FaultPlan faultPlan;
+
+    /** Retry budget the trainer recovered with. */
+    int retryLimit = 0;
+
+    // --- cost-model provenance -----------------------------------
+
+    /** The per-core cost constants every cycle was priced with. */
+    pimsim::DpuCostModel costModel;
+
+    /**
+     * Copy machine shape, cost model, and fault plan out of a live
+     * system's config. Workload/training fields remain the caller's
+     * job — the system does not know them.
+     */
+    static RunManifest fromSystem(const pimsim::PimSystem &system);
+};
+
+} // namespace swiftrl::telemetry
+
+#endif // SWIFTRL_TELEMETRY_RUN_MANIFEST_HH

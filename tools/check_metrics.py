@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a ``swiftrl_cli --metrics`` JSON export.
+
+Usage:
+    tools/check_metrics.py METRICS.json
+
+Checks the ``swiftrl-metrics-v1`` schema structurally — manifest
+presence and field types, record shapes of the four metric arrays,
+histogram invariants (ascending bounds, len(counts) == len(bounds)+1,
+bucket counts summing to the observation count) — and that the core
+engine and trainer metrics documented in docs/OBSERVABILITY.md are
+present. CI runs this against a smoke run's export, so a refactor
+that silently stops emitting a metric fails the build rather than
+shipping an empty dashboard. Exit status 0 when valid, 1 otherwise.
+Stdlib only.
+"""
+
+import json
+import pathlib
+import sys
+
+SCHEMA = "swiftrl-metrics-v1"
+
+MANIFEST_FIELDS = {
+    "tool": str,
+    "mode": str,
+    "environment": str,
+    "workload": str,
+    "cores": int,
+    "host_threads": int,
+    "tasklets": int,
+    "episodes": int,
+    "tau": int,
+    "transitions": int,
+    "generations": int,
+    "actors": int,
+    "refresh_period": int,
+    "weighted_aggregation": bool,
+    "alpha": (int, float),
+    "gamma": (int, float),
+    "epsilon": (int, float),
+    "collect_seed": int,
+    "train_seed": int,
+    "retry_limit": int,
+    "fault_plan": dict,
+    "cost_model": dict,
+}
+
+# Metrics every training run must export (docs/OBSERVABILITY.md).
+REQUIRED = {
+    "counters": ["pim_launches_total", "pim_mram_dma_bytes_total",
+                 "pim_ops_total", "rl_comm_rounds_total",
+                 "rl_faults_detected_total"],
+    "gauges": ["pim_live_cores", "rl_epsilon", "rl_eval_mean_reward",
+               "rl_live_cores", "rl_recovery_seconds"],
+    "histograms": ["pim_launch_core_cycles",
+                   "pim_launch_straggler_ratio"],
+    "series": [],  # offline emits rl_round_*, streaming rl_generation_*
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise Invalid(message)
+
+
+def check_record(kind, rec):
+    require(isinstance(rec, dict), f"{kind}: record is not an object")
+    require(isinstance(rec.get("name"), str) and rec["name"],
+            f"{kind}: record without a name")
+    name = rec["name"]
+    labels = rec.get("labels")
+    require(isinstance(labels, dict), f"{name}: labels must be an "
+            "object")
+    require(all(isinstance(k, str) and isinstance(v, str)
+                for k, v in labels.items()),
+            f"{name}: labels must map strings to strings")
+
+    if kind == "counters":
+        require(isinstance(rec.get("value"), int)
+                and rec["value"] >= 0,
+                f"{name}: counter value must be a non-negative int")
+    elif kind == "gauges":
+        require(isinstance(rec.get("value"), (int, float)),
+                f"{name}: gauge value must be a number")
+    elif kind == "histograms":
+        bounds = rec.get("bounds")
+        counts = rec.get("counts")
+        require(isinstance(bounds, list) and bounds,
+                f"{name}: histogram needs non-empty bounds")
+        require(all(isinstance(b, (int, float)) for b in bounds),
+                f"{name}: bounds must be numbers")
+        require(bounds == sorted(bounds),
+                f"{name}: bounds must ascend")
+        require(isinstance(counts, list)
+                and len(counts) == len(bounds) + 1,
+                f"{name}: counts must have len(bounds)+1 entries "
+                "(implicit +Inf bucket)")
+        require(all(isinstance(c, int) and c >= 0 for c in counts),
+                f"{name}: bucket counts must be non-negative ints")
+        require(sum(counts) == rec.get("count"),
+                f"{name}: bucket counts must sum to 'count'")
+        require(isinstance(rec.get("sum"), (int, float)),
+                f"{name}: histogram 'sum' must be a number")
+    elif kind == "series":
+        values = rec.get("values")
+        require(isinstance(values, list)
+                and all(isinstance(v, (int, float)) for v in values),
+                f"{name}: series values must be a number array")
+
+
+def check(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("schema") == SCHEMA,
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+
+    manifest = doc.get("manifest")
+    require(isinstance(manifest, dict), "manifest missing")
+    for field, types in MANIFEST_FIELDS.items():
+        require(field in manifest, f"manifest.{field} missing")
+        require(isinstance(manifest[field], types),
+                f"manifest.{field} has the wrong type")
+    require(isinstance(manifest["cost_model"].get("instructions"),
+                       dict) and manifest["cost_model"]["instructions"],
+            "manifest.cost_model.instructions missing")
+
+    for kind in ("counters", "gauges", "histograms", "series"):
+        records = doc.get(kind)
+        require(isinstance(records, list), f"{kind} must be an array")
+        for rec in records:
+            check_record(kind, rec)
+        names = {rec["name"] for rec in records}
+        for needed in REQUIRED[kind]:
+            require(needed in names,
+                    f"required {kind[:-1]} {needed!r} not exported")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(
+            pathlib.Path(argv[1]).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{argv[1]}: {error}", file=sys.stderr)
+        return 1
+    try:
+        check(doc)
+    except Invalid as error:
+        print(f"{argv[1]}: {error}", file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: valid {SCHEMA} export")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
