@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Wall-clock throughput benchmark of the policy-serving frontend:
+ * batched vs unbatched greedy-action QPS (src/serving).
+ *
+ * Like perf_sim_throughput, this measures the *host*, not the
+ * modelled machine: concurrent client threads hammer a PolicyServer
+ * with greedy-action queries and the harness reports queries per
+ * second. Four workloads cross two client shapes (single-query
+ * requests vs 16-query request chunks) with the two batcher
+ * configurations (max_batch=1, the unbatched baseline, vs
+ * max_batch=256 natural batching) — the batched/unbatched pair per
+ * shape is the recorded QPS point. Batching pays off where the
+ * per-request wakeup broadcast dominates: many single-query clients.
+ * Clients that already chunk client-side see near-parity, since the
+ * coalescing they would gain is already in their request shape.
+ *
+ * Wall-clock differs per machine; the *answers* may not. Each
+ * workload also reports deterministic check fields in the modelled
+ * slots tools/bench_compare.py verifies (sim_ops = queries issued,
+ * dma_bytes = bytes crossing the ABI, modelled_max_cycles = an
+ * order-independent FNV digest of every (state, action) pair), so a
+ * serving change that altered any answer fails the comparison even
+ * though batching is timing-nondeterministic.
+ *
+ * Results go to JSON (default BENCH_policy_qps.json); CI runs
+ * --smoke and diffs against the recorded run.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "common/stopwatch.hh"
+#include "serving/policy_server.hh"
+
+namespace {
+
+using namespace swiftrl;
+using common::TextTable;
+
+/** One benchmark shape: client request size x batcher config. */
+struct QpsCase
+{
+    std::string name;
+    std::size_t chunk = 1;    ///< queries per client request
+    std::size_t maxBatch = 1; ///< server coalescing limit
+    double maxWaitSec = 0.0;
+};
+
+/** One measured row. */
+struct QpsResult
+{
+    QpsCase shape;
+    unsigned clients = 0;
+    std::uint64_t queries = 0; ///< total issued (= sim_ops)
+    int reps = 0;
+    double wallSec = 0.0;
+    std::uint64_t batches = 0;
+    std::uint64_t dmaBytes = 0;
+    std::uint64_t digest = 0; ///< order-independent answer digest
+};
+
+std::vector<QpsCase>
+qpsCases()
+{
+    // The batched rows use natural batching (no coalescing window):
+    // the batch is whatever accumulated while the worker served the
+    // previous flush. A positive max_wait would only help an
+    // open-loop arrival stream; these clients are closed-loop
+    // (blocking), so a window is pure added latency for them.
+    return {
+        {"single/unbatched", 1, 1, 0.0},
+        {"single/batched", 1, 256, 0.0},
+        {"chunk16/unbatched", 16, 1, 0.0},
+        {"chunk16/batched", 16, 256, 0.0},
+    };
+}
+
+/**
+ * A deterministic taxi-shaped Q-table (500x6) filled from an LCG, so
+ * every greedy action — and therefore the answer digest — is fixed
+ * without a training run.
+ */
+rlcore::QTable
+syntheticTable()
+{
+    rlcore::QTable q(500, 6);
+    std::uint32_t lcg = 0x2545f491u;
+    for (float &v : q.values()) {
+        lcg = lcg * 1664525u + 1013904223u;
+        v = static_cast<float>(lcg >> 8) / 16777216.0f;
+    }
+    return q;
+}
+
+/** FNV-1a over one (state, action) answer. */
+std::uint64_t
+answerHash(std::int32_t state, std::int32_t action)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const auto mix = [&hash](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) {
+            hash ^= (v >> (8 * i)) & 0xffu;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    mix(static_cast<std::uint32_t>(state));
+    mix(static_cast<std::uint32_t>(action));
+    return hash;
+}
+
+QpsResult
+measureCase(const QpsCase &shape, const rlcore::QTable &table,
+            unsigned clients, std::uint64_t queries_per_client,
+            int reps)
+{
+    QpsResult r;
+    r.shape = shape;
+    r.clients = clients;
+    r.queries = queries_per_client * clients;
+    r.reps = reps;
+    // One query moves an i32 state in and an i32 action out.
+    r.dmaBytes = r.queries * 8;
+
+    for (int rep = 0; rep < reps; ++rep) {
+        serving::ServingConfig config;
+        config.maxBatch = shape.maxBatch;
+        config.maxWaitSec = shape.maxWaitSec;
+        serving::PolicyServer server(table, config);
+
+        std::vector<std::uint64_t> digests(clients, 0);
+        std::vector<std::thread> pool;
+        pool.reserve(clients);
+        common::Stopwatch wall;
+        for (unsigned c = 0; c < clients; ++c) {
+            pool.emplace_back([&, c] {
+                // Client-local LCG: the query stream is pure in the
+                // client index, so the XOR of per-client digests is
+                // schedule-independent.
+                std::uint32_t lcg = 0x9e3779b9u * (c + 1) + 1;
+                std::uint64_t digest = 0;
+                std::vector<std::int32_t> states(shape.chunk);
+                std::vector<std::int32_t> actions(shape.chunk);
+                const std::uint64_t requests =
+                    queries_per_client / shape.chunk;
+                for (std::uint64_t i = 0; i < requests; ++i) {
+                    for (std::size_t k = 0; k < shape.chunk; ++k) {
+                        lcg = lcg * 1664525u + 1013904223u;
+                        states[k] = static_cast<std::int32_t>(
+                            lcg % static_cast<std::uint32_t>(
+                                      table.numStates()));
+                    }
+                    const bool served = server.actBatch(
+                        states.data(), actions.data(), shape.chunk,
+                        "bench");
+                    SWIFTRL_ASSERT(served,
+                                   "benchmark queries are in range");
+                    for (std::size_t k = 0; k < shape.chunk; ++k)
+                        digest ^= answerHash(states[k], actions[k]);
+                }
+                digests[c] = digest;
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+        const double sec = wall.seconds();
+        server.stop();
+
+        if (rep == 0 || sec < r.wallSec)
+            r.wallSec = sec;
+        if (rep == 0) {
+            r.batches = server.stats().batches;
+            std::uint64_t combined = 0;
+            for (const std::uint64_t d : digests)
+                combined ^= d;
+            // Folded to 32 bits: the JSON number must survive a
+            // double round-trip exactly for bench_compare.
+            r.digest = (combined ^ (combined >> 32)) & 0xffffffffull;
+        }
+    }
+    return r;
+}
+
+bool
+writeJson(const std::string &path, const std::string &mode,
+          const std::vector<QpsResult> &rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n"
+        << "  \"bench\": \"perf_policy_qps\",\n"
+        << "  \"mode\": \"" << mode << "\",\n"
+        << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        const double qps =
+            static_cast<double>(r.queries) / r.wallSec;
+        const double mean_batch =
+            r.batches > 0 ? static_cast<double>(r.queries) /
+                                static_cast<double>(r.batches)
+                          : 0.0;
+        out << "    {\n"
+            << "      \"name\": \"" << r.shape.name << "\",\n"
+            << "      \"chunk\": " << r.shape.chunk << ",\n"
+            << "      \"max_batch\": " << r.shape.maxBatch << ",\n"
+            << "      \"max_wait_sec\": " << r.shape.maxWaitSec
+            << ",\n"
+            << "      \"clients\": " << r.clients << ",\n"
+            << "      \"queries\": " << r.queries << ",\n"
+            << "      \"reps\": " << r.reps << ",\n"
+            << "      \"wall_sec\": " << r.wallSec << ",\n"
+            << "      \"qps\": " << qps << ",\n"
+            << "      \"batches\": " << r.batches << ",\n"
+            << "      \"mean_batch\": " << mean_batch << ",\n"
+            << "      \"sim_ops\": " << r.queries << ",\n"
+            << "      \"dma_bytes\": " << r.dmaBytes << ",\n"
+            << "      \"modelled_max_cycles\": " << r.digest << "\n"
+            << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const common::CliFlags flags(
+        argc, argv, {"smoke", "json", "clients", "queries", "reps"});
+
+    const bool smoke = flags.getBool("smoke", false);
+    // Enough concurrent clients that request-coalescing has
+    // something to coalesce; the batched rows' win is the amortised
+    // per-flush wakeup broadcast, which grows with fan-in.
+    const unsigned clients = static_cast<unsigned>(
+        flags.getInt("clients", 32));
+    const std::uint64_t queries_per_client =
+        static_cast<std::uint64_t>(
+            flags.getInt("queries", smoke ? 1'000 : 10'000));
+    const int reps =
+        static_cast<int>(flags.getInt("reps", smoke ? 1 : 3));
+    const std::string json_path =
+        flags.getString("json", "BENCH_policy_qps.json");
+
+    bench::banner(
+        "Policy-serving throughput (host wall-clock)", !smoke,
+        "clients=" + std::to_string(clients) + ", queries/client=" +
+            std::to_string(queries_per_client) +
+            ", reps=" + std::to_string(reps));
+
+    const auto table = syntheticTable();
+    std::vector<QpsResult> rows;
+    for (const auto &shape : qpsCases())
+        rows.push_back(measureCase(shape, table, clients,
+                                   queries_per_client, reps));
+
+    TextTable t("Greedy-action serving (best of reps)");
+    t.setHeader({"workload", "wall s", "kQPS", "batches",
+                 "mean batch"});
+    for (const auto &r : rows) {
+        const double mean_batch =
+            r.batches > 0 ? static_cast<double>(r.queries) /
+                                static_cast<double>(r.batches)
+                          : 0.0;
+        t.addRow({r.shape.name, TextTable::num(r.wallSec, 3),
+                  TextTable::num(static_cast<double>(r.queries) /
+                                     r.wallSec / 1e3,
+                                 1),
+                  std::to_string(r.batches),
+                  TextTable::num(mean_batch, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nanswer digests are batching-invariant; "
+                 "bench_compare verifies them\n";
+
+    if (!writeJson(json_path, smoke ? "smoke" : "full", rows)) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    std::cout << "results written to " << json_path << "\n";
+    return 0;
+}

@@ -37,6 +37,7 @@
 #include "common/logging.hh"
 #include "pimsim/stats_report.hh"
 #include "rlcore/serialization.hh"
+#include "serving/policy_server.hh"
 #include "swiftrl/swiftrl.hh"
 #include "telemetry/export.hh"
 #include "telemetry/metric_registry.hh"
@@ -118,6 +119,28 @@ finishRun(const swiftrl::common::CliFlags &flags,
         rlcore::saveQTable(final_q, save_q);
         std::cout << "Q-table saved to " << save_q << "\n";
     }
+
+    // --serve N: answer N greedy-action queries from the trained
+    // table through the batched serving frontend (src/serving), as a
+    // smoke of the deployment path. Queries walk the state space
+    // round-robin, so the served actions are deterministic.
+    const auto serve = flags.getInt("serve", 0);
+    if (serve > 0) {
+        serving::PolicyServer server(final_q, {});
+        for (long long i = 0; i < serve; ++i) {
+            const auto state = static_cast<rlcore::StateId>(
+                i % final_q.numStates());
+            if (server.act(state) < 0) {
+                SWIFTRL_WARN("policy serving rejected state ", state);
+                return 1;
+            }
+        }
+        server.stop();
+        const auto stats = server.stats();
+        std::cout << "served " << stats.queries
+                  << " greedy queries in " << stats.batches
+                  << " batch(es)\n";
+    }
     return 0;
 }
 
@@ -136,7 +159,8 @@ main(int argc, char **argv)
          "alpha", "gamma", "epsilon", "weighted", "trace",
          "host-threads", "streaming", "actors", "refresh-period",
          "generations", "fault-seed", "fault-rate", "dropout-rate",
-         "retry-limit", "metrics", "metrics-prom", "log-level"});
+         "retry-limit", "metrics", "metrics-prom", "log-level",
+         "checkpoint", "pause-round", "restore", "serve"});
 
     // --log-level overrides the SWIFTRL_LOG environment variable.
     const auto log_level_name = flags.getString("log-level", "");
@@ -219,6 +243,12 @@ main(int argc, char **argv)
         if (flags.getBool("weighted", false))
             SWIFTRL_FATAL("--weighted is not available in streaming "
                           "mode");
+        if (!flags.getString("checkpoint", "").empty() ||
+            !flags.getString("restore", "").empty()) {
+            SWIFTRL_FATAL("--checkpoint/--restore drive the offline "
+                          "trainer; streaming runs restore through "
+                          "the TrainerSession API instead");
+        }
         StreamingConfig cfg;
         cfg.workload = workload;
         cfg.hyper = hyper;
@@ -349,8 +379,40 @@ main(int argc, char **argv)
               << " episodes, tau=" << cfg.tau << "\n";
 
     PimTrainer trainer(system, cfg);
+
+    // --checkpoint PATH [--pause-round N]: train to round boundary N,
+    // persist the session checkpoint, and stop — no retrieval, no
+    // evaluation. A later invocation with the same configuration and
+    // dataset flags plus --restore PATH continues bit-identically to
+    // an uninterrupted run (tests/test_session.cc proves it).
+    const auto checkpoint_path = flags.getString("checkpoint", "");
+    const auto restore_path = flags.getString("restore", "");
+    if (!checkpoint_path.empty()) {
+        if (!restore_path.empty())
+            SWIFTRL_FATAL("--checkpoint and --restore are one-at-a-"
+                          "time: pause a run or continue one");
+        const auto rounds =
+            static_cast<int>(flags.getInt("pause-round", 1));
+        if (rounds < 1)
+            SWIFTRL_FATAL("--pause-round must be >= 1, got ", rounds);
+        const auto ck = trainer.trainUntilRound(
+            data, env->numStates(), env->numActions(), rounds);
+        saveCheckpoint(ck, checkpoint_path);
+        std::cout << "checkpoint written to " << checkpoint_path
+                  << " after " << ck.commRounds << " round(s); "
+                  << "resume with --restore " << checkpoint_path
+                  << "\n";
+        return 0;
+    }
+
     const auto result =
-        trainer.train(data, env->numStates(), env->numActions());
+        restore_path.empty()
+            ? trainer.train(data, env->numStates(), env->numActions())
+            : trainer.resume(data, env->numStates(),
+                             env->numActions(),
+                             loadCheckpoint(restore_path));
+    if (!restore_path.empty())
+        std::cout << "restored session from " << restore_path << "\n";
 
     std::cout << "\n--- results ---\n"
               << "modelled time:    " << result.time.total() << " s"

@@ -84,6 +84,67 @@ CommandStream::deadDpus() const
     return ids;
 }
 
+void
+CommandStream::pokeChunks(
+    std::size_t offset,
+    const std::vector<std::span<const std::uint8_t>> &per_dpu)
+{
+    auto &dpus = _system._dpus;
+    SWIFTRL_ASSERT(per_dpu.size() == dpus.size(),
+                   "pokeChunks needs exactly one payload per core");
+    for (std::size_t i = 0; i < per_dpu.size(); ++i) {
+        if (_dead[i])
+            continue;
+        const auto &payload = per_dpu[i];
+        if (!payload.empty())
+            dpus[i].mramWrite(offset, payload.data(), payload.size());
+    }
+}
+
+void
+CommandStream::pokeBroadcast(std::size_t offset,
+                             std::span<const std::uint8_t> payload)
+{
+    auto &dpus = _system._dpus;
+    for (std::size_t i = 0; i < dpus.size(); ++i) {
+        if (_dead[i])
+            continue;
+        if (!payload.empty())
+            dpus[i].mramWrite(offset, payload.data(), payload.size());
+    }
+}
+
+void
+CommandStream::restoreState(double cursor, std::size_t fault_sites,
+                            const std::vector<std::size_t> &dead_dpus)
+{
+    SWIFTRL_ASSERT(cursor >= 0.0,
+                   "restored stream clock cannot be negative");
+    SWIFTRL_ASSERT(_timeline.size() == 0 && _faultSites == 0,
+                   "restoreState requires a fresh stream");
+    _cursor = cursor;
+    _syncMark = cursor;
+    _faultSites = fault_sites;
+    for (const std::size_t i : dead_dpus) {
+        SWIFTRL_ASSERT(i < _dead.size(), "restored dead core id ", i,
+                       " out of range");
+        if (!_dead[i]) {
+            _dead[i] = true;
+            --_liveCount;
+        }
+    }
+}
+
+void
+CommandStream::restoreDpuCycles(const std::vector<Cycles> &cycles)
+{
+    auto &dpus = _system._dpus;
+    SWIFTRL_ASSERT(cycles.size() == dpus.size(),
+                   "restoreDpuCycles needs one clock per core");
+    for (std::size_t i = 0; i < dpus.size(); ++i)
+        dpus[i].addCycles(cycles[i]);
+}
+
 double
 CommandStream::recoveryDelay(double seconds, std::string_view label)
 {

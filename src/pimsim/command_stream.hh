@@ -232,6 +232,48 @@ class CommandStream
      */
     double waitUntil(double time);
 
+    // --- checkpoint restore ------------------------------------------
+    // Functional-only MRAM writes plus engine-state adoption, used to
+    // rebuild a stream mid-run from a TrainerSession checkpoint. None
+    // of these advance the clock or record events: the modelled cost
+    // of the original transfers was paid (and checkpointed) by the
+    // run being restored, so charging it again would double-count.
+
+    /**
+     * Write one payload per core to MRAM at @p offset, functionally
+     * only (no event, no time, dead cores skipped). Restore
+     * counterpart of pushChunks.
+     */
+    void pokeChunks(
+        std::size_t offset,
+        const std::vector<std::span<const std::uint8_t>> &per_dpu);
+
+    /**
+     * Replicate @p payload to every live core's MRAM at @p offset,
+     * functionally only. Restore counterpart of pushBroadcast.
+     */
+    void pokeBroadcast(std::size_t offset,
+                       std::span<const std::uint8_t> payload);
+
+    /**
+     * Adopt a checkpointed engine position: stream clock, fault-site
+     * counter, and the dead-core set. After this call the stream
+     * issues commands exactly as the checkpointed stream would have —
+     * fault draws are pure in (seed, kind, site, core), so restoring
+     * the site cursor replays the same fault schedule.
+     */
+    void restoreState(double cursor, std::size_t fault_sites,
+                      const std::vector<std::size_t> &dead_dpus);
+
+    /**
+     * Restore checkpointed cumulative per-core cycle clocks (one
+     * entry per core). Functional bookkeeping only: launch timing
+     * depends on each launch's own cycles, never the cumulative
+     * clocks — these exist so stats reports of a resumed run cover
+     * the whole run.
+     */
+    void restoreDpuCycles(const std::vector<Cycles> &cycles);
+
     // --- fault recovery ----------------------------------------------
 
     /**

@@ -1,10 +1,11 @@
 #include "pimsim/timeline.hh"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <ostream>
+
+#include "common/json.hh"
 
 namespace swiftrl::pimsim {
 
@@ -39,35 +40,7 @@ Timeline::totalForBucket(TimeBucket bucket) const
     return total;
 }
 
-namespace {
-
-/**
- * Minimal JSON string escaping. Control characters become \uXXXX
- * escapes — dropping them would make trace labels diverge from the
- * labels tests and tools grep for.
- */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        const auto u = static_cast<unsigned char>(c);
-        if (c == '"' || c == '\\') {
-            out.push_back('\\');
-            out.push_back(c);
-        } else if (u < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-            out += buf;
-        } else {
-            out.push_back(c);
-        }
-    }
-    return out;
-}
-
-} // namespace
+using json::jsonEscape;
 
 void
 Timeline::exportChromeTrace(std::ostream &os) const

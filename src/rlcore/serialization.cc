@@ -103,12 +103,18 @@ loadDataset(const std::string &path)
     return data;
 }
 
-void
-saveQTable(const QTable &q, const std::string &path)
+bool
+trySaveQTable(const QTable &q, const std::string &path,
+              std::string *error)
 {
+    const auto fail = [&](std::string reason) {
+        if (error)
+            *error = std::move(reason);
+        return false;
+    };
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
-        SWIFTRL_FATAL("cannot open '", path, "' for writing");
+        return fail("cannot open '" + path + "' for writing");
 
     const std::int32_t ns = q.numStates();
     const std::int32_t na = q.numActions();
@@ -116,45 +122,85 @@ saveQTable(const QTable &q, const std::string &path)
     const std::uint64_t checksum =
         fnv1a(values.data(), values.size() * sizeof(float));
 
-    writeAll(out, kQTableMagic, sizeof(kQTableMagic), path);
-    writeAll(out, &ns, sizeof(ns), path);
-    writeAll(out, &na, sizeof(na), path);
-    writeAll(out, values.data(), values.size() * sizeof(float),
-             path);
-    writeAll(out, &checksum, sizeof(checksum), path);
+    out.write(kQTableMagic, sizeof(kQTableMagic));
+    out.write(reinterpret_cast<const char *>(&ns), sizeof(ns));
+    out.write(reinterpret_cast<const char *>(&na), sizeof(na));
+    out.write(reinterpret_cast<const char *>(values.data()),
+              static_cast<std::streamsize>(values.size() *
+                                           sizeof(float)));
+    out.write(reinterpret_cast<const char *>(&checksum),
+              sizeof(checksum));
+    if (!out)
+        return fail("write to '" + path + "' failed");
+    return true;
+}
+
+void
+saveQTable(const QTable &q, const std::string &path)
+{
+    std::string error;
+    if (!trySaveQTable(q, path, &error))
+        SWIFTRL_FATAL(error);
+}
+
+std::optional<QTable>
+tryLoadQTable(const std::string &path, std::string *error)
+{
+    const auto fail = [&](std::string reason) {
+        if (error)
+            *error = std::move(reason);
+        return std::nullopt;
+    };
+    const auto readExact = [](std::ifstream &in, void *bytes,
+                              std::size_t length) {
+        in.read(static_cast<char *>(bytes),
+                static_cast<std::streamsize>(length));
+        return bool(in) &&
+               in.gcount() == static_cast<std::streamsize>(length);
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail("cannot open '" + path + "' for reading");
+
+    char magic[8];
+    if (!readExact(in, magic, sizeof(magic)))
+        return fail("'" + path + "' is truncated or unreadable");
+    if (std::memcmp(magic, kQTableMagic, sizeof(magic)) != 0)
+        return fail("'" + path + "' is not a SwiftRL Q-table file");
+
+    std::int32_t ns = 0, na = 0;
+    if (!readExact(in, &ns, sizeof(ns)) ||
+        !readExact(in, &na, sizeof(na)))
+        return fail("'" + path + "' is truncated or unreadable");
+    if (ns <= 0 || na <= 0)
+        return fail("'" + path + "' declares an invalid shape " +
+                    std::to_string(ns) + "x" + std::to_string(na));
+
+    std::vector<float> values(static_cast<std::size_t>(ns) *
+                              static_cast<std::size_t>(na));
+    if (!readExact(in, values.data(), values.size() * sizeof(float)))
+        return fail("'" + path + "' is truncated or unreadable");
+
+    std::uint64_t checksum = 0;
+    if (!readExact(in, &checksum, sizeof(checksum)))
+        return fail("'" + path + "' is truncated or unreadable");
+    if (checksum != fnv1a(values.data(),
+                          values.size() * sizeof(float))) {
+        return fail("'" + path + "' failed its checksum; the file "
+                    "is corrupt");
+    }
+    return QTable::fromFloats(ns, na, values);
 }
 
 QTable
 loadQTable(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        SWIFTRL_FATAL("cannot open '", path, "' for reading");
-
-    char magic[8];
-    readAll(in, magic, sizeof(magic), path);
-    if (std::memcmp(magic, kQTableMagic, sizeof(magic)) != 0)
-        SWIFTRL_FATAL("'", path, "' is not a SwiftRL Q-table file");
-
-    std::int32_t ns = 0, na = 0;
-    readAll(in, &ns, sizeof(ns), path);
-    readAll(in, &na, sizeof(na), path);
-    if (ns <= 0 || na <= 0)
-        SWIFTRL_FATAL("'", path, "' declares an invalid shape ", ns,
-                      "x", na);
-
-    std::vector<float> values(static_cast<std::size_t>(ns) *
-                              static_cast<std::size_t>(na));
-    readAll(in, values.data(), values.size() * sizeof(float), path);
-
-    std::uint64_t checksum = 0;
-    readAll(in, &checksum, sizeof(checksum), path);
-    if (checksum != fnv1a(values.data(),
-                          values.size() * sizeof(float))) {
-        SWIFTRL_FATAL("'", path, "' failed its checksum; the file is "
-                      "corrupt");
-    }
-    return QTable::fromFloats(ns, na, values);
+    std::string error;
+    auto q = tryLoadQTable(path, &error);
+    if (!q)
+        SWIFTRL_FATAL(error);
+    return *std::move(q);
 }
 
 } // namespace swiftrl::rlcore

@@ -20,6 +20,7 @@
 #ifndef SWIFTRL_RLCORE_SERIALIZATION_HH
 #define SWIFTRL_RLCORE_SERIALIZATION_HH
 
+#include <optional>
 #include <string>
 
 #include "rlcore/dataset.hh"
@@ -38,6 +39,18 @@ void saveQTable(const QTable &q, const std::string &path);
 
 /** Read a Q-table; fatal on I/O failure or corruption. */
 QTable loadQTable(const std::string &path);
+
+/**
+ * Non-fatal loadQTable for embedders (the C API): nullopt on
+ * failure with the reason in @p error (when non-null) instead of
+ * aborting the host process.
+ */
+std::optional<QTable> tryLoadQTable(const std::string &path,
+                                    std::string *error);
+
+/** Non-fatal saveQTable: false + reason instead of aborting. */
+bool trySaveQTable(const QTable &q, const std::string &path,
+                   std::string *error);
 
 /** FNV-1a 64-bit checksum (exposed for tests). */
 std::uint64_t fnv1a(const void *bytes, std::size_t length);

@@ -1,0 +1,210 @@
+#include "serving/policy_server.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "telemetry/metric_registry.hh"
+
+namespace swiftrl::serving {
+
+using rlcore::ActionId;
+using rlcore::StateId;
+
+namespace {
+
+/** Batch-size histogram bounds: powers of two up to a typical
+ *  maxBatch, +Inf catching oversized requests. */
+std::vector<double>
+batchSizeBounds()
+{
+    return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
+}
+
+} // namespace
+
+PolicyServer::PolicyServer(rlcore::QTable table, ServingConfig config)
+    : _table(std::move(table)), _config(std::move(config))
+{
+    if (_config.maxBatch == 0)
+        SWIFTRL_FATAL("serving batch size must be at least 1");
+    if (_config.maxWaitSec < 0.0)
+        SWIFTRL_FATAL("serving batch wait must be >= 0, got ",
+                      _config.maxWaitSec);
+
+    _greedy.resize(static_cast<std::size_t>(_table.numStates()));
+    for (StateId s = 0; s < _table.numStates(); ++s)
+        _greedy[static_cast<std::size_t>(s)] = _table.greedyAction(s);
+
+    _worker = std::thread([this] { serveLoop(); });
+}
+
+PolicyServer::~PolicyServer() { stop(); }
+
+bool
+PolicyServer::actBatch(const StateId *states, ActionId *actions,
+                       std::size_t count, std::string_view tenant)
+{
+    if (count == 0)
+        return true;
+    SWIFTRL_ASSERT(states != nullptr && actions != nullptr,
+                   "actBatch buffers must be non-null");
+
+    for (std::size_t i = 0; i < count; ++i) {
+        if (states[i] < 0 || states[i] >= _table.numStates()) {
+            std::lock_guard<std::mutex> guard(_mutex);
+            _stats.rejected += count;
+            if (_config.metrics)
+                _config.metrics
+                    ->counter("serve_rejected_total",
+                              {{"tenant", std::string(tenant)}})
+                    .add(count);
+            return false;
+        }
+    }
+
+    Request request;
+    request.states = states;
+    request.actions = actions;
+    request.count = count;
+    request.tenant = tenant;
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    if (_stopping)
+        return false;
+    _pending.push_back(&request);
+    _pendingQueries += count;
+    _workReady.notify_one();
+    request.cv.wait(lock, [&request] { return request.done; });
+    return true;
+}
+
+ActionId
+PolicyServer::act(StateId state, std::string_view tenant)
+{
+    ActionId action = -1;
+    if (!actBatch(&state, &action, 1, tenant))
+        return -1;
+    return action;
+}
+
+void
+PolicyServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        if (_stopping && !_worker.joinable())
+            return;
+        _stopping = true;
+        _workReady.notify_one();
+    }
+    if (_worker.joinable())
+        _worker.join();
+}
+
+ServingStats
+PolicyServer::stats() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _stats;
+}
+
+void
+PolicyServer::serveLoop()
+{
+    using clock = std::chrono::steady_clock;
+    const auto max_wait = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(_config.maxWaitSec));
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _workReady.wait(lock, [this] {
+            return !_pending.empty() || _stopping;
+        });
+        if (_pending.empty()) {
+            if (_stopping)
+                return;
+            continue;
+        }
+
+        // A batch is open: give it up to maxWaitSec from now to fill,
+        // flushing early the moment maxBatch queries are queued. A
+        // zero wait means "never hold a batch open" — flush whatever
+        // accumulated while the previous batch was being served.
+        bool timed_out = false;
+        if (max_wait > clock::duration::zero()) {
+            const auto deadline = clock::now() + max_wait;
+            while (_pendingQueries < _config.maxBatch && !_stopping) {
+                if (_workReady.wait_until(lock, deadline) ==
+                    std::cv_status::timeout) {
+                    timed_out = true;
+                    break;
+                }
+            }
+        }
+        flushBatch(lock, timed_out);
+    }
+}
+
+std::size_t
+PolicyServer::flushBatch(std::unique_lock<std::mutex> &lock,
+                         bool timed_out)
+{
+    // Take whole requests until the batch would exceed maxBatch —
+    // but always at least one, so an oversized request still serves.
+    std::vector<Request *> batch;
+    std::size_t batch_queries = 0;
+    while (!_pending.empty()) {
+        Request *next = _pending.front();
+        if (!batch.empty() &&
+            batch_queries + next->count > _config.maxBatch)
+            break;
+        _pending.pop_front();
+        _pendingQueries -= next->count;
+        batch.push_back(next);
+        batch_queries += next->count;
+    }
+    SWIFTRL_ASSERT(!batch.empty(), "flushBatch needs pending work");
+
+    // The lookups are pure reads of immutable state; release the
+    // lock so new requests can queue behind this batch.
+    lock.unlock();
+    for (Request *request : batch) {
+        for (std::size_t i = 0; i < request->count; ++i)
+            request->actions[i] =
+                _greedy[static_cast<std::size_t>(request->states[i])];
+    }
+    lock.lock();
+
+    _stats.queries += batch_queries;
+    _stats.requests += batch.size();
+    _stats.batches += 1;
+    if (batch_queries >= _config.maxBatch)
+        _stats.fullBatches += 1;
+    else if (timed_out)
+        _stats.timeoutBatches += 1;
+    if (_config.metrics) {
+        auto &m = *_config.metrics;
+        for (Request *request : batch) {
+            telemetry::Labels labels{
+                {"tenant", std::string(request->tenant)}};
+            m.counter("serve_requests_total", labels).add(1);
+            m.counter("serve_queries_total", labels)
+                .add(request->count);
+        }
+        m.counter("serve_batches_total").add(1);
+        m.histogram("serve_batch_size", batchSizeBounds())
+            .observe(static_cast<double>(batch_queries));
+    }
+
+    // Wake exactly the served clients. Notifying under the lock is
+    // deliberate: a client cannot observe done and destroy its
+    // stack-owned request until we release the mutex, so the cv is
+    // alive for the notify.
+    for (Request *request : batch) {
+        request->done = true;
+        request->cv.notify_one();
+    }
+    return batch_queries;
+}
+
+} // namespace swiftrl::serving

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The policy-serving frontend: answers greedy-action queries from a
+ * trained Q-table, coalescing concurrent requests into batches.
+ *
+ * Training produces a Q-table (the deployed artefact of the offline
+ * pipeline, Figure 1); this module is the inference side. Callers —
+ * application threads, or the C API's swiftrl_policy_act_batch —
+ * submit blocking queries; a single worker thread drains the queue in
+ * batches of up to `maxBatch` queries, waiting at most `maxWaitSec`
+ * (wall-clock) after the first pending query before flushing a
+ * partial batch. Batching amortises the per-wakeup synchronisation
+ * cost across queries, which is what bench/perf_policy_qps.cc
+ * measures.
+ *
+ * Unlike the simulator, this is a *host-side, wall-clock* component:
+ * nothing here touches modelled time or the command stream. The
+ * answers themselves are pure table lookups (QTable::greedyAction),
+ * so batching changes throughput, never the returned actions.
+ *
+ * Telemetry (optional, per design rule 1 of metric_registry.hh —
+ * observation only): per-tenant request/query counters, batch
+ * counters split by flush reason, and a batch-size histogram. All
+ * metric updates happen on the worker thread (single-writer).
+ */
+
+#ifndef SWIFTRL_SERVING_POLICY_SERVER_HH
+#define SWIFTRL_SERVING_POLICY_SERVER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "rlcore/qtable.hh"
+
+namespace swiftrl::telemetry {
+class MetricRegistry;
+}
+
+namespace swiftrl::serving {
+
+/** Configuration of one PolicyServer. */
+struct ServingConfig
+{
+    /**
+     * Flush a batch once this many queries are pending. A single
+     * request larger than maxBatch is served as one oversized batch
+     * (requests are never split). 1 disables coalescing — every
+     * request is its own batch, the unbatched baseline.
+     */
+    std::size_t maxBatch = 64;
+
+    /**
+     * Longest wall-clock wait after the first pending query before a
+     * partial batch is flushed anyway. Bounds the latency a query can
+     * pay for the chance of being coalesced. 0 flushes as soon as the
+     * worker wakes.
+     */
+    double maxWaitSec = 100e-6;
+
+    /** Telemetry destination (null = off, the default). */
+    telemetry::MetricRegistry *metrics = nullptr;
+};
+
+/** Whole-lifetime serving counters (see PolicyServer::stats). */
+struct ServingStats
+{
+    /** Queries answered (one state -> action lookup each). */
+    std::uint64_t queries = 0;
+
+    /** Client requests served (each carries >= 1 queries). */
+    std::uint64_t requests = 0;
+
+    /** Batches flushed in total. */
+    std::uint64_t batches = 0;
+
+    /** Batches flushed because they reached maxBatch queries. */
+    std::uint64_t fullBatches = 0;
+
+    /** Partial batches flushed by the maxWaitSec deadline (or at
+     *  shutdown drain). */
+    std::uint64_t timeoutBatches = 0;
+
+    /** Queries rejected for an out-of-range state (never enqueued). */
+    std::uint64_t rejected = 0;
+};
+
+/**
+ * Batched greedy-action server over a fixed Q-table.
+ *
+ * Thread-safe: any number of threads may call act / actBatch
+ * concurrently; calls block until the worker thread has served them.
+ * The table is fixed at construction (serving a retrained table means
+ * constructing a new server — deployment is an atomic swap, not an
+ * in-place mutation).
+ */
+class PolicyServer
+{
+  public:
+    /**
+     * Start serving @p table. The greedy action of every state is
+     * precomputed once here, so the per-query work is one array read.
+     * Fatal on an invalid config (maxBatch == 0, negative wait).
+     */
+    PolicyServer(rlcore::QTable table, ServingConfig config = {});
+
+    /** Stops and joins the worker (serving all pending queries). */
+    ~PolicyServer();
+
+    PolicyServer(const PolicyServer &) = delete;
+    PolicyServer &operator=(const PolicyServer &) = delete;
+
+    /**
+     * Answer @p count queries: actions[i] = argmax_a Q(states[i], a).
+     * Blocks until served. Returns false — writing nothing — if any
+     * state is out of range or the server is stopped.
+     * @p tenant labels this request's telemetry series.
+     */
+    bool actBatch(const rlcore::StateId *states,
+                  rlcore::ActionId *actions, std::size_t count,
+                  std::string_view tenant = "default");
+
+    /**
+     * Single-query convenience over actBatch. Returns -1 on an
+     * out-of-range state or a stopped server.
+     */
+    rlcore::ActionId act(rlcore::StateId state,
+                         std::string_view tenant = "default");
+
+    /**
+     * Stop accepting requests, serve everything pending, and join
+     * the worker. Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /** Snapshot of the serving counters. */
+    ServingStats stats() const;
+
+    /** The table being served. */
+    const rlcore::QTable &table() const { return _table; }
+
+    /** Configuration in use. */
+    const ServingConfig &config() const { return _config; }
+
+  private:
+    /** One blocking client request, owned by the caller's stack. */
+    struct Request
+    {
+        const rlcore::StateId *states = nullptr;
+        rlcore::ActionId *actions = nullptr;
+        std::size_t count = 0;
+        // Borrowed from the caller: the request never outlives the
+        // actBatch frame whose tenant argument this views.
+        std::string_view tenant;
+        bool done = false;
+        // Per-request completion signal: the worker wakes exactly
+        // the clients it served, never the whole waiting herd.
+        std::condition_variable cv;
+    };
+
+    /** Worker loop: coalesce pending requests and serve them. */
+    void serveLoop();
+
+    /**
+     * Serve up to maxBatch queued queries (at least one request) and
+     * wake their callers. Called with the lock held; @p timed_out
+     * records the flush reason. Returns queries served.
+     */
+    std::size_t flushBatch(std::unique_lock<std::mutex> &lock,
+                           bool timed_out);
+
+    rlcore::QTable _table;
+    ServingConfig _config;
+
+    /** greedy[s] precomputed from the table. */
+    std::vector<rlcore::ActionId> _greedy;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _workReady; ///< worker wake-up
+    std::deque<Request *> _pending;
+    std::size_t _pendingQueries = 0;
+    bool _stopping = false;
+    ServingStats _stats;
+
+    std::thread _worker;
+};
+
+} // namespace swiftrl::serving
+
+#endif // SWIFTRL_SERVING_POLICY_SERVER_HH

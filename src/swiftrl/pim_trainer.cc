@@ -31,7 +31,27 @@ PimTrainer::PimTrainer(pimsim::PimSystem &system, PimTrainConfig config)
     if (_config.tasklets < 1 || _config.tasklets > 24)
         SWIFTRL_FATAL("UPMEM DPUs support 1-24 tasklets, got ",
                       _config.tasklets);
+    if (!(_config.epsilonDecay > 0.0f) || _config.epsilonDecay > 1.0f)
+        SWIFTRL_FATAL("epsilon decay must be in (0, 1], got ",
+                      _config.epsilonDecay);
     validate(_config.retry);
+}
+
+SessionConfig
+PimTrainer::sessionConfig() const
+{
+    SessionConfig cfg;
+    cfg.workload = _config.workload;
+    cfg.hyper = _config.hyper;
+    cfg.tau = _config.tau;
+    cfg.blockTransitions = _config.blockTransitions;
+    cfg.tasklets = _config.tasklets;
+    cfg.retry = _config.retry;
+    cfg.weightedAggregation = _config.weightedAggregation;
+    cfg.epsilonDecay = _config.epsilonDecay;
+    cfg.streaming = false;
+    cfg.metrics = _config.metrics;
+    return cfg;
 }
 
 std::size_t
@@ -68,246 +88,90 @@ PimTrainer::distribute(pimsim::CommandStream &stream,
     stream.pushChunks(_dataOffsetCache, spans, bucket, label);
 }
 
-QTable
-PimTrainer::weightedAverage(
-    const std::vector<QTable> &tables,
-    const std::vector<std::vector<std::uint8_t>> &raw_counts,
-    const QTable &previous) const
+PimTrainResult
+PimTrainer::runImpl(const Dataset &data, StateId num_states,
+                    ActionId num_actions,
+                    const SessionCheckpoint *restore_from,
+                    int pause_at_round, SessionCheckpoint *out_ck)
 {
-    SWIFTRL_ASSERT(tables.size() == raw_counts.size(),
-                   "one count table per Q-table required");
-    QTable out(previous.numStates(), previous.numActions());
-    const std::size_t entries = out.entryCount();
-    std::vector<double> numerator(entries, 0.0);
-    std::vector<double> denominator(entries, 0.0);
+    PimTrainResult result;
+    result.coresUsed = _system.numDpus();
 
-    for (std::size_t core = 0; core < tables.size(); ++core) {
-        SWIFTRL_ASSERT(raw_counts[core].size() == entries * 4,
-                       "count table size mismatch");
-        const auto *counts = reinterpret_cast<const std::uint32_t *>(
-            raw_counts[core].data());
-        for (std::size_t i = 0; i < entries; ++i) {
-            const double w = counts[i];
-            numerator[i] +=
-                w * static_cast<double>(tables[core].values()[i]);
-            denominator[i] += w;
-        }
+    // The run is one begin/step*-per-round/finish sequence on a
+    // TrainerSession, which owns the command stream, the Q-table wire
+    // I/O, the LCG streams, and the fault-recovery plumbing. The
+    // reported time breakdown is a view of the session's timeline
+    // (continued past the checkpoint base on a resumed run).
+    TrainerSession session(_system, sessionConfig());
+    if (restore_from)
+        session.restoreOffline(data, *restore_from);
+    else
+        session.beginOffline(data, num_states, num_actions);
+
+    // Steps 2 + synchronisation: train in rounds of tau episodes;
+    // each step() is one launch -> gather -> average -> reduce ->
+    // broadcast round (Figure 4 (2) plus Sec. 4.2's tau-periodic
+    // exchange), with fault recovery inside.
+    while (session.episodesRemaining() > 0) {
+        if (pause_at_round >= 0 &&
+            session.commRounds() >= pause_at_round)
+            break;
+        session.step();
     }
-    for (std::size_t i = 0; i < entries; ++i) {
-        out.values()[i] =
-            denominator[i] > 0.0
-                ? static_cast<float>(numerator[i] / denominator[i])
-                : previous.values()[i];
+
+    if (out_ck) {
+        *out_ck = session.checkpoint();
+        return result;
     }
-    return out;
+
+    // Steps 3+4: final retrieval (Figure 4 (3)), then the result is
+    // assembled from the session's whole-run accounting.
+    session.finishRetrieval();
+    result.finalQ = session.aggregated();
+    result.roundDeltas = session.roundDeltas();
+    result.commRounds = session.commRounds();
+    result.time = session.currentTime();
+    result.timeline = session.stream().timeline();
+    result.faultsDetected = session.faultsDetected();
+    result.coresLost = session.coresLost();
+    if (_config.metrics) {
+        auto &m = *_config.metrics;
+        m.gauge("rl_epsilon")
+            .set(static_cast<double>(session.epsilon()));
+        m.counter("rl_faults_detected_total")
+            .add(static_cast<std::uint64_t>(result.faultsDetected));
+        m.gauge("rl_live_cores")
+            .set(static_cast<double>(
+                session.stream().liveDpuCount()));
+        m.gauge("rl_recovery_seconds").set(result.time.recovery);
+    }
+    return result;
 }
 
 PimTrainResult
 PimTrainer::train(const Dataset &data, StateId num_states,
                   ActionId num_actions)
 {
-    SWIFTRL_ASSERT(!data.empty(), "training on an empty dataset");
-    const std::size_t n = _system.numDpus();
-    const std::size_t entries =
-        static_cast<std::size_t>(num_states) *
-        static_cast<std::size_t>(num_actions);
-    const std::size_t q_bytes = entries * 4;
-    const std::size_t visits_offset = dataOffset(q_bytes);
-    _dataOffsetCache =
-        _config.weightedAggregation
-            ? dataOffset(visits_offset + q_bytes)
-            : visits_offset;
+    return runImpl(data, num_states, num_actions, nullptr, -1,
+                   nullptr);
+}
 
-    PimTrainResult result;
-    result.coresUsed = n;
+SessionCheckpoint
+PimTrainer::trainUntilRound(const Dataset &data, StateId num_states,
+                            ActionId num_actions, int rounds)
+{
+    if (rounds < 0)
+        SWIFTRL_FATAL("pause round must be >= 0, got ", rounds);
+    SessionCheckpoint ck;
+    runImpl(data, num_states, num_actions, nullptr, rounds, &ck);
+    return ck;
+}
 
-    // The run is one explicit command sequence on a dedicated stream;
-    // the reported time breakdown is a view of its timeline.
-    pimsim::CommandStream stream(_system);
-
-    // Telemetry (off unless a registry is configured): per-launch
-    // engine metrics via the stream observer, rl_* metrics below.
-    std::optional<telemetry::EngineCollector> collector;
-    if (_config.metrics) {
-        collector.emplace(*_config.metrics, _system);
-        stream.setObserver(&*collector);
-    }
-
-    // Step 1: partition and distribute the dataset (Figure 4 (1)).
-    const auto chunks = partitionDataset(data.size(), n);
-    std::vector<const Dataset *> sources(n, &data);
-    std::vector<std::size_t> firsts(n), counts(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        firsts[i] = chunks[i].first;
-        counts[i] = chunks[i].count;
-    }
-    distribute(stream, sources, firsts, counts);
-    _qio.initQTables(stream, num_states, num_actions);
-
-    // Persistent LCG streams, one per (core, tasklet).
-    const std::size_t streams = n * _config.tasklets;
-    std::vector<std::uint32_t> lcg_states(streams);
-    for (std::size_t i = 0; i < streams; ++i)
-        lcg_states[i] = rlcore::deriveLcgSeed(_config.hyper.seed, i);
-
-    KernelParams params;
-    params.workload = _config.workload;
-    params.hyper = _config.hyper;
-    params.numStates = num_states;
-    params.numActions = num_actions;
-    params.qOffset = _qio.qOffset();
-    params.dataOffset = _dataOffsetCache;
-    params.chunkCounts = &counts;
-    params.lcgStates = &lcg_states;
-    params.blockTransitions = _config.blockTransitions;
-    params.tasklets = _config.tasklets;
-    params.trackVisits = _config.weightedAggregation;
-    params.visitsOffset = visits_offset;
-
-    // Steps 2 + synchronisation: train in rounds of tau episodes;
-    // after each round the cores exchange Q-values through the host
-    // (gather -> average -> broadcast).
-    QTable aggregated(num_states, num_actions);
-
-    // Permanent dropout recovery: re-partition the *whole* dataset
-    // over the survivors (dead cores get empty chunks) and restart
-    // the interrupted round from the last aggregate. The re-broadcast
-    // is functionally idempotent — every survivor already holds the
-    // aggregate, because the faulted launch committed nothing — but
-    // the real host cannot know that, so both transfers are paid for
-    // on the Recovery track.
-    const auto redistribute = [&](const pimsim::CommandError &) {
-        const std::size_t live = stream.liveDpuCount();
-        if (live == 0)
-            SWIFTRL_FATAL("all ", n, " cores lost to permanent "
-                          "dropouts; nothing left to redistribute to");
-        const auto live_chunks = partitionDataset(data.size(), live);
-        std::size_t next = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            if (stream.isDead(i)) {
-                firsts[i] = 0;
-                counts[i] = 0;
-                continue;
-            }
-            firsts[i] = live_chunks[next].first;
-            counts[i] = live_chunks[next].count;
-            ++next;
-        }
-        distribute(stream, sources, firsts, counts,
-                   TimeBucket::Recovery, "scatter:redistribute");
-        _qio.broadcastQTable(stream, aggregated, TimeBucket::Recovery,
-                             "broadcast:recover");
-    };
-
-    // One kernel wrapper for every round and retry: the KernelFn
-    // (a std::function) allocates, so it is built once and reused
-    // rather than reconstructed per launch. It reads the episode
-    // count through `params` at call time.
-    const pimsim::KernelFn kernel =
-        [&params](pimsim::KernelContext &ctx) {
-            runTrainingKernel(ctx, params);
-        };
-
-    int remaining = _config.hyper.episodes;
-    while (remaining > 0) {
-        params.episodes = std::min(_config.tau, remaining);
-        remaining -= params.episodes;
-
-        runWithRecovery(
-            stream, _config.retry, "kernel:round",
-            [&] {
-                return stream.launch(kernel, _config.tasklets,
-                                     TimeBucket::Kernel,
-                                     "kernel:round");
-            },
-            redistribute);
-
-        auto tables = _qio.gatherQTables(
-            stream, num_states, num_actions, TimeBucket::InterCore,
-            &_config.retry);
-        const QTable previous = aggregated;
-        if (_config.weightedAggregation) {
-            // Extra gather of the per-core visit counts, then a
-            // count-weighted mean with fallback to the previous
-            // aggregate for entries no core visited this round.
-            // Dropped cores come back zero-filled with zero counts,
-            // so they carry no weight.
-            std::vector<std::vector<std::uint8_t>> raw_counts;
-            runWithRecovery(
-                stream, _config.retry, "gather:visits",
-                [&] {
-                    return stream.gather(visits_offset, entries * 4,
-                                         raw_counts,
-                                         TimeBucket::InterCore,
-                                         "gather:visits");
-                },
-                [](const pimsim::CommandError &) {
-                    SWIFTRL_PANIC("gathers cannot drop cores");
-                });
-            aggregated =
-                weightedAverage(tables, raw_counts, previous);
-        } else {
-            // Plain mean over the *surviving* cores only; a dropped
-            // core's zero-filled placeholder must not dilute it.
-            std::vector<QTable> live_tables;
-            live_tables.reserve(stream.liveDpuCount());
-            for (std::size_t i = 0; i < tables.size(); ++i) {
-                if (!stream.isDead(i))
-                    live_tables.push_back(std::move(tables[i]));
-            }
-            aggregated = QTable::average(live_tables);
-        }
-        result.roundDeltas.push_back(
-            QTable::maxAbsDifference(aggregated, previous));
-        // Host-side reduction cost of the averaging itself.
-        stream.hostReduce(
-            _system.config().transferModel.hostReduceSecPerEntry *
-                static_cast<double>(entries) *
-                static_cast<double>(stream.liveDpuCount()),
-            "reduce:average");
-        _qio.broadcastQTable(stream, aggregated,
-                             TimeBucket::InterCore);
-        ++result.commRounds;
-        SWIFTRL_DEBUG("round ", result.commRounds, ": max |dQ| ",
-                      result.roundDeltas.back(), ", live cores ",
-                      stream.liveDpuCount(), ", modelled t ",
-                      stream.now(), " s");
-        if (_config.metrics) {
-            _config.metrics->counter("rl_comm_rounds_total").add();
-            _config.metrics->series("rl_round_max_abs_dq")
-                .append(result.roundDeltas.back());
-            stream.recordCounter(
-                "max-abs-dq",
-                static_cast<double>(result.roundDeltas.back()));
-        }
-    }
-
-    // Steps 3+4: final retrieval. After the last synchronisation
-    // every core holds the aggregated table, so the deployed policy
-    // is that aggregate; the gather is still paid for (Figure 4 (3)) —
-    // timing-only, as the host provably holds the payload already.
-    const double convert =
-        _qio.conversionSeconds(stream, entries, /*to_float=*/true);
-    if (convert > 0.0)
-        stream.onCoreCompute(convert, TimeBucket::PimToCpu,
-                             "convert:descale");
-    stream.gatherTimed(_qio.qOffset(), entries * 4,
-                       TimeBucket::PimToCpu, "gather:final");
-    result.finalQ = std::move(aggregated);
-    result.time = breakdownFromTimeline(stream.timeline());
-    result.timeline = stream.timeline();
-    result.faultsDetected = countFaultEvents(result.timeline);
-    result.coresLost = n - stream.liveDpuCount();
-    if (_config.metrics) {
-        auto &m = *_config.metrics;
-        m.gauge("rl_epsilon").set(_config.hyper.epsilon);
-        m.counter("rl_faults_detected_total")
-            .add(static_cast<std::uint64_t>(result.faultsDetected));
-        m.gauge("rl_live_cores")
-            .set(static_cast<double>(stream.liveDpuCount()));
-        m.gauge("rl_recovery_seconds").set(result.time.recovery);
-    }
-    return result;
+PimTrainResult
+PimTrainer::resume(const Dataset &data, StateId num_states,
+                   ActionId num_actions, const SessionCheckpoint &ck)
+{
+    return runImpl(data, num_states, num_actions, &ck, -1, nullptr);
 }
 
 PimTrainResult

@@ -29,6 +29,7 @@
 #include "rlcore/qtable.hh"
 #include "swiftrl/qtable_io.hh"
 #include "swiftrl/retry_policy.hh"
+#include "swiftrl/session.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
 
@@ -85,6 +86,16 @@ struct PimTrainConfig
      * one extra per-round gather of the count table.
      */
     bool weightedAggregation = false;
+
+    /**
+     * Per-round epsilon decay: the working epsilon is multiplied by
+     * this factor after every synchronisation round. The default 1.0
+     * keeps epsilon constant bit-exactly, reproducing the paper's
+     * fixed-epsilon training; smaller values anneal exploration as
+     * the aggregate converges. The schedule position survives
+     * checkpoint/restore.
+     */
+    float epsilonDecay = 1.0f;
 
     /**
      * Telemetry destination (null = off, the default). When set, the
@@ -161,6 +172,30 @@ class PimTrainer
                          rlcore::ActionId num_actions);
 
     /**
+     * Train until @p rounds synchronisation rounds have completed,
+     * then checkpoint and stop (no final retrieval). The returned
+     * checkpoint — persistable with saveCheckpoint() — restores in a
+     * fresh process via resume(), which continues bit-identically to
+     * an uninterrupted train(). A @p rounds past the end of the run
+     * checkpoints at the final round boundary.
+     */
+    SessionCheckpoint trainUntilRound(const rlcore::Dataset &data,
+                                      rlcore::StateId num_states,
+                                      rlcore::ActionId num_actions,
+                                      int rounds);
+
+    /**
+     * Continue a checkpointed run to completion. @p data must be the
+     * same dataset the checkpointed run trained on (the transition
+     * region is rebuilt from it), and the trainer configuration must
+     * match the checkpoint's identity block.
+     */
+    PimTrainResult resume(const rlcore::Dataset &data,
+                          rlcore::StateId num_states,
+                          rlcore::ActionId num_actions,
+                          const SessionCheckpoint &ck);
+
+    /**
      * Multi-agent Q-learning (Sec. 3.2.1): one independent learner per
      * core, each with its own dataset; no synchronisation and no final
      * aggregation. @p agent_data must contain exactly one non-empty
@@ -183,14 +218,21 @@ class PimTrainer
                         pimsim::TimeBucket::CpuToPim,
                     std::string_view label = "scatter:dataset");
 
+    /** The session configuration this trainer's runs use. */
+    SessionConfig sessionConfig() const;
+
     /**
-     * Visit-count-weighted mean of per-core tables; entries with
-     * zero total visits keep @p previous's value.
+     * One code path for train / trainUntilRound / resume: drive a
+     * TrainerSession from either a fresh begin or @p restore_from,
+     * stopping at @p pause_at_round (absolute round count, -1 =
+     * never) into @p out_ck, else finishing the run into the result.
      */
-    rlcore::QTable weightedAverage(
-        const std::vector<rlcore::QTable> &tables,
-        const std::vector<std::vector<std::uint8_t>> &raw_counts,
-        const rlcore::QTable &previous) const;
+    PimTrainResult runImpl(const rlcore::Dataset &data,
+                           rlcore::StateId num_states,
+                           rlcore::ActionId num_actions,
+                           const SessionCheckpoint *restore_from,
+                           int pause_at_round,
+                           SessionCheckpoint *out_ck);
 
     std::size_t dataOffset(std::size_t q_bytes) const;
 

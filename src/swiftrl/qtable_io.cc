@@ -108,19 +108,26 @@ QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
     return tables;
 }
 
-void
-QTableIo::broadcastQTable(pimsim::CommandStream &stream,
-                          const QTable &q, TimeBucket bucket,
-                          std::string_view label) const
+std::vector<std::uint8_t>
+QTableIo::packWire(const QTable &q) const
 {
-    const std::size_t entries = q.entryCount();
-    std::vector<std::uint8_t> bytes(entries * 4);
+    std::vector<std::uint8_t> bytes(q.entryCount() * 4);
     if (_workload.format == NumericFormat::Fp32) {
         std::memcpy(bytes.data(), q.values().data(), bytes.size());
     } else {
         const auto fixed = q.toFixed(fixedScale());
         std::memcpy(bytes.data(), fixed.data(), bytes.size());
     }
+    return bytes;
+}
+
+void
+QTableIo::broadcastQTable(pimsim::CommandStream &stream,
+                          const QTable &q, TimeBucket bucket,
+                          std::string_view label) const
+{
+    const std::size_t entries = q.entryCount();
+    const std::vector<std::uint8_t> bytes = packWire(q);
     stream.pushBroadcast(qOffset(), bytes, bucket, label);
     // Re-quantisation back to raw fixed point happens on-core after
     // the broadcast lands.

@@ -97,6 +97,14 @@ class QTableIo
                          pimsim::TimeBucket bucket,
                          std::string_view label = "broadcast:q") const;
 
+    /**
+     * The exact bytes broadcastQTable would put on the wire for @p q
+     * (FP32 copy or the fixed-point encoding). The session restore
+     * path pokes these bytes into MRAM functionally, so a restored
+     * bank is byte-identical to one the last broadcast wrote.
+     */
+    std::vector<std::uint8_t> packWire(const rlcore::QTable &q) const;
+
   private:
     Workload _workload;
     rlcore::Hyper _hyper;

@@ -1,0 +1,887 @@
+#include "swiftrl/session.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "rlcore/seeds.hh"
+#include "rlcore/serialization.hh"
+#include "swiftrl/partition.hh"
+#include "telemetry/engine_collector.hh"
+#include "telemetry/metric_registry.hh"
+
+namespace swiftrl {
+
+using pimsim::TimeBucket;
+using rlcore::ActionId;
+using rlcore::Dataset;
+using rlcore::NumericFormat;
+using rlcore::QTable;
+using rlcore::StateId;
+
+TrainerSession::TrainerSession(pimsim::PimSystem &system,
+                               SessionConfig config)
+    : _system(system), _config(std::move(config)),
+      _qio(_config.workload, _config.hyper), _aggregated(1, 1)
+{
+    if (_config.tau <= 0)
+        SWIFTRL_FATAL("synchronisation period tau must be positive");
+    if (_config.hyper.episodes <= 0)
+        SWIFTRL_FATAL("episode count must be positive");
+    if (_config.blockTransitions == 0)
+        SWIFTRL_FATAL("staging block must hold at least one transition");
+    if (_config.tasklets < 1 || _config.tasklets > 24)
+        SWIFTRL_FATAL("UPMEM DPUs support 1-24 tasklets, got ",
+                      _config.tasklets);
+    if (!(_config.epsilonDecay > 0.0f) || _config.epsilonDecay > 1.0f)
+        SWIFTRL_FATAL("epsilon decay must be in (0, 1], got ",
+                      _config.epsilonDecay);
+    if (_config.streaming && _config.weightedAggregation)
+        SWIFTRL_FATAL("weighted aggregation is not available in "
+                      "streaming mode");
+    validate(_config.retry);
+}
+
+TrainerSession::~TrainerSession() = default;
+
+pimsim::CommandStream &
+TrainerSession::stream()
+{
+    SWIFTRL_ASSERT(_stream, "session has no stream before begin()");
+    return *_stream;
+}
+
+void
+TrainerSession::start(StateId num_states, ActionId num_actions)
+{
+    SWIFTRL_ASSERT(_state == SessionState::Init,
+                   "a session begins (or restores) exactly once");
+    _numStates = num_states;
+    _numActions = num_actions;
+    _entries = static_cast<std::size_t>(num_states) *
+               static_cast<std::size_t>(num_actions);
+    const std::size_t q_bytes = _entries * 4;
+    // Transitions start at the next 8-byte boundary past the Q region
+    // (and, under weighted aggregation, past the visit-count region).
+    _visitsOffset = (q_bytes + 7) / 8 * 8;
+    _dataOffset = _config.weightedAggregation
+                      ? (_visitsOffset + q_bytes + 7) / 8 * 8
+                      : _visitsOffset;
+
+    _stream = std::make_unique<pimsim::CommandStream>(_system);
+    if (_config.metrics) {
+        _collector = std::make_unique<telemetry::EngineCollector>(
+            *_config.metrics, _system);
+        _stream->setObserver(_collector.get());
+    }
+
+    const std::size_t n = _system.numDpus();
+    _firsts.assign(n, 0);
+    _counts.assign(n, 0);
+
+    // Persistent LCG streams, one per (core, tasklet), carried across
+    // rounds (and generations) exactly as a real deployment keeps the
+    // DPU binaries resident.
+    const std::size_t streams = n * _config.tasklets;
+    _lcgStates.resize(streams);
+    for (std::size_t i = 0; i < streams; ++i)
+        _lcgStates[i] = rlcore::deriveLcgSeed(_config.hyper.seed, i);
+
+    _aggregated = QTable(num_states, num_actions);
+    _epsilonNow = _config.hyper.epsilon;
+    buildKernel();
+}
+
+void
+TrainerSession::buildKernel()
+{
+    _params.workload = _config.workload;
+    _params.hyper = _config.hyper;
+    _params.numStates = _numStates;
+    _params.numActions = _numActions;
+    _params.qOffset = _qio.qOffset();
+    _params.dataOffset = _dataOffset;
+    _params.chunkCounts = &_counts;
+    _params.lcgStates = &_lcgStates;
+    _params.blockTransitions = _config.blockTransitions;
+    _params.tasklets = _config.tasklets;
+    _params.trackVisits = _config.weightedAggregation;
+    _params.visitsOffset = _visitsOffset;
+    // One kernel wrapper for every round and retry: the KernelFn
+    // (a std::function) allocates, so it is built once and reused
+    // rather than reconstructed per launch. It reads the episode
+    // count through _params at call time.
+    _kernel = [this](pimsim::KernelContext &ctx) {
+        runTrainingKernel(ctx, _params);
+    };
+}
+
+std::vector<std::vector<std::uint8_t>>
+TrainerSession::packChunks(const Dataset &data) const
+{
+    const std::size_t n = _system.numDpus();
+    std::vector<std::vector<std::uint8_t>> packed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        packed[i] =
+            _config.workload.format == NumericFormat::Fp32
+                ? data.packFp32(_firsts[i], _counts[i])
+                : data.packInt32(_firsts[i], _counts[i],
+                                 _qio.fixedScale());
+    }
+    return packed;
+}
+
+void
+TrainerSession::repartition(const Dataset &data)
+{
+    const std::size_t n = _system.numDpus();
+    const std::size_t live = _stream->liveDpuCount();
+    if (live == 0)
+        SWIFTRL_FATAL("all ", n, " cores lost to permanent dropouts; "
+                      "nothing left to redistribute to");
+    const auto live_chunks = partitionDataset(data.size(), live);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (_stream->isDead(i)) {
+            _firsts[i] = 0;
+            _counts[i] = 0;
+            continue;
+        }
+        _firsts[i] = live_chunks[next].first;
+        _counts[i] = live_chunks[next].count;
+        ++next;
+    }
+}
+
+void
+TrainerSession::scatterActive(TimeBucket bucket,
+                              std::string_view label)
+{
+    const auto packed = packChunks(*_activeData);
+    std::vector<std::span<const std::uint8_t>> spans(packed.size());
+    for (std::size_t i = 0; i < packed.size(); ++i)
+        spans[i] = packed[i];
+    _stream->pushChunks(_dataOffset, spans, bucket, label);
+}
+
+void
+TrainerSession::redistribute()
+{
+    // Permanent dropout recovery: re-partition the active dataset
+    // over the survivors (dead cores get empty chunks) and restart
+    // the interrupted round from the last aggregate. The re-broadcast
+    // is functionally idempotent — every survivor already holds the
+    // aggregate, because the faulted launch committed nothing — but
+    // the real host cannot know that, so both transfers are paid for
+    // on the Recovery track.
+    repartition(*_activeData);
+    scatterActive(TimeBucket::Recovery, "scatter:redistribute");
+    _qio.broadcastQTable(*_stream, _aggregated, TimeBucket::Recovery,
+                         "broadcast:recover");
+}
+
+void
+TrainerSession::beginOffline(const Dataset &data, StateId num_states,
+                             ActionId num_actions)
+{
+    SWIFTRL_ASSERT(!data.empty(), "training on an empty dataset");
+    SWIFTRL_ASSERT(!_config.streaming,
+                   "beginOffline on a streaming session");
+    start(num_states, num_actions);
+
+    // Step 1: partition and distribute the dataset (Figure 4 (1)).
+    _activeData = &data;
+    repartition(data);
+    scatterActive(TimeBucket::CpuToPim, "scatter:dataset");
+    _qio.initQTables(*_stream, num_states, num_actions);
+
+    _episodesRemaining = _config.hyper.episodes;
+    _state = SessionState::Ready;
+}
+
+void
+TrainerSession::beginStreaming(StateId num_states,
+                               ActionId num_actions)
+{
+    SWIFTRL_ASSERT(_config.streaming,
+                   "beginStreaming on an offline session");
+    start(num_states, num_actions);
+    _qio.initQTables(*_stream, num_states, num_actions);
+    _state = SessionState::Ready;
+}
+
+void
+TrainerSession::loadGeneration(const Dataset &gen_data)
+{
+    SWIFTRL_ASSERT(_config.streaming && _state == SessionState::Ready,
+                   "loadGeneration needs a Ready streaming session");
+    SWIFTRL_ASSERT(_episodesRemaining == 0,
+                   "previous generation still has rounds pending");
+    _activeData = &gen_data;
+    repartition(gen_data);
+    const std::string label =
+        "scatter:gen" + std::to_string(_generation);
+    scatterActive(TimeBucket::CpuToPim, label);
+    ++_generation;
+    _episodesRemaining = _config.hyper.episodes;
+}
+
+void
+TrainerSession::attachGeneration(const Dataset &gen_data)
+{
+    SWIFTRL_ASSERT(_config.streaming && _state == SessionState::Ready,
+                   "attachGeneration needs a Ready streaming session");
+    SWIFTRL_ASSERT(_episodesRemaining > 0,
+                   "attachGeneration is for mid-generation restores");
+    _activeData = &gen_data;
+    repartition(gen_data);
+    const auto packed = packChunks(gen_data);
+    std::vector<std::span<const std::uint8_t>> spans(packed.size());
+    for (std::size_t i = 0; i < packed.size(); ++i)
+        spans[i] = packed[i];
+    _stream->pokeChunks(_dataOffset, spans);
+}
+
+bool
+TrainerSession::step()
+{
+    SWIFTRL_ASSERT(_state == SessionState::Ready,
+                   "step() needs a Ready session (paused or spent?)");
+    if (_episodesRemaining <= 0)
+        return false;
+    SWIFTRL_ASSERT(_activeData,
+                   "no dataset armed (loadGeneration missing?)");
+
+    _params.episodes = std::min(_config.tau, _episodesRemaining);
+    _episodesRemaining -= _params.episodes;
+    _params.hyper.epsilon = _epsilonNow;
+
+    runWithRecovery(
+        *_stream, _config.retry, "kernel:round",
+        [&] {
+            return _stream->launch(_kernel, _config.tasklets,
+                                   TimeBucket::Kernel, "kernel:round");
+        },
+        [&](const pimsim::CommandError &) { redistribute(); });
+
+    auto tables = _qio.gatherQTables(*_stream, _numStates, _numActions,
+                                     TimeBucket::InterCore,
+                                     &_config.retry);
+    const QTable previous = _aggregated;
+    if (_config.weightedAggregation) {
+        // Extra gather of the per-core visit counts, then a
+        // count-weighted mean with fallback to the previous
+        // aggregate for entries no core visited this round.
+        // Dropped cores come back zero-filled with zero counts,
+        // so they carry no weight.
+        std::vector<std::vector<std::uint8_t>> raw_counts;
+        runWithRecovery(
+            *_stream, _config.retry, "gather:visits",
+            [&] {
+                return _stream->gather(_visitsOffset, _entries * 4,
+                                       raw_counts,
+                                       TimeBucket::InterCore,
+                                       "gather:visits");
+            },
+            [](const pimsim::CommandError &) {
+                SWIFTRL_PANIC("gathers cannot drop cores");
+            });
+        _aggregated = weightedAverage(tables, raw_counts, previous);
+    } else {
+        // Plain mean over the *surviving* cores only; a dropped
+        // core's zero-filled placeholder must not dilute it.
+        std::vector<QTable> live_tables;
+        live_tables.reserve(_stream->liveDpuCount());
+        for (std::size_t i = 0; i < tables.size(); ++i) {
+            if (!_stream->isDead(i))
+                live_tables.push_back(std::move(tables[i]));
+        }
+        _aggregated = QTable::average(live_tables);
+    }
+    const float delta = QTable::maxAbsDifference(_aggregated, previous);
+    if (!_config.streaming)
+        _roundDeltas.push_back(delta);
+    // Host-side reduction cost of the averaging itself.
+    _stream->hostReduce(
+        _system.config().transferModel.hostReduceSecPerEntry *
+            static_cast<double>(_entries) *
+            static_cast<double>(_stream->liveDpuCount()),
+        "reduce:average");
+    _qio.broadcastQTable(*_stream, _aggregated, TimeBucket::InterCore);
+    ++_commRounds;
+    _epsilonNow *= _config.epsilonDecay;
+    if (!_config.streaming) {
+        SWIFTRL_DEBUG("round ", _commRounds, ": max |dQ| ", delta,
+                      ", live cores ", _stream->liveDpuCount(),
+                      ", modelled t ", _stream->now(), " s");
+    }
+    if (_config.metrics) {
+        _config.metrics->counter("rl_comm_rounds_total").add();
+        if (!_config.streaming) {
+            _config.metrics->series("rl_round_max_abs_dq")
+                .append(delta);
+            _stream->recordCounter("max-abs-dq",
+                                   static_cast<double>(delta));
+        }
+    }
+    return true;
+}
+
+void
+TrainerSession::pause()
+{
+    SWIFTRL_ASSERT(_state == SessionState::Ready,
+                   "pause() needs a Ready session");
+    _state = SessionState::Paused;
+}
+
+void
+TrainerSession::resume()
+{
+    SWIFTRL_ASSERT(_state == SessionState::Paused,
+                   "resume() needs a Paused session");
+    _state = SessionState::Ready;
+}
+
+void
+TrainerSession::finishRetrieval()
+{
+    SWIFTRL_ASSERT(_state == SessionState::Ready,
+                   "finishRetrieval() needs a Ready session");
+    // Final retrieval (Figure 4 (3)): after the last synchronisation
+    // every core holds the aggregated table, so the deployed policy
+    // is that aggregate; the gather is still paid for — timing-only,
+    // as the host provably holds the payload already.
+    const double convert =
+        _qio.conversionSeconds(*_stream, _entries, /*to_float=*/true);
+    if (convert > 0.0)
+        _stream->onCoreCompute(convert, TimeBucket::PimToCpu,
+                               "convert:descale");
+    _stream->gatherTimed(_qio.qOffset(), _entries * 4,
+                         TimeBucket::PimToCpu, "gather:final");
+    _state = SessionState::Done;
+}
+
+QTable
+TrainerSession::weightedAverage(
+    const std::vector<QTable> &tables,
+    const std::vector<std::vector<std::uint8_t>> &raw_counts,
+    const QTable &previous) const
+{
+    SWIFTRL_ASSERT(tables.size() == raw_counts.size(),
+                   "one count table per Q-table required");
+    QTable out(previous.numStates(), previous.numActions());
+    const std::size_t entries = out.entryCount();
+    std::vector<double> numerator(entries, 0.0);
+    std::vector<double> denominator(entries, 0.0);
+
+    for (std::size_t core = 0; core < tables.size(); ++core) {
+        SWIFTRL_ASSERT(raw_counts[core].size() == entries * 4,
+                       "count table size mismatch");
+        const auto *counts = reinterpret_cast<const std::uint32_t *>(
+            raw_counts[core].data());
+        for (std::size_t i = 0; i < entries; ++i) {
+            const double w = counts[i];
+            numerator[i] +=
+                w * static_cast<double>(tables[core].values()[i]);
+            denominator[i] += w;
+        }
+    }
+    for (std::size_t i = 0; i < entries; ++i) {
+        out.values()[i] =
+            denominator[i] > 0.0
+                ? static_cast<float>(numerator[i] / denominator[i])
+                : previous.values()[i];
+    }
+    return out;
+}
+
+TimeBreakdown
+TrainerSession::currentTime() const
+{
+    SWIFTRL_ASSERT(_stream, "session has no timeline before begin()");
+    return breakdownFromTimeline(_stream->timeline(), _timeBase);
+}
+
+int
+TrainerSession::faultsDetected() const
+{
+    SWIFTRL_ASSERT(_stream, "session has no timeline before begin()");
+    return _faultEventsBase + countFaultEvents(_stream->timeline());
+}
+
+std::size_t
+TrainerSession::coresLost() const
+{
+    SWIFTRL_ASSERT(_stream, "session has no stream before begin()");
+    return _system.numDpus() - _stream->liveDpuCount();
+}
+
+SessionCheckpoint
+TrainerSession::checkpoint() const
+{
+    SWIFTRL_ASSERT(_state == SessionState::Ready ||
+                       _state == SessionState::Paused,
+                   "checkpoint() needs a live session at a round "
+                   "boundary");
+    SessionCheckpoint ck;
+    ck.streaming = _config.streaming;
+    ck.workload = _config.workload;
+    ck.hyper = _config.hyper;
+    ck.tau = _config.tau;
+    ck.blockTransitions = _config.blockTransitions;
+    ck.tasklets = _config.tasklets;
+    ck.weightedAggregation = _config.weightedAggregation;
+    ck.epsilonDecay = _config.epsilonDecay;
+    ck.numDpus = _system.numDpus();
+    ck.numStates = _numStates;
+    ck.numActions = _numActions;
+
+    ck.episodesRemaining = _episodesRemaining;
+    ck.commRounds = _commRounds;
+    ck.generationsStarted = _generation;
+    ck.roundDeltas = _roundDeltas;
+    ck.epsilonNow = _epsilonNow;
+
+    ck.aggregated = _aggregated.values();
+    ck.lcgStates = _lcgStates;
+
+    ck.cursor = _stream->now();
+    ck.faultSites = _stream->faultSitesUsed();
+    for (const std::size_t id : _stream->deadDpus())
+        ck.deadDpus.push_back(id);
+    ck.timeBase = currentTime();
+    ck.faultEventsBase = faultsDetected();
+    ck.dpuCycles.reserve(ck.numDpus);
+    for (std::size_t i = 0; i < ck.numDpus; ++i)
+        ck.dpuCycles.push_back(_system.dpu(i).cycles());
+    return ck;
+}
+
+std::string
+checkpointMismatch(const SessionConfig &config, std::size_t num_dpus,
+                   const SessionCheckpoint &ck)
+{
+    if (ck.streaming != config.streaming ||
+        !(ck.workload == config.workload) || ck.tau != config.tau ||
+        ck.blockTransitions != config.blockTransitions ||
+        ck.tasklets != config.tasklets ||
+        ck.weightedAggregation != config.weightedAggregation ||
+        ck.numDpus != num_dpus) {
+        return "checkpoint does not match the session "
+               "configuration (workload/tau/tasklets/cores)";
+    }
+    const rlcore::Hyper &a = ck.hyper;
+    const rlcore::Hyper &b = config.hyper;
+    // Field-wise: Hyper has padding, so memcmp is not a comparison.
+    if (a.alpha != b.alpha || a.gamma != b.gamma ||
+        a.episodes != b.episodes || a.epsilon != b.epsilon ||
+        a.stride != b.stride || a.scale != b.scale ||
+        a.int8Shift != b.int8Shift || a.seed != b.seed)
+        return "checkpoint hyper-parameters do not match the "
+               "session configuration";
+    if (ck.epsilonDecay != config.epsilonDecay)
+        return "checkpoint epsilon schedule does not match the "
+               "session configuration";
+    return "";
+}
+
+void
+TrainerSession::adopt(const SessionCheckpoint &ck)
+{
+    const std::string why =
+        checkpointMismatch(_config, _system.numDpus(), ck);
+    if (!why.empty())
+        SWIFTRL_FATAL(why);
+
+    start(ck.numStates, ck.numActions);
+
+    _episodesRemaining = ck.episodesRemaining;
+    _commRounds = ck.commRounds;
+    _generation = ck.generationsStarted;
+    _roundDeltas = ck.roundDeltas;
+    _epsilonNow = ck.epsilonNow;
+
+    SWIFTRL_ASSERT(ck.aggregated.size() == _entries,
+                   "checkpointed aggregate has the wrong shape");
+    _aggregated =
+        QTable::fromFloats(ck.numStates, ck.numActions, ck.aggregated);
+    SWIFTRL_ASSERT(ck.lcgStates.size() == _lcgStates.size(),
+                   "checkpointed LCG stream count mismatch");
+    _lcgStates = ck.lcgStates;
+
+    std::vector<std::size_t> dead;
+    dead.reserve(ck.deadDpus.size());
+    for (const std::uint64_t id : ck.deadDpus)
+        dead.push_back(static_cast<std::size_t>(id));
+    _stream->restoreState(ck.cursor,
+                          static_cast<std::size_t>(ck.faultSites),
+                          dead);
+    if (!ck.dpuCycles.empty()) {
+        std::vector<pimsim::Cycles> cycles(ck.dpuCycles.begin(),
+                                           ck.dpuCycles.end());
+        _stream->restoreDpuCycles(cycles);
+    }
+    _timeBase = ck.timeBase;
+    _faultEventsBase = ck.faultEventsBase;
+
+    // Rebuild the MRAM Q region functionally: the exact wire bytes
+    // the last broadcast (or init) put in every live bank.
+    const auto wire = _qio.packWire(_aggregated);
+    _stream->pokeBroadcast(_qio.qOffset(), wire);
+    // The visit-count region (weighted aggregation) needs no restore:
+    // the kernel overwrites it wholesale on every launch before the
+    // per-round gather reads it.
+
+    _state = SessionState::Ready;
+}
+
+void
+TrainerSession::restoreOffline(const Dataset &data,
+                               const SessionCheckpoint &ck)
+{
+    SWIFTRL_ASSERT(!_config.streaming,
+                   "restoreOffline on a streaming session");
+    adopt(ck);
+    // Rebuild the transition region: the partition over the restored
+    // live set is exactly the one the checkpointed run last scattered
+    // (initial scatter and every redistribution use the same
+    // deterministic partitionDataset-over-survivors assignment).
+    _activeData = &data;
+    repartition(data);
+    const auto packed = packChunks(data);
+    std::vector<std::span<const std::uint8_t>> spans(packed.size());
+    for (std::size_t i = 0; i < packed.size(); ++i)
+        spans[i] = packed[i];
+    _stream->pokeChunks(_dataOffset, spans);
+}
+
+void
+TrainerSession::restoreStreaming(const SessionCheckpoint &ck)
+{
+    SWIFTRL_ASSERT(_config.streaming,
+                   "restoreStreaming on an offline session");
+    adopt(ck);
+    // The data region is rebuilt by attachGeneration() when the
+    // restore lands mid-generation; at a generation boundary the next
+    // loadGeneration() overwrites it anyway.
+}
+
+// --- checkpoint persistence ------------------------------------------
+//
+// Binary format, little-endian (matching rlcore/serialization.cc):
+//   magic "SWRLCK01" | payload | u64 FNV-1a(payload)
+// The payload begins with u32 version; the field order below is the
+// format. Bump SessionCheckpoint::kVersion on any layout change.
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'S', 'W', 'R', 'L',
+                                      'C', 'K', '0', '1'};
+
+class ByteWriter
+{
+  public:
+    template <typename T>
+    void
+    put(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        _bytes.insert(_bytes.end(), p, p + sizeof(T));
+    }
+
+    template <typename T>
+    void
+    putVector(const std::vector<T> &v)
+    {
+        put<std::uint64_t>(v.size());
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p =
+            reinterpret_cast<const std::uint8_t *>(v.data());
+        _bytes.insert(_bytes.end(), p, p + v.size() * sizeof(T));
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return _bytes; }
+
+  private:
+    std::vector<std::uint8_t> _bytes;
+};
+
+class ByteReader
+{
+  public:
+    ByteReader(const std::vector<std::uint8_t> &bytes,
+               const std::string &path)
+        : _bytes(bytes), _path(path)
+    {
+    }
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (_pos + sizeof(T) > _bytes.size())
+            SWIFTRL_FATAL("checkpoint ", _path,
+                          " truncated mid-field");
+        T v;
+        std::memcpy(&v, _bytes.data() + _pos, sizeof(T));
+        _pos += sizeof(T);
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        const auto count = get<std::uint64_t>();
+        if (count > (_bytes.size() - _pos) / sizeof(T))
+            SWIFTRL_FATAL("checkpoint ", _path,
+                          " truncated mid-array");
+        std::vector<T> v(count);
+        std::memcpy(v.data(), _bytes.data() + _pos,
+                    count * sizeof(T));
+        _pos += count * sizeof(T);
+        return v;
+    }
+
+    bool exhausted() const { return _pos == _bytes.size(); }
+
+  private:
+    const std::vector<std::uint8_t> &_bytes;
+    const std::string &_path;
+    std::size_t _pos = 0;
+};
+
+void
+putBreakdown(ByteWriter &w, const TimeBreakdown &t)
+{
+    w.put<double>(t.kernel);
+    w.put<double>(t.cpuToPim);
+    w.put<double>(t.pimToCpu);
+    w.put<double>(t.interCore);
+    w.put<double>(t.hostCollect);
+    w.put<double>(t.recovery);
+}
+
+TimeBreakdown
+getBreakdown(ByteReader &r)
+{
+    TimeBreakdown t;
+    t.kernel = r.get<double>();
+    t.cpuToPim = r.get<double>();
+    t.pimToCpu = r.get<double>();
+    t.interCore = r.get<double>();
+    t.hostCollect = r.get<double>();
+    t.recovery = r.get<double>();
+    return t;
+}
+
+} // namespace
+
+bool
+trySaveCheckpoint(const SessionCheckpoint &ck,
+                  const std::string &path, std::string *error)
+{
+    ByteWriter w;
+    w.put<std::uint32_t>(SessionCheckpoint::kVersion);
+
+    w.put<std::uint8_t>(ck.streaming ? 1 : 0);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(ck.workload.algo));
+    w.put<std::uint8_t>(
+        static_cast<std::uint8_t>(ck.workload.sampling));
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(ck.workload.format));
+    w.put<float>(ck.hyper.alpha);
+    w.put<float>(ck.hyper.gamma);
+    w.put<std::int32_t>(ck.hyper.episodes);
+    w.put<float>(ck.hyper.epsilon);
+    w.put<std::int32_t>(ck.hyper.stride);
+    w.put<std::int32_t>(ck.hyper.scale);
+    w.put<std::int32_t>(ck.hyper.int8Shift);
+    w.put<std::uint64_t>(ck.hyper.seed);
+    w.put<std::int32_t>(ck.tau);
+    w.put<std::uint64_t>(ck.blockTransitions);
+    w.put<std::uint32_t>(ck.tasklets);
+    w.put<std::uint8_t>(ck.weightedAggregation ? 1 : 0);
+    w.put<float>(ck.epsilonDecay);
+    w.put<std::uint64_t>(ck.numDpus);
+    w.put<std::int32_t>(ck.numStates);
+    w.put<std::int32_t>(ck.numActions);
+
+    w.put<std::int32_t>(ck.episodesRemaining);
+    w.put<std::int32_t>(ck.commRounds);
+    w.put<std::int32_t>(ck.generationsStarted);
+    w.putVector(ck.roundDeltas);
+    w.put<float>(ck.epsilonNow);
+
+    w.putVector(ck.aggregated);
+    w.putVector(ck.lcgStates);
+
+    w.put<double>(ck.cursor);
+    w.put<std::uint64_t>(ck.faultSites);
+    w.putVector(ck.deadDpus);
+    putBreakdown(w, ck.timeBase);
+    w.put<std::int32_t>(ck.faultEventsBase);
+    w.putVector(ck.dpuCycles);
+
+    w.put<double>(ck.streamingHostClock);
+    w.put<std::int32_t>(ck.streamingPolicyRefreshes);
+    w.put<double>(ck.streamingCollectSeconds);
+    w.putVector(ck.streamingTrainEndTail);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(ck.streamingQAfterTail.size()));
+    for (const auto &q : ck.streamingQAfterTail)
+        w.putVector(q);
+    w.put<std::uint8_t>(ck.streamingPolicyActive ? 1 : 0);
+    w.put<float>(ck.streamingPolicyEpsilon);
+    w.putVector(ck.streamingPolicySource);
+
+    const auto fail = [&](std::string reason) {
+        if (error)
+            *error = std::move(reason);
+        return false;
+    };
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return fail("cannot open " + path + " for writing");
+    out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    const auto &payload = w.bytes();
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    const std::uint64_t checksum =
+        rlcore::fnv1a(payload.data(), payload.size());
+    out.write(reinterpret_cast<const char *>(&checksum),
+              sizeof(checksum));
+    if (!out)
+        return fail("write to " + path + " failed");
+    return true;
+}
+
+void
+saveCheckpoint(const SessionCheckpoint &ck, const std::string &path)
+{
+    std::string error;
+    if (!trySaveCheckpoint(ck, path, &error))
+        SWIFTRL_FATAL(error);
+}
+
+std::optional<SessionCheckpoint>
+tryLoadCheckpoint(const std::string &path, std::string *error)
+{
+    const auto fail = [&](std::string reason) {
+        if (error)
+            *error = std::move(reason);
+        return std::nullopt;
+    };
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail("cannot open checkpoint " + path);
+    std::vector<std::uint8_t> file(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    const std::size_t overhead =
+        sizeof(kCheckpointMagic) + sizeof(std::uint64_t);
+    if (file.size() < overhead)
+        return fail("checkpoint " + path + " too short to be valid");
+    if (std::memcmp(file.data(), kCheckpointMagic,
+                    sizeof(kCheckpointMagic)) != 0)
+        return fail("checkpoint " + path + " has the wrong magic");
+
+    const std::size_t payload_size = file.size() - overhead;
+    std::vector<std::uint8_t> payload(
+        file.begin() + sizeof(kCheckpointMagic),
+        file.begin() + sizeof(kCheckpointMagic) +
+            static_cast<std::ptrdiff_t>(payload_size));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, file.data() + file.size() - sizeof(stored),
+                sizeof(stored));
+    if (rlcore::fnv1a(payload.data(), payload.size()) != stored)
+        return fail("checkpoint " + path +
+                    " failed its integrity check");
+
+    ByteReader r(payload, path);
+    const auto version = r.get<std::uint32_t>();
+    if (version != SessionCheckpoint::kVersion)
+        return fail("checkpoint " + path + " is format version " +
+                    std::to_string(version) +
+                    "; this build reads version " +
+                    std::to_string(SessionCheckpoint::kVersion));
+
+    // Past the checksum + version gate the payload is authentic;
+    // ByteReader's truncation checks stay fatal (they would indicate
+    // a writer bug, not a bad file).
+    SessionCheckpoint ck;
+    ck.streaming = r.get<std::uint8_t>() != 0;
+    ck.workload.algo =
+        static_cast<rlcore::Algorithm>(r.get<std::uint8_t>());
+    ck.workload.sampling =
+        static_cast<rlcore::Sampling>(r.get<std::uint8_t>());
+    ck.workload.format =
+        static_cast<rlcore::NumericFormat>(r.get<std::uint8_t>());
+    ck.hyper.alpha = r.get<float>();
+    ck.hyper.gamma = r.get<float>();
+    ck.hyper.episodes = r.get<std::int32_t>();
+    ck.hyper.epsilon = r.get<float>();
+    ck.hyper.stride = r.get<std::int32_t>();
+    ck.hyper.scale = r.get<std::int32_t>();
+    ck.hyper.int8Shift = r.get<std::int32_t>();
+    ck.hyper.seed = r.get<std::uint64_t>();
+    ck.tau = r.get<std::int32_t>();
+    ck.blockTransitions =
+        static_cast<std::size_t>(r.get<std::uint64_t>());
+    ck.tasklets = r.get<std::uint32_t>();
+    ck.weightedAggregation = r.get<std::uint8_t>() != 0;
+    ck.epsilonDecay = r.get<float>();
+    ck.numDpus = static_cast<std::size_t>(r.get<std::uint64_t>());
+    ck.numStates = r.get<std::int32_t>();
+    ck.numActions = r.get<std::int32_t>();
+
+    ck.episodesRemaining = r.get<std::int32_t>();
+    ck.commRounds = r.get<std::int32_t>();
+    ck.generationsStarted = r.get<std::int32_t>();
+    ck.roundDeltas = r.getVector<float>();
+    ck.epsilonNow = r.get<float>();
+
+    ck.aggregated = r.getVector<float>();
+    ck.lcgStates = r.getVector<std::uint32_t>();
+
+    ck.cursor = r.get<double>();
+    ck.faultSites = r.get<std::uint64_t>();
+    ck.deadDpus = r.getVector<std::uint64_t>();
+    ck.timeBase = getBreakdown(r);
+    ck.faultEventsBase = r.get<std::int32_t>();
+    ck.dpuCycles = r.getVector<std::uint64_t>();
+
+    ck.streamingHostClock = r.get<double>();
+    ck.streamingPolicyRefreshes = r.get<std::int32_t>();
+    ck.streamingCollectSeconds = r.get<double>();
+    ck.streamingTrainEndTail = r.getVector<double>();
+    const auto tails = r.get<std::uint32_t>();
+    ck.streamingQAfterTail.resize(tails);
+    for (std::uint32_t i = 0; i < tails; ++i)
+        ck.streamingQAfterTail[i] = r.getVector<float>();
+    ck.streamingPolicyActive = r.get<std::uint8_t>() != 0;
+    ck.streamingPolicyEpsilon = r.get<float>();
+    ck.streamingPolicySource = r.getVector<float>();
+
+    if (!r.exhausted())
+        return fail("checkpoint " + path +
+                    " carries trailing bytes (corrupt or from a "
+                    "newer writer)");
+    return ck;
+}
+
+SessionCheckpoint
+loadCheckpoint(const std::string &path)
+{
+    std::string error;
+    auto ck = tryLoadCheckpoint(path, &error);
+    if (!ck)
+        SWIFTRL_FATAL(error);
+    return *std::move(ck);
+}
+
+} // namespace swiftrl

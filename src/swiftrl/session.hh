@@ -1,0 +1,452 @@
+/**
+ * @file
+ * The round-granular training session both trainers drive.
+ *
+ * A TrainerSession owns everything one training run needs on the PIM
+ * side — the command stream, the Q-table wire I/O, the per-(core,
+ * tasklet) LCG streams, the host-side aggregate, the kernel
+ * parameters, and the fault-recovery plumbing — and exposes it as an
+ * explicit state machine:
+ *
+ *     Init --begin/restore--> Ready --step()...--> (rounds done)
+ *       Ready --pause()--> Paused --resume()--> Ready
+ *       Ready --finishRetrieval()--> Done
+ *
+ * One step() is one tau-round: launch (with bounded retry and
+ * dropout redistribution), gather, aggregate, host-reduce, broadcast
+ * — exactly the loop body PimTrainer and StreamingTrainer used to
+ * own privately. The offline trainer runs one begin/step/finish
+ * sequence over a fixed dataset; the streaming trainer re-arms the
+ * session once per generation with loadGeneration().
+ *
+ * Checkpoint/restore, the point of the abstraction: checkpoint() at
+ * any round boundary captures the complete session state —
+ * aggregate Q-table, LCG streams, epsilon schedule position,
+ * generation/round counters, fault-plan cursor, live-core set,
+ * stream clock, and the per-bucket partial time sums — and a fresh
+ * process can restore*() it and continue **bit-identically** to the
+ * uninterrupted run, for any host-pool size and with or without an
+ * active fault plan. The invariants that make this exact:
+ *
+ *  - Fault draws are pure in (seed, kind, site, core); restoring the
+ *    per-stream fault-site cursor replays the same schedule.
+ *  - Launch timing depends only on the launch's own effective cycles
+ *    (never on cumulative core clocks), and transfer timing only on
+ *    (bytes, live cores) — both restored.
+ *  - MRAM is rebuilt functionally (poke, no time charge): the data
+ *    region from the deterministic partition over the restored live
+ *    set, the Q region from the aggregate's exact wire bytes.
+ *  - The reported TimeBreakdown continues from the checkpoint's
+ *    per-bucket partial sums in event order, which equals full
+ *    in-order summation (double addition is order-deterministic).
+ *
+ * Out of scope, documented rather than restored: the post-restore
+ * Timeline holds only post-restore events (traces of a resumed run
+ * are partial), and telemetry counters restart (observation never
+ * was part of the determinism contract). Multi-agent training has no
+ * rounds to checkpoint at and stays a PimTrainer special.
+ */
+
+#ifndef SWIFTRL_SWIFTRL_SESSION_HH
+#define SWIFTRL_SWIFTRL_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pimsim/command_stream.hh"
+#include "pimsim/pim_system.hh"
+#include "rlcore/dataset.hh"
+#include "rlcore/qtable.hh"
+#include "swiftrl/pim_kernels.hh"
+#include "swiftrl/qtable_io.hh"
+#include "swiftrl/retry_policy.hh"
+#include "swiftrl/time_breakdown.hh"
+#include "swiftrl/workload.hh"
+
+namespace swiftrl {
+
+namespace telemetry {
+class MetricRegistry;
+class EngineCollector;
+}
+
+/** Session configuration: the trainer-agnostic training knobs. */
+struct SessionConfig
+{
+    /** Workload variant the PIM side trains. */
+    Workload workload;
+
+    /** Hyper-parameters; hyper.episodes is the episode budget per
+     *  begin/loadGeneration arming. */
+    rlcore::Hyper hyper;
+
+    /** Synchronisation period tau (episodes per round). */
+    int tau = 50;
+
+    /** Transitions per SEQ/STR staging block. */
+    std::size_t blockTransitions = 128;
+
+    /** Hardware threads per PIM core. */
+    unsigned tasklets = 1;
+
+    /** Fault recovery policy (see PimTrainConfig::retry). */
+    RetryPolicy retry;
+
+    /** Visit-weighted aggregation (offline mode only). */
+    bool weightedAggregation = false;
+
+    /**
+     * Per-round epsilon decay: after each round the working epsilon
+     * is multiplied by this factor. 1.0 (the default) keeps epsilon
+     * constant bit-exactly (x * 1.0f == x), so the schedule is free
+     * unless asked for. The current position is checkpointed.
+     */
+    float epsilonDecay = 1.0f;
+
+    /** Streaming mode: per-generation datasets, plain averaging,
+     *  per-generation metrics left to the driver. */
+    bool streaming = false;
+
+    /** Telemetry destination (null = off). Observation-only. */
+    telemetry::MetricRegistry *metrics = nullptr;
+};
+
+/**
+ * Complete state of a paused session, version-tagged. Produced by
+ * TrainerSession::checkpoint(), consumed by restore*(); persisted
+ * with saveCheckpoint()/loadCheckpoint() (binary, checksummed, format
+ * "SWRLCK01"). The `streaming*` block carries the streaming driver's
+ * pipeline state (host clock, recent aggregates, behaviour policy);
+ * it is empty/zero for offline sessions.
+ */
+struct SessionCheckpoint
+{
+    /** Format version this struct describes (bumped on layout
+     *  change; loads of other versions fail loudly). */
+    static constexpr std::uint32_t kVersion = 1;
+
+    // --- identity (must match the restoring session's config) ------
+    bool streaming = false;
+    Workload workload;
+    rlcore::Hyper hyper;
+    int tau = 0;
+    std::size_t blockTransitions = 0;
+    unsigned tasklets = 1;
+    bool weightedAggregation = false;
+    float epsilonDecay = 1.0f;
+    std::size_t numDpus = 0;
+    rlcore::StateId numStates = 0;
+    rlcore::ActionId numActions = 0;
+
+    // --- progress ---------------------------------------------------
+    /** Episodes left in the currently armed dataset/generation. */
+    int episodesRemaining = 0;
+    /** Communication rounds completed so far (whole run). */
+    int commRounds = 0;
+    /** loadGeneration() calls so far (streaming; 0 offline). */
+    int generationsStarted = 0;
+    /** Per-round max |dQ| trace (offline; empty streaming). */
+    std::vector<float> roundDeltas;
+    /** Epsilon schedule position. */
+    float epsilonNow = 0.0f;
+
+    // --- learner state ----------------------------------------------
+    /** Aggregated Q-table values, row-major. */
+    std::vector<float> aggregated;
+    /** Per-(core, tasklet) LCG states. */
+    std::vector<std::uint32_t> lcgStates;
+
+    // --- engine state -----------------------------------------------
+    /** Stream clock at the checkpoint, modelled seconds. */
+    double cursor = 0.0;
+    /** Fault sites consumed. */
+    std::uint64_t faultSites = 0;
+    /** Cores lost to permanent dropouts, ascending ids. */
+    std::vector<std::uint64_t> deadDpus;
+    /** Per-bucket partial time sums at the checkpoint. */
+    TimeBreakdown timeBase;
+    /** Fault events recorded before the checkpoint. */
+    int faultEventsBase = 0;
+    /** Cumulative per-core cycle clocks (restored onto the Dpus so
+     *  stats reports of a resumed run cover the whole run). */
+    std::vector<std::uint64_t> dpuCycles;
+
+    // --- streaming driver state (zero/empty offline) ----------------
+    /** When the actor pool is next free, modelled seconds. */
+    double streamingHostClock = 0.0;
+    /** Behaviour-policy refreshes performed so far. */
+    int streamingPolicyRefreshes = 0;
+    /** Actor busy seconds spent collecting so far. */
+    double streamingCollectSeconds = 0.0;
+    /** Tail (last <= 2) of the per-generation train-end clocks. */
+    std::vector<double> streamingTrainEndTail;
+    /** Tail (last <= 2) of the per-generation aggregates. */
+    std::vector<std::vector<float>> streamingQAfterTail;
+    /** Is the behaviour policy epsilon-greedy (vs uniform-random)? */
+    bool streamingPolicyActive = false;
+    /** Epsilon of the refreshed behaviour policy. */
+    float streamingPolicyEpsilon = 0.0f;
+    /** Q-table the behaviour policy greedifies, row-major. */
+    std::vector<float> streamingPolicySource;
+};
+
+/** Persist @p ck to @p path; fatal on I/O failure. */
+void saveCheckpoint(const SessionCheckpoint &ck,
+                    const std::string &path);
+
+/** Load a checkpoint; fatal on I/O failure, corruption, or an
+ *  unsupported format version. */
+SessionCheckpoint loadCheckpoint(const std::string &path);
+
+/**
+ * Non-fatal variants for embedders (the C API), which must report
+ * errors through return codes instead of aborting the host process.
+ * On failure they return false / nullopt and, when @p error is
+ * non-null, store the reason the fatal variant would have printed.
+ */
+bool trySaveCheckpoint(const SessionCheckpoint &ck,
+                       const std::string &path, std::string *error);
+std::optional<SessionCheckpoint>
+tryLoadCheckpoint(const std::string &path, std::string *error);
+
+/**
+ * The restore identity check: empty when @p ck can be adopted by a
+ * session built from @p config on @p num_dpus cores, else the
+ * human-readable reason. restore*() performs exactly this comparison
+ * and is fatal on a non-empty answer; embedders call it first.
+ */
+std::string checkpointMismatch(const SessionConfig &config,
+                               std::size_t num_dpus,
+                               const SessionCheckpoint &ck);
+
+/** Where a session is in its lifecycle. */
+enum class SessionState
+{
+    Init,   ///< constructed; no run begun
+    Ready,  ///< between rounds; step()/checkpoint()/pause() legal
+    Paused, ///< explicitly paused; resume() to continue
+    Done,   ///< final retrieval issued; the session is spent
+};
+
+/** The round-granular training core. See file comment. */
+class TrainerSession
+{
+  public:
+    /** @param system machine to run on; must outlive the session. */
+    TrainerSession(pimsim::PimSystem &system, SessionConfig config);
+
+    ~TrainerSession();
+
+    TrainerSession(const TrainerSession &) = delete;
+    TrainerSession &operator=(const TrainerSession &) = delete;
+
+    // --- lifecycle ---------------------------------------------------
+
+    /**
+     * Begin an offline run: partition @p data over all cores, scatter
+     * it, broadcast the zero Q-table, seed the LCG streams, and arm
+     * hyper.episodes episodes. @p data must outlive the session's
+     * stepping (the dropout redistribution path re-packs from it).
+     */
+    void beginOffline(const rlcore::Dataset &data,
+                      rlcore::StateId num_states,
+                      rlcore::ActionId num_actions);
+
+    /**
+     * Begin a streaming run: broadcast the zero Q-table and seed the
+     * LCG streams. No dataset yet — arm each generation with
+     * loadGeneration().
+     */
+    void beginStreaming(rlcore::StateId num_states,
+                        rlcore::ActionId num_actions);
+
+    /**
+     * Arm one streaming generation: partition @p gen_data over the
+     * surviving cores, scatter it ("scatter:gen<g>"), and reset the
+     * episode budget. @p gen_data must outlive this generation's
+     * steps.
+     */
+    void loadGeneration(const rlcore::Dataset &gen_data);
+
+    /**
+     * Re-attach the in-progress generation's dataset after a
+     * mid-generation restore: rebuilds the MRAM data region
+     * functionally (the scatter's cost is part of the checkpointed
+     * prefix) without touching the episode budget. The caller
+     * re-collects @p gen_data deterministically (collection is pure
+     * in (policy, seed, generation)).
+     */
+    void attachGeneration(const rlcore::Dataset &gen_data);
+
+    /**
+     * Run one tau-round: launch -> gather -> aggregate -> reduce ->
+     * broadcast, with fault recovery. Returns false (and does
+     * nothing) once the armed episode budget is exhausted.
+     */
+    bool step();
+
+    /** Pause at the current round boundary; step() becomes illegal
+     *  until resume(). Checkpointing does not require pausing —
+     *  the session is quiescent between any two steps. */
+    void pause();
+
+    /** Leave Paused and make step() legal again. */
+    void resume();
+
+    /**
+     * Issue the final retrieval (on-core descale + "gather:final")
+     * and move to Done. Idempotence is not offered: a session
+     * finishes once.
+     */
+    void finishRetrieval();
+
+    // --- checkpoint / restore ---------------------------------------
+
+    /**
+     * Capture the complete session state at the current round
+     * boundary. Legal in Ready or Paused. Streaming drivers fill the
+     * streaming* block afterwards (the session cannot see the host
+     * pipeline).
+     */
+    SessionCheckpoint checkpoint() const;
+
+    /**
+     * Rebuild a mid-run offline session from @p ck on a fresh system:
+     * validates the identity block, restores learner + engine state,
+     * and reconstructs MRAM functionally. The session lands in Ready,
+     * bit-identical to the one that checkpointed.
+     */
+    void restoreOffline(const rlcore::Dataset &data,
+                        const SessionCheckpoint &ck);
+
+    /**
+     * Streaming counterpart. Rebuilds the Q region only; the driver
+     * re-attaches the in-progress generation's data (if any) with
+     * attachGeneration().
+     */
+    void restoreStreaming(const SessionCheckpoint &ck);
+
+    // --- accessors ---------------------------------------------------
+
+    SessionState state() const { return _state; }
+
+    /** Episodes left in the armed budget (0 at a generation/run
+     *  boundary). */
+    int episodesRemaining() const { return _episodesRemaining; }
+
+    /** Communication rounds completed (whole run). */
+    int commRounds() const { return _commRounds; }
+
+    /** loadGeneration() calls so far. */
+    int generationsStarted() const { return _generation; }
+
+    /** The current host-side aggregate. */
+    const rlcore::QTable &aggregated() const { return _aggregated; }
+
+    /** Per-round max |dQ| so far (offline mode). */
+    const std::vector<float> &roundDeltas() const
+    {
+        return _roundDeltas;
+    }
+
+    /** Current epsilon schedule position. */
+    float epsilon() const { return _epsilonNow; }
+
+    /** The session's command stream (the streaming driver records
+     *  host spans and waits on it). */
+    pimsim::CommandStream &stream();
+
+    /** Whole-run time breakdown: checkpointed base plus this
+     *  process's timeline, accumulated in event order. */
+    TimeBreakdown currentTime() const;
+
+    /** Whole-run fault count: checkpointed base plus this process's
+     *  timeline. */
+    int faultsDetected() const;
+
+    /** Cores lost over the whole run. */
+    std::size_t coresLost() const;
+
+    /** The wire I/O helper (shared fixed-point scale etc.). */
+    const QTableIo &qio() const { return _qio; }
+
+    /** MRAM byte offset of the transition region. */
+    std::size_t dataOffset() const { return _dataOffset; }
+
+  private:
+    /** Shared begin work: stream + collector + LCG seeding. */
+    void start(rlcore::StateId num_states,
+               rlcore::ActionId num_actions);
+
+    /** Fill _params/_kernel once shapes are known. */
+    void buildKernel();
+
+    /** Pack @p data per _firsts/_counts into wire chunks. */
+    std::vector<std::vector<std::uint8_t>>
+    packChunks(const rlcore::Dataset &data) const;
+
+    /** partitionDataset over the surviving cores into
+     *  _firsts/_counts (dead cores get empty chunks). */
+    void repartition(const rlcore::Dataset &data);
+
+    /** Scatter _activeData per the current partition. */
+    void scatterActive(pimsim::TimeBucket bucket,
+                       std::string_view label);
+
+    /** Dropout recovery: repartition + recovery-track rescatter +
+     *  aggregate rebroadcast. */
+    void redistribute();
+
+    /** Visit-count-weighted mean (offline weighted aggregation). */
+    rlcore::QTable weightedAverage(
+        const std::vector<rlcore::QTable> &tables,
+        const std::vector<std::vector<std::uint8_t>> &raw_counts,
+        const rlcore::QTable &previous) const;
+
+    /** Shared restore work: identity check + engine + learner. */
+    void adopt(const SessionCheckpoint &ck);
+
+    pimsim::PimSystem &_system;
+    SessionConfig _config;
+    QTableIo _qio;
+
+    SessionState _state = SessionState::Init;
+
+    rlcore::StateId _numStates = 0;
+    rlcore::ActionId _numActions = 0;
+    std::size_t _entries = 0;
+    std::size_t _visitsOffset = 0;
+    std::size_t _dataOffset = 0;
+
+    /** Dataset the armed rounds train on (offline: the whole run's;
+     *  streaming: the current generation's). Not owned. */
+    const rlcore::Dataset *_activeData = nullptr;
+
+    std::unique_ptr<pimsim::CommandStream> _stream;
+    std::unique_ptr<telemetry::EngineCollector> _collector;
+
+    std::vector<std::size_t> _firsts;
+    std::vector<std::size_t> _counts;
+    std::vector<std::uint32_t> _lcgStates;
+    rlcore::QTable _aggregated;
+
+    int _episodesRemaining = 0;
+    int _commRounds = 0;
+    int _generation = 0;
+    std::vector<float> _roundDeltas;
+    float _epsilonNow = 0.0f;
+
+    /** Restore bases (zero for a from-scratch run). */
+    TimeBreakdown _timeBase;
+    int _faultEventsBase = 0;
+
+    KernelParams _params;
+    pimsim::KernelFn _kernel;
+};
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_SESSION_HH

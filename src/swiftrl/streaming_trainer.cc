@@ -7,9 +7,8 @@
 
 #include "common/logging.hh"
 #include "rlcore/seeds.hh"
-#include "swiftrl/partition.hh"
-#include "swiftrl/pim_kernels.hh"
-#include "telemetry/engine_collector.hh"
+#include "swiftrl/session.hh"
+#include "telemetry/metric_registry.hh"
 
 namespace swiftrl {
 
@@ -17,14 +16,12 @@ using pimsim::Phase;
 using pimsim::TimeBucket;
 using rlcore::ActionId;
 using rlcore::Dataset;
-using rlcore::NumericFormat;
 using rlcore::QTable;
 using rlcore::StateId;
 
 StreamingTrainer::StreamingTrainer(pimsim::PimSystem &system,
                                    StreamingConfig config)
-    : _system(system), _config(std::move(config)),
-      _qio(_config.workload, _config.hyper)
+    : _system(system), _config(std::move(config))
 {
     if (_config.tau <= 0)
         SWIFTRL_FATAL("synchronisation period tau must be positive");
@@ -47,7 +44,27 @@ StreamingTrainer::StreamingTrainer(pimsim::PimSystem &system,
         SWIFTRL_FATAL("refresh period must be >= 0 (0 = never)");
     if (_config.collectSecPerTransition < 0.0)
         SWIFTRL_FATAL("per-transition collection cost must be >= 0");
+    if (!(_config.epsilonDecay > 0.0f) || _config.epsilonDecay > 1.0f)
+        SWIFTRL_FATAL("epsilon decay must be in (0, 1], got ",
+                      _config.epsilonDecay);
     validate(_config.retry);
+}
+
+SessionConfig
+StreamingTrainer::sessionConfig() const
+{
+    SessionConfig cfg;
+    cfg.workload = _config.workload;
+    cfg.hyper = _config.hyper;
+    cfg.tau = _config.tau;
+    cfg.blockTransitions = _config.blockTransitions;
+    cfg.tasklets = _config.tasklets;
+    cfg.retry = _config.retry;
+    cfg.weightedAggregation = false;
+    cfg.epsilonDecay = _config.epsilonDecay;
+    cfg.streaming = true;
+    cfg.metrics = _config.metrics;
+    return cfg;
 }
 
 double
@@ -72,76 +89,38 @@ StreamingTrainer::collectDuration(std::size_t num_transitions) const
     return busiest * _config.collectSecPerTransition;
 }
 
-void
-StreamingTrainer::scatterGeneration(
-    pimsim::CommandStream &stream, const Dataset &data,
-    const std::vector<std::size_t> &firsts,
-    const std::vector<std::size_t> &counts, std::size_t data_offset,
-    int generation, TimeBucket bucket, std::string_view label)
-{
-    const std::size_t n = _system.numDpus();
-    std::vector<std::vector<std::uint8_t>> packed(n);
-    std::vector<std::span<const std::uint8_t>> spans(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        packed[i] =
-            _config.workload.format == NumericFormat::Fp32
-                ? data.packFp32(firsts[i], counts[i])
-                : data.packInt32(firsts[i], counts[i],
-                                 _qio.fixedScale());
-        spans[i] = packed[i];
-    }
-    const std::string fallback =
-        "scatter:gen" + std::to_string(generation);
-    stream.pushChunks(data_offset, spans, bucket,
-                      label.empty() ? std::string_view(fallback)
-                                    : label);
-}
-
 StreamingResult
-StreamingTrainer::train(const rlcore::EnvFactory &make_env,
-                        StateId num_states, ActionId num_actions)
+StreamingTrainer::runImpl(const rlcore::EnvFactory &make_env,
+                          StateId num_states, ActionId num_actions,
+                          const SessionCheckpoint *restore_from,
+                          int pause_at_round, SessionCheckpoint *out_ck)
 {
     const std::size_t n = _system.numDpus();
     const std::size_t entries =
         static_cast<std::size_t>(num_states) *
         static_cast<std::size_t>(num_actions);
-    const std::size_t q_bytes = entries * 4;
-    // Transitions start at the next 8-byte boundary past the Q region.
-    const std::size_t data_offset = (q_bytes + 7) / 8 * 8;
 
     StreamingResult result;
     result.coresUsed = n;
     result.generations = _config.generations;
 
-    pimsim::CommandStream stream(_system);
-
-    // Telemetry (off unless a registry is configured): per-launch
-    // engine metrics via the stream observer, per-generation rl_*
-    // series below.
-    std::optional<telemetry::EngineCollector> collector;
-    if (_config.metrics) {
-        collector.emplace(*_config.metrics, _system);
-        stream.setObserver(&*collector);
-    }
-
-    _qio.initQTables(stream, num_states, num_actions);
-
-    // Persistent LCG streams, one per (core, tasklet), carried across
-    // generations exactly as a real deployment would keep the DPU
-    // binaries resident.
-    const std::size_t streams = n * _config.tasklets;
-    std::vector<std::uint32_t> lcg_states(streams);
-    for (std::size_t i = 0; i < streams; ++i)
-        lcg_states[i] = rlcore::deriveLcgSeed(_config.hyper.seed, i);
+    // The PIM side of the pipeline is the shared TrainerSession; this
+    // driver owns only what the session cannot see — the actor clock,
+    // the behaviour policy, and the recent per-generation aggregates
+    // the refresh schedule reads.
+    TrainerSession session(_system, sessionConfig());
 
     // The actors start uniform-random, like the paper's collector,
     // until the first policy refresh (if any).
     rlcore::BehaviourPolicy policy =
         rlcore::makeRandomPolicy(num_actions);
+    bool policy_active = false;       // epsilon-greedy vs random
+    std::vector<float> policy_source; // table the policy greedifies
 
-    QTable aggregated(num_states, num_actions);
     // Aggregate after each generation, and the stream time its last
     // training command retired — the refresh schedule reads both.
+    // Only the last two generations are ever read back, which is what
+    // lets a checkpoint carry a two-entry tail instead of the run.
     std::vector<QTable> q_after;
     std::vector<double> train_end;
     double host_clock = 0.0; // when the actor pool is next free
@@ -149,227 +128,301 @@ StreamingTrainer::train(const rlcore::EnvFactory &make_env,
     const double reduce_per_entry =
         _system.config().transferModel.hostReduceSecPerEntry;
 
-    for (int g = 0; g < _config.generations; ++g) {
-        // --- behaviour-policy refresh (generation-indexed) ----------
-        if (_config.refreshPeriod > 0 && g >= 2 &&
-            g % _config.refreshPeriod == 0) {
-            // Newest aggregate available when g's collection starts:
-            // generation g-1 is still on the PIM side under the
-            // overlap, so the actors see the table through g-2.
+    // Capture the driver state on top of the session checkpoint.
+    const auto makeCheckpoint = [&] {
+        SessionCheckpoint ck = session.checkpoint();
+        ck.streamingHostClock = host_clock;
+        ck.streamingPolicyRefreshes = result.policyRefreshes;
+        ck.streamingCollectSeconds = result.collectSeconds;
+        const std::size_t committed = q_after.size();
+        const std::size_t tail = std::min<std::size_t>(2, committed);
+        for (std::size_t i = committed - tail; i < committed; ++i) {
+            ck.streamingTrainEndTail.push_back(train_end[i]);
+            ck.streamingQAfterTail.push_back(q_after[i].values());
+        }
+        ck.streamingPolicyActive = policy_active;
+        ck.streamingPolicyEpsilon = _config.behaviourEpsilon;
+        ck.streamingPolicySource = policy_source;
+        return ck;
+    };
+
+    int g_begin = 0;   // first generation the loop below handles
+    int g_resumed = -1; // generation restored mid-training, if any
+    std::optional<Dataset> resumed_data;
+
+    if (!restore_from) {
+        session.beginStreaming(num_states, num_actions);
+    } else {
+        session.restoreStreaming(*restore_from);
+        host_clock = restore_from->streamingHostClock;
+        result.policyRefreshes = restore_from->streamingPolicyRefreshes;
+        result.collectSeconds = restore_from->streamingCollectSeconds;
+
+        // An episodesRemaining > 0 checkpoint paused mid-generation:
+        // the last started generation re-runs its remaining rounds.
+        // At 0 the generation's bookkeeping was committed before the
+        // checkpoint, so the loop resumes at the next generation.
+        const bool mid = restore_from->episodesRemaining > 0;
+        const int committed = mid
+                                  ? restore_from->generationsStarted - 1
+                                  : restore_from->generationsStarted;
+        SWIFTRL_ASSERT(committed >= 0, "corrupt generation count");
+
+        // Rebuild q_after/train_end: zero placeholders for the old
+        // generations (never read again — post-restore accesses reach
+        // back at most two generations) and the checkpointed tail.
+        const auto &tail_q = restore_from->streamingQAfterTail;
+        const auto &tail_t = restore_from->streamingTrainEndTail;
+        SWIFTRL_ASSERT(tail_q.size() == tail_t.size() &&
+                           static_cast<int>(tail_q.size()) <= committed,
+                       "checkpoint generation tail is inconsistent");
+        const int placeholders =
+            committed - static_cast<int>(tail_q.size());
+        for (int i = 0; i < committed; ++i) {
+            if (i < placeholders) {
+                q_after.emplace_back(num_states, num_actions);
+                train_end.push_back(0.0);
+            } else {
+                const std::size_t t =
+                    static_cast<std::size_t>(i - placeholders);
+                q_after.push_back(QTable::fromFloats(
+                    num_states, num_actions, tail_q[t]));
+                train_end.push_back(tail_t[t]);
+            }
+        }
+
+        if (restore_from->streamingPolicyActive) {
             policy = rlcore::makeEpsilonGreedyPolicy(
-                q_after[static_cast<std::size_t>(g) - 2],
-                _config.behaviourEpsilon);
-            const double cost =
-                reduce_per_entry * static_cast<double>(entries);
-            const double start =
-                std::max(host_clock,
-                         train_end[static_cast<std::size_t>(g) - 2]);
-            const std::string label =
-                "refresh:gen" + std::to_string(g);
-            stream.recordHostSpan(Phase::HostCollect,
-                                  TimeBucket::HostCollect, start, cost,
-                                  label);
-            host_clock = start + cost;
-            ++result.policyRefreshes;
+                QTable::fromFloats(num_states, num_actions,
+                                   restore_from->streamingPolicySource),
+                restore_from->streamingPolicyEpsilon);
+            policy_active = true;
+            policy_source = restore_from->streamingPolicySource;
         }
 
-        // --- host-side collection (functional) ----------------------
-        const auto blocks = rlcore::collectPolicyBlocks(
-            make_env, policy, _config.transitionsPerGeneration,
-            _config.blockTransitions,
-            rlcore::deriveHostSeed(_config.collectSeed,
-                                   static_cast<std::uint64_t>(g)),
-            _config.actors);
-        const Dataset gen_data = rlcore::concatBlocks(blocks);
+        g_begin = committed;
+        if (mid) {
+            // Re-collect the in-flight generation's data — collection
+            // is pure in (policy, seed, generation), so this is the
+            // exact dataset the interrupted run scattered — and poke
+            // it back into MRAM functionally (its scatter is part of
+            // the checkpointed time base).
+            g_resumed = g_begin;
+            const auto blocks = rlcore::collectPolicyBlocks(
+                make_env, policy, _config.transitionsPerGeneration,
+                _config.blockTransitions,
+                rlcore::deriveHostSeed(
+                    _config.collectSeed,
+                    static_cast<std::uint64_t>(g_resumed)),
+                _config.actors);
+            resumed_data.emplace(rlcore::concatBlocks(blocks));
+            session.attachGeneration(*resumed_data);
+        }
+    }
 
-        // --- host-side collection (temporal) ------------------------
-        // Overlap mode: the slice starts as soon as the actors are
-        // free — while generation g-1 still trains. Sequential mode
-        // additionally gates on the previous training finishing,
-        // which is the only difference between the two modes.
-        double collect_start = host_clock;
-        if (!_config.overlap && g > 0)
-            collect_start = std::max(
-                collect_start,
-                train_end[static_cast<std::size_t>(g) - 1]);
-        const double dur =
-            collectDuration(_config.transitionsPerGeneration);
-        const std::string collect_label =
-            "collect:gen" + std::to_string(g);
-        stream.recordHostSpan(Phase::HostCollect,
-                              TimeBucket::HostCollect, collect_start,
-                              dur, collect_label);
-        host_clock = collect_start + dur;
-        result.collectSeconds += dur;
+    for (int g = g_begin; g < _config.generations; ++g) {
+        const bool resumed_mid = g == g_resumed;
+        Dataset fresh_data;
+        const Dataset *gen_data = nullptr;
+        double dur = 0.0;
 
-        // --- PIM-side training on the fresh generation --------------
-        // The scatter depends on the collection having finished; the
-        // queue idles if the data is not ready yet.
-        stream.waitUntil(host_clock);
-
-        // Partition over the cores still alive — a dropout in an
-        // earlier generation shrinks every later generation's share
-        // map (dead cores keep empty chunks).
-        std::vector<std::size_t> firsts(n, 0), counts(n, 0);
-        const auto repartition = [&] {
-            const std::size_t live = stream.liveDpuCount();
-            if (live == 0)
-                SWIFTRL_FATAL("all ", n, " cores lost to permanent "
-                              "dropouts; nothing left to "
-                              "redistribute to");
-            const auto live_chunks =
-                partitionDataset(gen_data.size(), live);
-            std::size_t next = 0;
-            for (std::size_t i = 0; i < n; ++i) {
-                if (stream.isDead(i)) {
-                    firsts[i] = 0;
-                    counts[i] = 0;
-                    continue;
-                }
-                firsts[i] = live_chunks[next].first;
-                counts[i] = live_chunks[next].count;
-                ++next;
+        if (resumed_mid) {
+            // Refresh, collection, scatter, and their spans all
+            // happened before the checkpoint; only the remaining
+            // training rounds are left.
+            gen_data = &*resumed_data;
+        } else {
+            // --- behaviour-policy refresh (generation-indexed) ------
+            if (_config.refreshPeriod > 0 && g >= 2 &&
+                g % _config.refreshPeriod == 0) {
+                // Newest aggregate available when g's collection
+                // starts: generation g-1 is still on the PIM side
+                // under the overlap, so the actors see the table
+                // through g-2.
+                policy = rlcore::makeEpsilonGreedyPolicy(
+                    q_after[static_cast<std::size_t>(g) - 2],
+                    _config.behaviourEpsilon);
+                policy_active = true;
+                policy_source =
+                    q_after[static_cast<std::size_t>(g) - 2].values();
+                const double cost =
+                    reduce_per_entry * static_cast<double>(entries);
+                const double start = std::max(
+                    host_clock,
+                    train_end[static_cast<std::size_t>(g) - 2]);
+                const std::string label =
+                    "refresh:gen" + std::to_string(g);
+                session.stream().recordHostSpan(
+                    Phase::HostCollect, TimeBucket::HostCollect,
+                    start, cost, label);
+                host_clock = start + cost;
+                ++result.policyRefreshes;
             }
-        };
-        repartition();
-        scatterGeneration(stream, gen_data, firsts, counts,
-                          data_offset, g);
 
-        // Permanent dropout recovery, mid-generation: re-partition
-        // the *current* generation's dataset over the survivors and
-        // restart the interrupted round from the last aggregate (the
-        // re-broadcast is functionally idempotent — the faulted
-        // launch committed nothing — but the real host cannot know
-        // that, so both transfers are paid for as recovery).
-        const auto redistribute = [&](const pimsim::CommandError &) {
-            repartition();
-            scatterGeneration(stream, gen_data, firsts, counts,
-                              data_offset, g, TimeBucket::Recovery,
-                              "scatter:redistribute");
-            _qio.broadcastQTable(stream, aggregated,
-                                 TimeBucket::Recovery,
-                                 "broadcast:recover");
-        };
+            // --- host-side collection (functional) ------------------
+            const auto blocks = rlcore::collectPolicyBlocks(
+                make_env, policy, _config.transitionsPerGeneration,
+                _config.blockTransitions,
+                rlcore::deriveHostSeed(_config.collectSeed,
+                                       static_cast<std::uint64_t>(g)),
+                _config.actors);
+            fresh_data = rlcore::concatBlocks(blocks);
+            gen_data = &fresh_data;
 
-        KernelParams params;
-        params.workload = _config.workload;
-        params.hyper = _config.hyper;
-        params.numStates = num_states;
-        params.numActions = num_actions;
-        params.qOffset = _qio.qOffset();
-        params.dataOffset = data_offset;
-        params.chunkCounts = &counts;
-        params.lcgStates = &lcg_states;
-        params.blockTransitions = _config.blockTransitions;
-        params.tasklets = _config.tasklets;
+            // --- host-side collection (temporal) --------------------
+            // Overlap mode: the slice starts as soon as the actors
+            // are free — while generation g-1 still trains.
+            // Sequential mode additionally gates on the previous
+            // training finishing, which is the only difference
+            // between the two modes.
+            double collect_start = host_clock;
+            if (!_config.overlap && g > 0)
+                collect_start = std::max(
+                    collect_start,
+                    train_end[static_cast<std::size_t>(g) - 1]);
+            dur = collectDuration(_config.transitionsPerGeneration);
+            const std::string collect_label =
+                "collect:gen" + std::to_string(g);
+            session.stream().recordHostSpan(
+                Phase::HostCollect, TimeBucket::HostCollect,
+                collect_start, dur, collect_label);
+            host_clock = collect_start + dur;
+            result.collectSeconds += dur;
 
-        // One kernel wrapper per generation, reused across rounds
-        // and retries (a KernelFn allocates when constructed).
-        const pimsim::KernelFn kernel =
-            [&params](pimsim::KernelContext &ctx) {
-                runTrainingKernel(ctx, params);
-            };
-
-        int remaining = _config.hyper.episodes;
-        while (remaining > 0) {
-            params.episodes = std::min(_config.tau, remaining);
-            remaining -= params.episodes;
-
-            runWithRecovery(
-                stream, _config.retry, "kernel:round",
-                [&] {
-                    return stream.launch(kernel, _config.tasklets,
-                                         TimeBucket::Kernel,
-                                         "kernel:round");
-                },
-                redistribute);
-
-            auto tables = _qio.gatherQTables(
-                stream, num_states, num_actions, TimeBucket::InterCore,
-                &_config.retry);
-            // Mean over the surviving cores only; a dropped core's
-            // zero-filled placeholder must not dilute it.
-            std::vector<QTable> live_tables;
-            live_tables.reserve(stream.liveDpuCount());
-            for (std::size_t i = 0; i < tables.size(); ++i) {
-                if (!stream.isDead(i))
-                    live_tables.push_back(std::move(tables[i]));
-            }
-            aggregated = QTable::average(live_tables);
-            stream.hostReduce(
-                reduce_per_entry * static_cast<double>(entries) *
-                    static_cast<double>(stream.liveDpuCount()),
-                "reduce:average");
-            _qio.broadcastQTable(stream, aggregated,
-                                 TimeBucket::InterCore);
-            ++result.commRounds;
-            if (_config.metrics)
-                _config.metrics->counter("rl_comm_rounds_total")
-                    .add();
+            // --- PIM-side arming of the fresh generation ------------
+            // The scatter depends on the collection having finished;
+            // the queue idles if the data is not ready yet. The
+            // session partitions over the cores still alive — a
+            // dropout in an earlier generation shrinks every later
+            // generation's share map.
+            session.stream().waitUntil(host_clock);
+            session.loadGeneration(*gen_data);
         }
 
-        train_end.push_back(stream.now());
-        q_after.push_back(aggregated);
+        // --- training rounds on this generation's data --------------
+        bool paused = false;
+        while (session.episodesRemaining() > 0) {
+            if (pause_at_round >= 0 &&
+                session.commRounds() >= pause_at_round) {
+                paused = true;
+                break;
+            }
+            session.step();
+        }
+        if (paused) {
+            // Mid-generation checkpoint: episodesRemaining > 0 tells
+            // the restore path to re-collect and re-attach this
+            // generation's data.
+            *out_ck = makeCheckpoint();
+            return result;
+        }
+
+        // --- generation bookkeeping ---------------------------------
+        train_end.push_back(session.stream().now());
+        q_after.push_back(session.aggregated());
+        const QTable &aggregated = q_after.back();
         const float gen_delta = QTable::maxAbsDifference(
-            aggregated, g > 0 ? q_after[static_cast<std::size_t>(g) -
-                                        1]
-                              : QTable(num_states, num_actions));
+            aggregated,
+            g > 0 ? q_after[static_cast<std::size_t>(g) - 1]
+                  : QTable(num_states, num_actions));
         SWIFTRL_DEBUG("generation ", g, ": max |dQ| ", gen_delta,
-                      ", live cores ", stream.liveDpuCount(),
-                      ", collect ", dur, " s, modelled t ",
-                      stream.now(), " s");
+                      ", live cores ",
+                      session.stream().liveDpuCount(), ", collect ",
+                      dur, " s, modelled t ", session.stream().now(),
+                      " s");
         if (_config.metrics) {
             auto &m = *_config.metrics;
             // Behaviour-policy reward rate of this generation's
             // collected data: mean reward per transition.
-            const auto &rewards = gen_data.rewards();
+            const auto &rewards = gen_data->rewards();
             const double mean_reward =
                 rewards.empty()
                     ? 0.0
                     : std::accumulate(rewards.begin(), rewards.end(),
                                       0.0) /
                           static_cast<double>(rewards.size());
-            m.series("rl_generation_mean_reward")
-                .append(mean_reward);
+            m.series("rl_generation_mean_reward").append(mean_reward);
             m.series("rl_generation_max_abs_dq")
                 .append(static_cast<double>(gen_delta));
             m.series("rl_generation_collect_seconds").append(dur);
-            stream.recordCounter("max-abs-dq",
-                                 static_cast<double>(gen_delta));
+            session.stream().recordCounter(
+                "max-abs-dq", static_cast<double>(gen_delta));
+        }
+
+        // A pause landing exactly on a generation boundary
+        // checkpoints *after* the bookkeeping above, so that
+        // episodesRemaining == 0 in a checkpoint always means the
+        // generation was committed.
+        if (out_ck && pause_at_round >= 0 &&
+            session.commRounds() >= pause_at_round) {
+            *out_ck = makeCheckpoint();
+            return result;
         }
     }
 
-    // Final retrieval, identical to the offline trainer's step 3+4.
-    const double convert =
-        _qio.conversionSeconds(stream, entries, /*to_float=*/true);
-    if (convert > 0.0)
-        stream.onCoreCompute(convert, TimeBucket::PimToCpu,
-                             "convert:descale");
-    stream.gatherTimed(_qio.qOffset(), q_bytes, TimeBucket::PimToCpu,
-                       "gather:final");
+    // A pause round past the end of the run checkpoints at the final
+    // generation boundary (resume() then just finishes retrieval).
+    if (out_ck) {
+        *out_ck = makeCheckpoint();
+        return result;
+    }
 
-    result.finalQ = std::move(aggregated);
-    result.time = breakdownFromTimeline(stream.timeline());
-    result.timeline = stream.timeline();
+    // Final retrieval, identical to the offline trainer's step 3+4.
+    session.finishRetrieval();
+
+    result.finalQ = session.aggregated();
+    result.commRounds = session.commRounds();
+    result.time = session.currentTime();
+    result.timeline = session.stream().timeline();
     result.endToEnd = result.timeline.endTime();
-    result.faultsDetected = countFaultEvents(result.timeline);
-    result.coresLost = n - stream.liveDpuCount();
+    result.faultsDetected = session.faultsDetected();
+    result.coresLost = session.coresLost();
     result.transitions =
         static_cast<std::size_t>(_config.generations) *
         _config.transitionsPerGeneration;
     if (_config.metrics) {
         auto &m = *_config.metrics;
         m.gauge("rl_epsilon")
-            .set(static_cast<double>(_config.hyper.epsilon));
+            .set(static_cast<double>(session.epsilon()));
         m.counter("rl_policy_refreshes_total")
             .add(static_cast<std::uint64_t>(result.policyRefreshes));
         m.counter("rl_faults_detected_total")
             .add(static_cast<std::uint64_t>(result.faultsDetected));
         m.gauge("rl_live_cores")
-            .set(static_cast<double>(stream.liveDpuCount()));
+            .set(static_cast<double>(
+                session.stream().liveDpuCount()));
         m.gauge("rl_recovery_seconds").set(result.time.recovery);
     }
     return result;
+}
+
+StreamingResult
+StreamingTrainer::train(const rlcore::EnvFactory &make_env,
+                        StateId num_states, ActionId num_actions)
+{
+    return runImpl(make_env, num_states, num_actions, nullptr, -1,
+                   nullptr);
+}
+
+SessionCheckpoint
+StreamingTrainer::trainUntilRound(const rlcore::EnvFactory &make_env,
+                                  StateId num_states,
+                                  ActionId num_actions, int rounds)
+{
+    if (rounds < 0)
+        SWIFTRL_FATAL("pause round must be >= 0, got ", rounds);
+    SessionCheckpoint ck;
+    runImpl(make_env, num_states, num_actions, nullptr, rounds, &ck);
+    return ck;
+}
+
+StreamingResult
+StreamingTrainer::resume(const rlcore::EnvFactory &make_env,
+                         StateId num_states, ActionId num_actions,
+                         const SessionCheckpoint &ck)
+{
+    return runImpl(make_env, num_states, num_actions, &ck, -1,
+                   nullptr);
 }
 
 } // namespace swiftrl

@@ -36,6 +36,7 @@
 #include "rlcore/qtable.hh"
 #include "swiftrl/qtable_io.hh"
 #include "swiftrl/retry_policy.hh"
+#include "swiftrl/session.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
 
@@ -131,6 +132,15 @@ struct StreamingConfig
     bool overlap = true;
 
     /**
+     * Per-round epsilon decay of the *training* epsilon (SARSA's
+     * next-action exploration), multiplied in after every
+     * synchronisation round across all generations. The default 1.0
+     * keeps it constant bit-exactly. Independent of
+     * behaviourEpsilon, which drives the actors.
+     */
+    float epsilonDecay = 1.0f;
+
+    /**
      * Telemetry destination (null = off, the default). When set, the
      * trainer attaches an EngineCollector to its command stream and
      * emits per-generation rl_* metrics (behaviour reward, max |ΔQ|,
@@ -207,24 +217,51 @@ class StreamingTrainer
                           rlcore::StateId num_states,
                           rlcore::ActionId num_actions);
 
+    /**
+     * Run until @p rounds synchronisation rounds have completed
+     * (counted across generations), then checkpoint and stop. The
+     * checkpoint carries the host pipeline state (actor clock,
+     * behaviour policy, recent aggregates) on top of the session
+     * state, so resume() in a fresh process continues
+     * bit-identically — mid-generation pauses re-collect the
+     * in-flight generation's data deterministically on restore.
+     */
+    SessionCheckpoint trainUntilRound(
+        const rlcore::EnvFactory &make_env,
+        rlcore::StateId num_states, rlcore::ActionId num_actions,
+        int rounds);
+
+    /**
+     * Continue a checkpointed streaming run to completion. The
+     * trainer configuration (including collectSeed, refreshPeriod,
+     * and transitionsPerGeneration — which the checkpoint's identity
+     * block cannot see) must match the checkpointed run's.
+     */
+    StreamingResult resume(const rlcore::EnvFactory &make_env,
+                           rlcore::StateId num_states,
+                           rlcore::ActionId num_actions,
+                           const SessionCheckpoint &ck);
+
     /** Configuration in use. */
     const StreamingConfig &config() const { return _config; }
 
   private:
+    /** The session configuration this trainer's runs use. */
+    SessionConfig sessionConfig() const;
+
     /**
-     * Pack + enqueue one generation's per-core chunk scatter.
-     * @p label overrides the default "scatter:gen<g>" (the dropout
-     * redistribution path labels and buckets its re-scatter as
-     * recovery work).
+     * One code path for train / trainUntilRound / resume: drive the
+     * actor pipeline around a TrainerSession from either a fresh
+     * begin or @p restore_from, stopping at @p pause_at_round
+     * (absolute round count, -1 = never) into @p out_ck, else
+     * finishing the run into the result.
      */
-    void scatterGeneration(pimsim::CommandStream &stream,
-                           const rlcore::Dataset &data,
-                           const std::vector<std::size_t> &firsts,
-                           const std::vector<std::size_t> &counts,
-                           std::size_t data_offset, int generation,
-                           pimsim::TimeBucket bucket =
-                               pimsim::TimeBucket::CpuToPim,
-                           std::string_view label = {});
+    StreamingResult runImpl(const rlcore::EnvFactory &make_env,
+                            rlcore::StateId num_states,
+                            rlcore::ActionId num_actions,
+                            const SessionCheckpoint *restore_from,
+                            int pause_at_round,
+                            SessionCheckpoint *out_ck);
 
     /**
      * Modelled duration of one generation's collection: the busiest
@@ -235,9 +272,6 @@ class StreamingTrainer
 
     pimsim::PimSystem &_system;
     StreamingConfig _config;
-
-    /** Q-table transfer helper shared with the offline trainer. */
-    QTableIo _qio;
 };
 
 } // namespace swiftrl

@@ -5,8 +5,15 @@ namespace swiftrl {
 TimeBreakdown
 breakdownFromTimeline(const pimsim::Timeline &timeline)
 {
+    return breakdownFromTimeline(timeline, TimeBreakdown{});
+}
+
+TimeBreakdown
+breakdownFromTimeline(const pimsim::Timeline &timeline,
+                      const TimeBreakdown &base)
+{
     using pimsim::TimeBucket;
-    TimeBreakdown time;
+    TimeBreakdown time = base;
     for (const auto &event : timeline.events()) {
         const double d = event.duration();
         switch (event.bucket) {

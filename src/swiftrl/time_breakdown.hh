@@ -87,6 +87,18 @@ struct TimeBreakdown
  */
 TimeBreakdown breakdownFromTimeline(const pimsim::Timeline &timeline);
 
+/**
+ * Same derivation, continuing from @p base instead of zero — how a
+ * restored TrainerSession reports the whole run's breakdown: the
+ * checkpoint carries the per-bucket partial sums of the pre-restore
+ * prefix, and accumulation continues in event order from there.
+ * Identical to full in-order summation of the uninterrupted run, so
+ * restore stays bit-exact (double addition is deterministic for a
+ * fixed order).
+ */
+TimeBreakdown breakdownFromTimeline(const pimsim::Timeline &timeline,
+                                    const TimeBreakdown &base);
+
 } // namespace swiftrl
 
 #endif // SWIFTRL_SWIFTRL_TIME_BREAKDOWN_HH

@@ -1,57 +1,22 @@
 #include "telemetry/export.hh"
 
-#include <charconv>
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 
+#include "common/json.hh"
 #include "pimsim/op_class.hh"
 
 namespace swiftrl::telemetry {
 
 namespace {
 
-/** Escape for a JSON string body (same rules as the trace writer). */
-std::string
-jsonEscape(std::string_view s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using json::jsonEscape;
 
-/**
- * Round-trip-exact double rendering shared by both formats: the
- * shortest decimal string that parses back to the same bits (so
- * bucket bounds like 1.1 print as "1.1", not "1.1000000000000001",
- * while exports stay byte-deterministic).
- */
+/** Shortest-round-trip double rendering (common/json.hh). */
 std::string
 num(double v)
 {
-    char buf[32];
-    const auto res =
-        std::to_chars(buf, buf + sizeof(buf), v);
-    return std::string(buf, res.ptr);
+    return json::jsonNumber(v);
 }
 
 /** `"labels":{...}` JSON object for one entry. */

@@ -1,0 +1,193 @@
+// Tests for the policy-serving frontend (src/serving): greedy
+// answers match the table, batching never changes an answer, the
+// batcher's accounting is right, and the per-tenant telemetry
+// labels come out.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rlcore/qtable.hh"
+#include "serving/policy_server.hh"
+#include "telemetry/metric_registry.hh"
+
+namespace {
+
+using swiftrl::rlcore::ActionId;
+using swiftrl::rlcore::QTable;
+using swiftrl::rlcore::StateId;
+using swiftrl::serving::PolicyServer;
+using swiftrl::serving::ServingConfig;
+
+/** Deterministic little table with distinct greedy actions. */
+QTable
+makeTable(StateId ns = 20, ActionId na = 5)
+{
+    QTable q(ns, na);
+    std::uint32_t lcg = 7u;
+    for (float &v : q.values()) {
+        lcg = lcg * 1664525u + 1013904223u;
+        v = static_cast<float>(lcg >> 16);
+    }
+    return q;
+}
+
+TEST(PolicyServer, GreedyAnswersMatchTheTable)
+{
+    const QTable table = makeTable();
+    PolicyServer server(table, {});
+    for (StateId s = 0; s < table.numStates(); ++s)
+        EXPECT_EQ(server.act(s), table.greedyAction(s));
+}
+
+TEST(PolicyServer, BatchingNeverChangesAnAnswer)
+{
+    const QTable table = makeTable(50, 4);
+    ServingConfig batched;
+    batched.maxBatch = 16;
+    batched.maxWaitSec = 50e-6;
+    ServingConfig unbatched;
+    unbatched.maxBatch = 1;
+    unbatched.maxWaitSec = 0.0;
+
+    for (const auto &config : {batched, unbatched}) {
+        PolicyServer server(table, config);
+        constexpr unsigned kClients = 4;
+        constexpr int kQueries = 500;
+        std::atomic<int> mismatches{0};
+        std::vector<std::thread> pool;
+        for (unsigned c = 0; c < kClients; ++c) {
+            pool.emplace_back([&, c] {
+                std::uint32_t lcg = 97u * (c + 1);
+                for (int i = 0; i < kQueries; ++i) {
+                    lcg = lcg * 1664525u + 1013904223u;
+                    const StateId s = static_cast<StateId>(
+                        lcg % static_cast<std::uint32_t>(
+                                  table.numStates()));
+                    if (server.act(s) != table.greedyAction(s))
+                        mismatches.fetch_add(1);
+                }
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+        EXPECT_EQ(mismatches.load(), 0);
+        EXPECT_EQ(server.stats().queries,
+                  std::uint64_t{kClients} * kQueries);
+    }
+}
+
+TEST(PolicyServer, OversizedRequestIsServedWhole)
+{
+    const QTable table = makeTable();
+    ServingConfig config;
+    config.maxBatch = 4; // smaller than the request below
+    PolicyServer server(table, config);
+
+    std::vector<StateId> states;
+    for (StateId s = 0; s < table.numStates(); ++s)
+        states.push_back(s);
+    std::vector<ActionId> actions(states.size(), -1);
+    ASSERT_TRUE(server.actBatch(states.data(), actions.data(),
+                                states.size()));
+    for (StateId s = 0; s < table.numStates(); ++s)
+        EXPECT_EQ(actions[static_cast<std::size_t>(s)],
+                  table.greedyAction(s));
+    // Requests are never split: one request, one (oversized) batch.
+    EXPECT_EQ(server.stats().batches, 1u);
+}
+
+TEST(PolicyServer, OutOfRangeStatesAreRejectedWhole)
+{
+    const QTable table = makeTable();
+    PolicyServer server(table, {});
+
+    StateId states[2] = {0, table.numStates()};
+    ActionId actions[2] = {-7, -7};
+    EXPECT_FALSE(server.actBatch(states, actions, 2));
+    EXPECT_EQ(actions[0], -7); // no partial writes
+    EXPECT_EQ(server.act(-1), -1);
+    EXPECT_EQ(server.stats().rejected, 3u);
+    EXPECT_EQ(server.stats().queries, 0u);
+}
+
+TEST(PolicyServer, EmptyBatchIsTriviallyServed)
+{
+    PolicyServer server(makeTable(), {});
+    EXPECT_TRUE(server.actBatch(nullptr, nullptr, 0));
+    EXPECT_EQ(server.stats().queries, 0u);
+}
+
+TEST(PolicyServer, StatsAccountEveryQueryAndBatch)
+{
+    const QTable table = makeTable();
+    ServingConfig config;
+    config.maxBatch = 1; // every request flushes alone
+    config.maxWaitSec = 0.0;
+    PolicyServer server(table, config);
+
+    constexpr int kQueries = 32;
+    for (int i = 0; i < kQueries; ++i)
+        server.act(i % table.numStates());
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.queries, std::uint64_t{kQueries});
+    EXPECT_EQ(stats.requests, std::uint64_t{kQueries});
+    EXPECT_EQ(stats.batches, std::uint64_t{kQueries});
+    EXPECT_EQ(stats.fullBatches, std::uint64_t{kQueries});
+}
+
+TEST(PolicyServer, RefusesWorkAfterStop)
+{
+    const QTable table = makeTable();
+    PolicyServer server(table, {});
+    EXPECT_NE(server.act(0), -1);
+    server.stop();
+    EXPECT_EQ(server.act(0), -1);
+    StateId state = 1;
+    ActionId action = -1;
+    EXPECT_FALSE(server.actBatch(&state, &action, 1));
+}
+
+TEST(PolicyServer, PerTenantMetricsAreLabelled)
+{
+    swiftrl::telemetry::MetricRegistry metrics;
+    const QTable table = makeTable();
+    ServingConfig config;
+    config.metrics = &metrics;
+    PolicyServer server(table, config);
+
+    server.act(0, "alpha");
+    server.act(1, "alpha");
+    server.act(2, "beta");
+    server.stop(); // joins the worker: metric updates are done
+
+    using swiftrl::telemetry::Labels;
+    EXPECT_EQ(metrics
+                  .counter("serve_requests_total",
+                           Labels{{"tenant", "alpha"}})
+                  .value(),
+              2u);
+    EXPECT_EQ(metrics
+                  .counter("serve_queries_total",
+                           Labels{{"tenant", "beta"}})
+                  .value(),
+              1u);
+    EXPECT_EQ(metrics.counter("serve_batches_total").value(), 3u);
+}
+
+TEST(PolicyServerDeath, RejectsInvalidConfiguration)
+{
+    const QTable table = makeTable();
+    ServingConfig zero_batch;
+    zero_batch.maxBatch = 0;
+    EXPECT_EXIT(PolicyServer(table, zero_batch),
+                ::testing::ExitedWithCode(1), "batch size");
+    ServingConfig negative_wait;
+    negative_wait.maxWaitSec = -1.0;
+    EXPECT_EXIT(PolicyServer(table, negative_wait),
+                ::testing::ExitedWithCode(1), "wait");
+}
+
+} // namespace
