@@ -35,6 +35,8 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "fleet/job_spec.hh"
+#include "fleet/scheduler.hh"
 #include "pimsim/stats_report.hh"
 #include "rlcore/serialization.hh"
 #include "serving/policy_server.hh"
@@ -160,7 +162,7 @@ main(int argc, char **argv)
          "host-threads", "streaming", "actors", "refresh-period",
          "generations", "fault-seed", "fault-rate", "dropout-rate",
          "retry-limit", "metrics", "metrics-prom", "log-level",
-         "checkpoint", "pause-round", "restore", "serve"});
+         "checkpoint", "pause-round", "restore", "serve", "fleet"});
 
     // --log-level overrides the SWIFTRL_LOG environment variable.
     const auto log_level_name = flags.getString("log-level", "");
@@ -171,6 +173,93 @@ main(int argc, char **argv)
                           "debug, got ", log_level_name);
         }
         common::setLogLevel(*level);
+    }
+
+    // --- fleet mode --------------------------------------------------
+    // --fleet jobs.json replaces the single-run flow entirely: the
+    // document describes a shared rank pool and a multi-tenant job
+    // list (schema in docs/SCHEDULER.md), and the scheduler runs it
+    // to completion. Per-run training flags are ignored — each job
+    // carries its own workload and hyper-parameters.
+    const auto fleet_path = flags.getString("fleet", "");
+    if (!fleet_path.empty()) {
+        if (flags.getBool("streaming", false) ||
+            !flags.getString("checkpoint", "").empty() ||
+            !flags.getString("restore", "").empty()) {
+            SWIFTRL_FATAL("--fleet is its own mode; it cannot combine "
+                          "with --streaming/--checkpoint/--restore");
+        }
+        auto spec = fleet::loadFleetSpec(fleet_path);
+        spec.config.hostThreads =
+            static_cast<unsigned>(flags.getInt("host-threads", 0));
+        const bool want_fleet_metrics =
+            !flags.getString("metrics", "").empty() ||
+            !flags.getString("metrics-prom", "").empty();
+        telemetry::MetricRegistry fleet_metrics(want_fleet_metrics);
+        spec.config.metrics =
+            want_fleet_metrics ? &fleet_metrics : nullptr;
+
+        std::cout << "fleet: " << spec.config.totalRanks
+                  << " rank(s) x " << spec.config.dpusPerRank
+                  << " core(s), quantum "
+                  << spec.config.quantumRounds << " round(s), "
+                  << spec.jobs.size() << " job(s)\n";
+
+        fleet::FleetScheduler scheduler(spec.config);
+        const auto result = scheduler.run(spec.jobs);
+
+        std::cout << "\n--- fleet results ---\n";
+        for (const auto &job : result.jobs) {
+            std::cout << job.id << " (tenant " << job.tenant
+                      << "): finished at " << job.finishSec
+                      << " s, queue wait " << job.queueWaitSec
+                      << " s, " << job.preemptions
+                      << " preemption(s), " << job.grants
+                      << " grant(s), " << job.commRounds
+                      << " round(s)\n";
+        }
+        std::cout << "makespan:         " << result.makespanSec
+                  << " s\n"
+                  << "throughput:       " << result.jobsPerHour()
+                  << " jobs/hour\n"
+                  << "rank occupancy:   " << result.occupancy()
+                  << "\n"
+                  << "preemptions:      " << result.totalPreemptions
+                  << "\n";
+
+        telemetry::RunManifest fleet_manifest;
+        fleet_manifest.tool = "swiftrl_cli";
+        fleet_manifest.mode = "fleet";
+        fleet_manifest.cores =
+            spec.config.totalRanks * spec.config.dpusPerRank;
+        fleet_manifest.hostThreads = spec.config.hostThreads;
+        const auto fleet_metrics_path =
+            flags.getString("metrics", "");
+        if (!fleet_metrics_path.empty()) {
+            if (!telemetry::writeMetricsJson(fleet_metrics_path,
+                                             fleet_manifest,
+                                             fleet_metrics)) {
+                SWIFTRL_WARN("cannot write metrics file ",
+                             fleet_metrics_path);
+                return 1;
+            }
+            std::cout << "metrics written to " << fleet_metrics_path
+                      << " (" << fleet_metrics.size()
+                      << " metrics)\n";
+        }
+        const auto fleet_prom_path =
+            flags.getString("metrics-prom", "");
+        if (!fleet_prom_path.empty()) {
+            if (!telemetry::writeMetricsPrometheus(
+                    fleet_prom_path, fleet_manifest, fleet_metrics)) {
+                SWIFTRL_WARN("cannot write metrics file ",
+                             fleet_prom_path);
+                return 1;
+            }
+            std::cout << "prometheus metrics written to "
+                      << fleet_prom_path << "\n";
+        }
+        return 0;
     }
 
     const auto env_name = flags.getString("env", "frozenlake");

@@ -1,0 +1,195 @@
+#include "fleet/job_spec.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "rlcore/trainers.hh"
+
+namespace swiftrl::fleet {
+
+double
+FleetConfig::weightFor(const std::string &tenant) const
+{
+    for (const auto &[name, weight] : tenantWeights) {
+        if (name == tenant)
+            return weight;
+    }
+    return 1.0;
+}
+
+namespace {
+
+/** Reject members outside @p allowed (operator typos fail loudly). */
+void
+rejectUnknownKeys(const json::JsonValue &object,
+                  const std::set<std::string> &allowed,
+                  const char *where)
+{
+    for (const auto &[key, value] : object.members) {
+        (void)value;
+        if (!allowed.contains(key))
+            SWIFTRL_FATAL("fleet spec: unknown key \"", key, "\" in ",
+                          where, " (see docs/SCHEDULER.md for the "
+                          "schema)");
+    }
+}
+
+long
+positiveInt(const json::JsonValue &object, const char *key,
+            long fallback, const char *where)
+{
+    const long v = object.intOr(key, fallback);
+    if (v <= 0)
+        SWIFTRL_FATAL("fleet spec: ", where, ".", key,
+                      " must be positive, got ", v);
+    return v;
+}
+
+JobSpec
+parseJob(const json::JsonValue &j, std::size_t index)
+{
+    static const std::set<std::string> kJobKeys = {
+        "id",       "tenant",   "priority",    "arrival_sec",
+        "ranks",    "min_ranks", "env",        "algo",
+        "sampling", "format",   "episodes",    "tau",
+        "transitions", "tasklets", "alpha",    "gamma",
+        "epsilon",  "seed",
+    };
+    const std::string where = "jobs[" + std::to_string(index) + "]";
+    rejectUnknownKeys(j, kJobKeys, where.c_str());
+
+    JobSpec spec;
+    spec.id = j.stringOr("id", "");
+    if (spec.id.empty())
+        SWIFTRL_FATAL("fleet spec: ", where, " needs a non-empty "
+                      "\"id\"");
+    spec.tenant = j.stringOr("tenant", "");
+    if (spec.tenant.empty())
+        SWIFTRL_FATAL("fleet spec: job \"", spec.id, "\" needs a "
+                      "non-empty \"tenant\"");
+    spec.priority = static_cast<int>(j.intOr("priority", 0));
+    spec.arrivalSec = j.numberOr("arrival_sec", 0.0);
+    if (spec.arrivalSec < 0.0)
+        SWIFTRL_FATAL("fleet spec: job \"", spec.id,
+                      "\" arrival_sec must be >= 0");
+    spec.ranks = static_cast<std::size_t>(
+        positiveInt(j, "ranks", 1, where.c_str()));
+    const long min_ranks = j.intOr("min_ranks", 0);
+    if (min_ranks < 0 ||
+        static_cast<std::size_t>(min_ranks) > spec.ranks)
+        SWIFTRL_FATAL("fleet spec: job \"", spec.id,
+                      "\" min_ranks must be in [0, ranks]");
+    spec.minRanks = static_cast<std::size_t>(min_ranks);
+    spec.env = j.stringOr("env", "frozenlake");
+    spec.workload.algo =
+        rlcore::parseAlgorithm(j.stringOr("algo", "qlearning"));
+    spec.workload.sampling =
+        rlcore::parseSampling(j.stringOr("sampling", "seq"));
+    spec.workload.format =
+        rlcore::parseNumericFormat(j.stringOr("format", "int32"));
+    spec.hyper.episodes = static_cast<int>(
+        positiveInt(j, "episodes", 100, where.c_str()));
+    spec.tau =
+        static_cast<int>(positiveInt(j, "tau", 50, where.c_str()));
+    if (spec.tau > spec.hyper.episodes)
+        spec.tau = spec.hyper.episodes;
+    spec.transitions = static_cast<std::size_t>(
+        positiveInt(j, "transitions", 20'000, where.c_str()));
+    spec.tasklets = static_cast<unsigned>(
+        positiveInt(j, "tasklets", 1, where.c_str()));
+    spec.hyper.alpha = static_cast<float>(j.numberOr("alpha", 0.1));
+    spec.hyper.gamma = static_cast<float>(j.numberOr("gamma", 0.95));
+    spec.hyper.epsilon =
+        static_cast<float>(j.numberOr("epsilon", 0.05));
+    // Seed discipline matches swiftrl_cli: one operator seed derives
+    // the collection seed directly and the training seed at +41, so
+    // a fleet job and a standalone CLI run of the same spec draw the
+    // same datasets and LCG streams.
+    const auto seed =
+        static_cast<std::uint64_t>(j.intOr("seed", 1));
+    spec.collectSeed = seed;
+    spec.hyper.seed = seed + 41;
+    return spec;
+}
+
+} // namespace
+
+FleetSpec
+parseFleetSpec(const std::string &json_text)
+{
+    std::string error;
+    const auto doc = json::parseJson(json_text, &error);
+    if (!doc)
+        SWIFTRL_FATAL("fleet spec: malformed JSON (", error, ")");
+    if (!doc->isObject())
+        SWIFTRL_FATAL("fleet spec: the document must be an object");
+    static const std::set<std::string> kTopKeys = {"fleet", "tenants",
+                                                  "jobs"};
+    rejectUnknownKeys(*doc, kTopKeys, "the top-level object");
+
+    FleetSpec spec;
+    if (const auto *fleet = doc->find("fleet")) {
+        if (!fleet->isObject())
+            SWIFTRL_FATAL("fleet spec: \"fleet\" must be an object");
+        static const std::set<std::string> kFleetKeys = {
+            "ranks", "dpus_per_rank", "quantum_rounds"};
+        rejectUnknownKeys(*fleet, kFleetKeys, "\"fleet\"");
+        spec.config.totalRanks = static_cast<std::size_t>(
+            positiveInt(*fleet, "ranks", 8, "fleet"));
+        spec.config.dpusPerRank = static_cast<std::size_t>(
+            positiveInt(*fleet, "dpus_per_rank", 8, "fleet"));
+        spec.config.quantumRounds = static_cast<int>(
+            positiveInt(*fleet, "quantum_rounds", 4, "fleet"));
+    }
+
+    if (const auto *tenants = doc->find("tenants")) {
+        if (!tenants->isObject())
+            SWIFTRL_FATAL("fleet spec: \"tenants\" must map tenant "
+                          "names to fair-share weights");
+        for (const auto &[name, weight] : tenants->members) {
+            if (!weight.isNumber() || !(weight.number > 0.0))
+                SWIFTRL_FATAL("fleet spec: tenant \"", name,
+                              "\" weight must be a positive number");
+            spec.config.tenantWeights.emplace_back(name,
+                                                   weight.number);
+        }
+    }
+
+    const auto *jobs = doc->find("jobs");
+    if (!jobs || !jobs->isArray() || jobs->elements.empty())
+        SWIFTRL_FATAL("fleet spec: \"jobs\" must be a non-empty "
+                      "array");
+    std::set<std::string> seen_ids;
+    for (std::size_t i = 0; i < jobs->elements.size(); ++i) {
+        const auto &element = jobs->elements[i];
+        if (!element.isObject())
+            SWIFTRL_FATAL("fleet spec: jobs[", i,
+                          "] must be an object");
+        JobSpec job = parseJob(element, i);
+        if (!seen_ids.insert(job.id).second)
+            SWIFTRL_FATAL("fleet spec: duplicate job id \"", job.id,
+                          "\"");
+        if (job.ranks > spec.config.totalRanks)
+            SWIFTRL_FATAL("fleet spec: job \"", job.id, "\" wants ",
+                          job.ranks, " ranks but the fleet has ",
+                          spec.config.totalRanks);
+        spec.jobs.push_back(std::move(job));
+    }
+    return spec;
+}
+
+FleetSpec
+loadFleetSpec(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SWIFTRL_FATAL("cannot open fleet spec ", path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseFleetSpec(text.str());
+}
+
+} // namespace swiftrl::fleet

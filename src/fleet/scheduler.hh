@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The multi-tenant fleet scheduler: many concurrent training jobs
+ * time-sharing one pool of simulated DPU ranks.
+ *
+ * The scheduler is a discrete-event simulation in **fleet modelled
+ * time**, the same modelled-seconds currency every command stream
+ * reports. Jobs arrive on a priority queue, receive rank-granular
+ * grants under weighted fair-share, train in quanta of tau-rounds,
+ * and are preempted at round boundaries through the
+ * `TrainerSession` pause/checkpoint contract: the session is
+ * checkpointed to memory, its machine torn down, and the job resumed
+ * later — possibly on a different physical rank subset — through
+ * `restoreOffline()`, whose functional MRAM rebuild reuses the
+ * survivor-repartition machinery (docs/ARCHITECTURE.md §9, §12).
+ *
+ * Scheduling policy (normative statement in docs/SCHEDULER.md):
+ *
+ *  - **Weighted fair-share across tenants.** Each tenant accrues
+ *    virtual time = consumed rank-seconds / weight; the queued job
+ *    whose tenant has the least virtual time is considered first.
+ *    Ties break by job priority (higher first), then the job's own
+ *    consumed rank-seconds (least first — equal-standing jobs
+ *    round-robin, so a just-preempted job cannot re-win its ranks
+ *    from a starving sibling), then arrival time, then job id — a
+ *    total order, so two runs of the same job set produce
+ *    byte-identical schedules.
+ *  - **Backfill.** A queued job that cannot get its minimum grant is
+ *    skipped, and later (smaller) jobs in fair-share order may take
+ *    the free ranks.
+ *  - **Quantum preemption.** After `quantumRounds` tau-rounds the
+ *    grant is reconsidered; the job is preempted iff another job is
+ *    queued, paying the modelled checkpoint cost, and requeued. With
+ *    an empty queue the job simply continues (no cost).
+ *  - **Time dilation.** A grant of g < ranks physical ranks
+ *    time-multiplexes the job's logical machine: fleet-clock
+ *    durations stretch by ceil(ranks / g) while modelled results
+ *    stay bit-identical.
+ *
+ * Determinism contract, enforced by tests/test_fleet.cc and
+ * bench/perf_fleet_jobs: for a fixed job set, every job's final
+ * Q-table is **bit-identical to the same spec run standalone**
+ * (PimTrainer on a dedicated machine), for any quantum, tenant
+ * weights, fleet size that fits it, and host-thread count —
+ * scheduling moves only fleet-clock time, never a learned value.
+ */
+
+#ifndef SWIFTRL_FLEET_SCHEDULER_HH
+#define SWIFTRL_FLEET_SCHEDULER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/job_spec.hh"
+#include "rlcore/qtable.hh"
+#include "swiftrl/pim_trainer.hh"
+
+namespace swiftrl::fleet {
+
+/** Per-job accounting and result, one per submitted job. */
+struct JobOutcome
+{
+    /** Job id / tenant, copied from the spec. */
+    std::string id;
+    std::string tenant;
+
+    /** The job's final aggregated Q-table — bit-identical to the
+     *  same spec run standalone. */
+    rlcore::QTable finalQ;
+
+    /** Fleet-clock submission time (= spec.arrivalSec). */
+    double arrivalSec = 0.0;
+
+    /** Fleet clock at the first grant. */
+    double firstDispatchSec = 0.0;
+
+    /** Fleet clock at completion (final retrieval done). */
+    double finishSec = 0.0;
+
+    /** Total time spent waiting in the queue, across all requeues. */
+    double queueWaitSec = 0.0;
+
+    /** Times the job was checkpointed off its ranks. */
+    int preemptions = 0;
+
+    /** Grants the job received (first dispatch + resumes). */
+    int grants = 0;
+
+    /** Session-internal modelled training seconds (undilated). */
+    double modelledTrainSec = 0.0;
+
+    /** Fleet-clock seconds the job occupied ranks (dilation and
+     *  checkpoint/restore/dispatch overheads included). */
+    double occupiedSec = 0.0;
+
+    /** Smallest physical grant the job ever ran on, in ranks. */
+    std::size_t minGrantRanks = 0;
+
+    /** Communication rounds trained. */
+    int commRounds = 0;
+
+    JobOutcome() : finalQ(1, 1) {}
+};
+
+/** Whole-run result of FleetScheduler::run(). */
+struct FleetResult
+{
+    /** One outcome per job, in submission (spec) order. */
+    std::vector<JobOutcome> jobs;
+
+    /** Fleet clock when the last job finished. */
+    double makespanSec = 0.0;
+
+    /** Busy rank-seconds summed over all ranks. */
+    double rankBusySeconds = 0.0;
+
+    /** Per-rank busy seconds (index = rank id). */
+    std::vector<double> perRankBusySec;
+
+    /** Preemptions summed over all jobs. */
+    int totalPreemptions = 0;
+
+    /**
+     * The schedule, one line per decision ("t=<sec> grant job=...",
+     * "... preempt ...", "... finish ..."), byte-deterministic for a
+     * fixed job set — tests pin interleavings against it.
+     */
+    std::vector<std::string> dispatchLog;
+
+    /** The headline throughput metric: jobs per fleet-clock hour. */
+    double
+    jobsPerHour() const
+    {
+        return makespanSec > 0.0
+                   ? static_cast<double>(jobs.size()) /
+                         (makespanSec / 3600.0)
+                   : 0.0;
+    }
+
+    /** Mean rank occupancy over the makespan, in [0, 1]. */
+    double
+    occupancy() const
+    {
+        const double capacity =
+            makespanSec * static_cast<double>(perRankBusySec.size());
+        return capacity > 0.0 ? rankBusySeconds / capacity : 0.0;
+    }
+};
+
+/** The fleet scheduler. See file comment for the policy. */
+class FleetScheduler
+{
+  public:
+    explicit FleetScheduler(FleetConfig config);
+
+    /**
+     * Schedule @p jobs to completion and return the per-job results
+     * plus fleet accounting. Synchronous and deterministic; with a
+     * metrics registry configured, exports the fleet_* metric set
+     * (docs/SCHEDULER.md "Metrics") when the run completes.
+     */
+    FleetResult run(const std::vector<JobSpec> &jobs);
+
+    /**
+     * Reference point for the determinism contract: run @p job alone
+     * on a dedicated machine of job.ranks * config.dpusPerRank cores
+     * — the result every fleet schedule must reproduce bit-exactly.
+     */
+    static PimTrainResult runStandalone(const JobSpec &job,
+                                        const FleetConfig &config);
+
+  private:
+    FleetConfig _config;
+};
+
+} // namespace swiftrl::fleet
+
+#endif // SWIFTRL_FLEET_SCHEDULER_HH

@@ -1,0 +1,82 @@
+#include "pimsim/rank_pool.hh"
+
+#include "common/logging.hh"
+
+namespace swiftrl::pimsim {
+
+RankPool::RankPool(std::size_t num_ranks)
+    : _leased(num_ranks, false), _busySec(num_ranks, 0.0),
+      _free(num_ranks)
+{
+    if (num_ranks == 0)
+        SWIFTRL_FATAL("a rank pool needs at least one rank");
+}
+
+std::vector<std::size_t>
+RankPool::lease(std::size_t count)
+{
+    if (count == 0)
+        SWIFTRL_FATAL("a lease must cover at least one rank");
+    if (count > _free)
+        return {};
+    std::vector<std::size_t> granted;
+    granted.reserve(count);
+    for (std::size_t id = 0; id < _leased.size() &&
+                             granted.size() < count;
+         ++id) {
+        if (!_leased[id]) {
+            _leased[id] = true;
+            granted.push_back(id);
+        }
+    }
+    _free -= count;
+    return granted;
+}
+
+void
+RankPool::release(const std::vector<std::size_t> &ranks)
+{
+    for (const std::size_t id : ranks) {
+        if (id >= _leased.size())
+            SWIFTRL_FATAL("release of rank ", id, " beyond pool of ",
+                          _leased.size());
+        if (!_leased[id])
+            SWIFTRL_FATAL("double release of rank ", id);
+        _leased[id] = false;
+        ++_free;
+    }
+}
+
+void
+RankPool::charge(const std::vector<std::size_t> &ranks,
+                 double seconds)
+{
+    if (seconds < 0.0)
+        SWIFTRL_FATAL("negative busy-time charge: ", seconds);
+    for (const std::size_t id : ranks) {
+        if (id >= _busySec.size())
+            SWIFTRL_FATAL("charge to rank ", id, " beyond pool of ",
+                          _busySec.size());
+        _busySec[id] += seconds;
+    }
+}
+
+double
+RankPool::busySeconds(std::size_t rank) const
+{
+    if (rank >= _busySec.size())
+        SWIFTRL_FATAL("rank ", rank, " beyond pool of ",
+                      _busySec.size());
+    return _busySec[rank];
+}
+
+double
+RankPool::totalBusySeconds() const
+{
+    double total = 0.0;
+    for (const double s : _busySec)
+        total += s;
+    return total;
+}
+
+} // namespace swiftrl::pimsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Rank leasing for fleet-level scheduling: a deterministic allocator
+ * over the physical ranks of a shared PIM machine.
+ *
+ * A *rank* is the transfer model's allocation unit
+ * (`TransferModel::dpusPerRank` cores behind one host memory-bus
+ * lane); it is also the natural granularity at which a fleet
+ * scheduler hands hardware to jobs — a job either owns a rank's bus
+ * lane or it does not. RankPool tracks which ranks are leased, grants
+ * them lowest-id-first (so two identical scheduling runs produce
+ * byte-identical placements), and accumulates per-rank busy seconds
+ * for occupancy accounting.
+ *
+ * The pool is bookkeeping, not enforcement: the simulator executes
+ * kernels functionally, so *which* physical rank a job's cores map to
+ * never changes a computed value — placement affects occupancy
+ * telemetry and the fleet's modelled clock only. That is exactly the
+ * property the scheduler's determinism contract leans on: a job
+ * checkpointed off one rank subset and resumed on another yields
+ * bit-identical Q-tables (see docs/SCHEDULER.md).
+ */
+
+#ifndef SWIFTRL_PIMSIM_RANK_POOL_HH
+#define SWIFTRL_PIMSIM_RANK_POOL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace swiftrl::pimsim {
+
+/** Deterministic lease manager over a fixed set of ranks. */
+class RankPool
+{
+  public:
+    /** @param num_ranks ranks in the fleet; fatal if zero. */
+    explicit RankPool(std::size_t num_ranks);
+
+    /** Ranks in the fleet. */
+    std::size_t numRanks() const { return _leased.size(); }
+
+    /** Ranks currently unleased. */
+    std::size_t freeRanks() const { return _free; }
+
+    /**
+     * Lease @p count ranks, lowest free ids first. Returns the
+     * granted rank ids (ascending), or an empty vector — leasing
+     * nothing — when fewer than @p count ranks are free. A zero
+     * @p count is fatal (a lease must lease something).
+     */
+    std::vector<std::size_t> lease(std::size_t count);
+
+    /** Return previously leased ranks; fatal on a rank that is not
+     *  currently leased (double release / foreign id). */
+    void release(const std::vector<std::size_t> &ranks);
+
+    /** Accumulate @p seconds of busy time on each rank of @p ranks
+     *  (occupancy accounting; negative durations are fatal). */
+    void charge(const std::vector<std::size_t> &ranks, double seconds);
+
+    /** Busy seconds accumulated on @p rank so far. */
+    double busySeconds(std::size_t rank) const;
+
+    /** Sum of busy seconds over all ranks. */
+    double totalBusySeconds() const;
+
+  private:
+    std::vector<bool> _leased;
+    std::vector<double> _busySec;
+    std::size_t _free = 0;
+};
+
+} // namespace swiftrl::pimsim
+
+#endif // SWIFTRL_PIMSIM_RANK_POOL_HH

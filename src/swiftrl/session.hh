@@ -17,7 +17,10 @@
  * — exactly the loop body PimTrainer and StreamingTrainer used to
  * own privately. The offline trainer runs one begin/step/finish
  * sequence over a fixed dataset; the streaming trainer re-arms the
- * session once per generation with loadGeneration().
+ * session once per generation with loadGeneration(); the fleet
+ * scheduler (src/fleet) drives many sessions in slices, pausing and
+ * checkpointing each at preemption and restoring it on a fresh
+ * machine at the next grant.
  *
  * Checkpoint/restore, the point of the abstraction: checkpoint() at
  * any round boundary captures the complete session state —
@@ -117,10 +120,32 @@ struct SessionConfig
 /**
  * Complete state of a paused session, version-tagged. Produced by
  * TrainerSession::checkpoint(), consumed by restore*(); persisted
- * with saveCheckpoint()/loadCheckpoint() (binary, checksummed, format
- * "SWRLCK01"). The `streaming*` block carries the streaming driver's
- * pipeline state (host clock, recent aggregates, behaviour policy);
- * it is empty/zero for offline sessions.
+ * with saveCheckpoint()/loadCheckpoint(). The `streaming*` block
+ * carries the streaming driver's pipeline state (host clock, recent
+ * aggregates, behaviour policy); it is empty/zero for offline
+ * sessions.
+ *
+ * On-disk format ("SWRLCK01", implemented in session.cc):
+ *
+ *     magic "SWRLCK01" | payload | u64 FNV-1a(payload)
+ *
+ * little-endian throughout (matching rlcore/serialization.cc). The
+ * payload is the fields of this struct in declaration order, each
+ * scalar written raw and each vector as u64 length + raw elements;
+ * it begins with u32 kVersion, and loads of any other version fail
+ * loudly rather than guess at a layout. The trailing checksum makes
+ * truncation and corruption detectable before any field is trusted.
+ * Bump kVersion on any layout change.
+ *
+ * Identity vs placement: the identity block pins the session's
+ * *logical* machine — numDpus is the core count the LCG streams,
+ * partition, and aggregate were computed with, and restoring onto a
+ * different count is (correctly) refused by checkpointMismatch().
+ * Which *physical* cores or ranks host those numDpus logical cores
+ * is NOT identity: the simulator is functional, so a checkpoint
+ * taken on one rank subset restores bit-identically on any other
+ * (the fleet scheduler, src/fleet, preempts and migrates jobs on
+ * exactly this property — see docs/SCHEDULER.md).
  */
 struct SessionCheckpoint
 {
@@ -288,12 +313,22 @@ class TrainerSession
      */
     bool step();
 
-    /** Pause at the current round boundary; step() becomes illegal
-     *  until resume(). Checkpointing does not require pausing —
-     *  the session is quiescent between any two steps. */
+    /**
+     * Pause at the current round boundary; step() becomes illegal
+     * until resume(). Legal only in Ready. Pausing is bookkeeping —
+     * it enqueues nothing and charges nothing, so pause();resume()
+     * round-trips are free and a paused session's stream clock holds
+     * still. Checkpointing does not require pausing — the session is
+     * quiescent between any two steps — but a preempting scheduler
+     * typically pauses first so an accidental step() between
+     * checkpoint() and teardown fails loudly instead of silently
+     * diverging from the captured state.
+     */
     void pause();
 
-    /** Leave Paused and make step() legal again. */
+    /** Leave Paused and make step() legal again. The session resumes
+     *  exactly where it paused: same round, same epsilon, same
+     *  stream clock. */
     void resume();
 
     /**

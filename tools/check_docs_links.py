@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Check that the repository's markdown documentation is self-consistent.
 
-Two classes of reference are verified, stdlib only:
+Three classes of reference are verified, stdlib only:
 
  1. relative markdown links ``[text](path)`` and ``[text](path#anchor)``
     must resolve to an existing file or directory (http(s)/mailto links
     are skipped);
- 2. backtick code references that look like repository paths
+ 2. section anchors — both in-page ``[text](#section)`` links and the
+    ``#fragment`` of cross-file links into markdown targets — must
+    match a heading of the target file under GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to hyphens, ``-N``
+    suffixes for duplicates);
+ 3. backtick code references that look like repository paths
     (``src/...``, ``tests/...``, ``bench/...``, ``docs/...``,
     ``examples/...``, ``tools/...``) must name an existing file or
     directory, so renaming a bench or test without updating the docs
@@ -37,7 +42,37 @@ MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_REF = re.compile(
     r"`((?:src|tests|bench|docs|examples|tools)/[A-Za-z0-9_./-]+)`")
 
-SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+FENCED_CODE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+_slug_cache = {}
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for one heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(md_path):
+    """All anchor slugs of a markdown file, duplicate-suffixed."""
+    md_path = md_path.resolve()
+    if md_path in _slug_cache:
+        return _slug_cache[md_path]
+    text = FENCED_CODE.sub("", md_path.read_text(encoding="utf-8"))
+    anchors = set()
+    seen = {}
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    _slug_cache[md_path] = anchors
+    return anchors
 
 
 def markdown_files():
@@ -62,12 +97,22 @@ def check_file(md):
     errors = []
     text = md.read_text(encoding="utf-8")
     for match in MD_LINK.finditer(text):
-        target = match.group(1).split("#", 1)[0]
-        if not target or target.startswith(SKIP_SCHEMES):
+        link = match.group(1)
+        if link.startswith(SKIP_SCHEMES):
             continue
-        resolved = (md.parent / target).resolve()
-        if not resolved.exists():
-            errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+        target, _, fragment = link.partition("#")
+        if target:
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(REPO)}: broken link -> {target}")
+                continue
+        else:
+            resolved = md  # in-page anchor
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                errors.append(f"{md.relative_to(REPO)}: broken anchor "
+                              f"-> {link}")
     for match in CODE_REF.finditer(text):
         ref = match.group(1)
         if not path_ref_resolves(ref):
