@@ -31,6 +31,7 @@
 #include "rlenv/registry.hh"
 #include "serving/policy_server.hh"
 #include "swiftrl/session.hh"
+#include "swiftrl/sharding.hh"
 
 namespace {
 
@@ -75,6 +76,9 @@ struct TrainParams
     unsigned hostThreads = 0;
     std::size_t transitions = 16384;
     std::uint64_t collectSeed = 1234;
+    /** Shape of the validated environment (parse resolves it). */
+    rlenv::StateId numStates = 0;
+    rlenv::ActionId numActions = 0;
     swiftrl::SessionConfig session;
 };
 
@@ -121,7 +125,7 @@ parseTrainParams(const char *params_json, TrainParams &params,
         "gamma",    "epsilon",  "episodes",
         "stride",   "seed",     "tau",
         "block_transitions", "tasklets", "weighted",
-        "epsilon_decay",
+        "epsilon_decay", "shards",
     };
     for (const auto &[key, value] : doc->members) {
         bool known = false;
@@ -139,13 +143,18 @@ parseTrainParams(const char *params_json, TrainParams &params,
         reason = "params_json: \"env\" is required";
         return false;
     }
-    bool env_known = false;
-    for (const auto &name : rlenv::environmentNames())
-        env_known = env_known || name == params.env;
-    if (!env_known) {
-        reason = "params_json: unknown env \"" + params.env + "\"";
+    // tryMakeEnvironment covers the procedural families
+    // ("lake:<side>", "mptaxi:<side>x<P>") that a fixed-name lookup
+    // would reject, and returns the spec-specific parse error.
+    std::string env_error;
+    const auto probe_env =
+        rlenv::tryMakeEnvironment(params.env, &env_error);
+    if (!probe_env) {
+        reason = "params_json: " + env_error;
         return false;
     }
+    params.numStates = probe_env->numStates();
+    params.numActions = probe_env->numActions();
 
     const long cores = doc->intOr("cores", 125);
     const long host_threads = doc->intOr("host_threads", 0);
@@ -158,9 +167,11 @@ parseTrainParams(const char *params_json, TrainParams &params,
         reason = "params_json: \"host_threads\" must be >= 0";
         return false;
     }
-    if (transitions < cores) {
-        reason = "params_json: \"transitions\" must give every core "
-                 "a non-empty chunk (transitions >= cores)";
+    // transitions < cores is fine: partitionDataset hands the excess
+    // cores empty chunks, and empty chunks train zero episodes of
+    // nothing — only a fully empty dataset is meaningless.
+    if (transitions < 1) {
+        reason = "params_json: \"transitions\" must be >= 1";
         return false;
     }
     params.cores = static_cast<std::size_t>(cores);
@@ -251,6 +262,43 @@ parseTrainParams(const char *params_json, TrainParams &params,
         params.session.epsilonDecay > 1.0f) {
         reason = "params_json: \"epsilon_decay\" must be in (0, 1]";
         return false;
+    }
+
+    const long shards = doc->intOr("shards", 0);
+    if (shards < 0) {
+        reason = "params_json: \"shards\" must be >= 0";
+        return false;
+    }
+    params.session.shards = static_cast<std::size_t>(shards);
+    if (params.session.shards > 0) {
+        // Everything TrainerSession would be fatal about, rechecked
+        // here so an embedder gets a status code instead of abort():
+        // mode compatibility, plan validity, and the conservative
+        // MRAM demand bound against the default bank size.
+        if (params.session.weightedAggregation) {
+            reason = "params_json: \"shards\" and \"weighted\" are "
+                     "incompatible";
+            return false;
+        }
+        const std::string plan_reason = swiftrl::shardPlanInvalidReason(
+            params.numStates, params.session.shards, params.cores);
+        if (!plan_reason.empty()) {
+            reason = "params_json: \"shards\": " + plan_reason;
+            return false;
+        }
+        const std::size_t demand = swiftrl::shardedMramDemandBound(
+            params.numStates, params.numActions,
+            params.session.shards, params.transitions);
+        const std::size_t bank =
+            swiftrl::pimsim::PimConfig{}.mramBytesPerDpu;
+        if (demand > bank) {
+            reason = "params_json: sharded layout needs " +
+                     std::to_string(demand) +
+                     " bytes of MRAM per core but banks hold " +
+                     std::to_string(bank) +
+                     "; raise \"shards\" or lower \"transitions\"";
+            return false;
+        }
     }
     params.session.streaming = false;
     return true;

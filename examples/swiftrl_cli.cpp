@@ -25,6 +25,8 @@
  *   swiftrl_cli --env frozenlake --cores 2000 --episodes 200 --tau 50
  *   swiftrl_cli --env frozenlake --save-qtable policy.swrl
  *   swiftrl_cli --env frozenlake --tasklets 11 --stats
+ *   swiftrl_cli --env lake:64 --shards 8 --cores 32 --transitions 20000
+ *   swiftrl_cli --env mptaxi:6x2 --shards 4 --cores 16
  *   swiftrl_cli --env frozenlake --metrics run.json --trace run.trace
  *   swiftrl_cli --env taxi --streaming --actors 4 --generations 8 \
  *               --refresh-period 2 --trace stream.json
@@ -162,7 +164,8 @@ main(int argc, char **argv)
          "host-threads", "streaming", "actors", "refresh-period",
          "generations", "fault-seed", "fault-rate", "dropout-rate",
          "retry-limit", "metrics", "metrics-prom", "log-level",
-         "checkpoint", "pause-round", "restore", "serve", "fleet"});
+         "checkpoint", "pause-round", "restore", "serve", "fleet",
+         "shards"});
 
     // --log-level overrides the SWIFTRL_LOG environment variable.
     const auto log_level_name = flags.getString("log-level", "");
@@ -332,6 +335,9 @@ main(int argc, char **argv)
         if (flags.getBool("weighted", false))
             SWIFTRL_FATAL("--weighted is not available in streaming "
                           "mode");
+        if (flags.getInt("shards", 0) > 0)
+            SWIFTRL_FATAL("--shards is offline-only; streaming "
+                          "generations replicate the whole table");
         if (!flags.getString("checkpoint", "").empty() ||
             !flags.getString("restore", "").empty()) {
             SWIFTRL_FATAL("--checkpoint/--restore drive the offline "
@@ -444,6 +450,14 @@ main(int argc, char **argv)
     cfg.tasklets =
         static_cast<unsigned>(flags.getInt("tasklets", 1));
     cfg.weightedAggregation = flags.getBool("weighted", false);
+    // --shards S: partition the Q-table into S contiguous state
+    // ranges with replicated slices per core group — the path for
+    // procedurally scaled environments (--env lake:64, mptaxi:8x3)
+    // whose tables outgrow whole-table replication.
+    cfg.shards = static_cast<std::size_t>(flags.getInt("shards", 0));
+    if (cfg.shards > 0 && cfg.weightedAggregation)
+        SWIFTRL_FATAL("--shards and --weighted are incompatible "
+                      "(sharded aggregation has no visit counts)");
     cfg.retry = retry;
     cfg.metrics = want_metrics ? &metrics : nullptr;
 

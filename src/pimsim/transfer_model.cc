@@ -58,6 +58,29 @@ TransferModel::broadcastSeconds(std::size_t bytes,
 }
 
 double
+TransferModel::aggregationTreeSeconds(std::size_t slice_entries,
+                                      std::size_t replicas) const
+{
+    if (slice_entries == 0 || replicas == 0)
+        return 0.0;
+    // ceil(log2(replicas)) pairwise-sum levels; at least one pass
+    // (the final averaging division over the reduced slice).
+    std::size_t levels = 0;
+    for (std::size_t span = 1; span < replicas; span *= 2)
+        ++levels;
+    levels = std::max<std::size_t>(levels, 1);
+    return treeReduceSecPerEntry *
+           static_cast<double>(slice_entries) *
+           static_cast<double>(levels);
+}
+
+double
+TransferModel::haloPackSeconds(std::size_t halo_entries) const
+{
+    return haloPackSecPerEntry * static_cast<double>(halo_entries);
+}
+
+double
 TransferModel::syncRoundSeconds(std::size_t bytes_per_dpu,
                                 std::size_t num_dpus) const
 {
@@ -79,6 +102,11 @@ validate(const TransferModel &model)
     if (model.scatterPerDpuSec < 0.0 || model.hostReduceSecPerEntry < 0.0)
         SWIFTRL_FATAL("per-DPU and host-reduce overheads cannot be "
                       "negative");
+    if (model.treeReduceSecPerEntry < 0.0 ||
+        model.haloPackSecPerEntry < 0.0) {
+        SWIFTRL_FATAL("sharded aggregation overheads cannot be "
+                      "negative");
+    }
 }
 
 } // namespace swiftrl::pimsim

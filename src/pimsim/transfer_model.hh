@@ -54,6 +54,28 @@ struct TransferModel
     double hostReduceSecPerEntry = 1.2e-9;
 
     /**
+     * Host-side cost per slice entry per *level* of the hierarchical
+     * aggregation tree used by sharded sessions: replica tables of
+     * one shard are summed pairwise, level by level, so a shard
+     * group of R replicas costs ceil(log2(R)) passes over its slice
+     * instead of the flat reduction's R passes. Same per-entry work
+     * as one flat-reduce pass (one add per entry), hence the same
+     * constant value as hostReduceSecPerEntry.
+     */
+    double treeReduceSecPerEntry = 1.2e-9;
+
+    /**
+     * Host-side cost per halo entry when assembling the per-core
+     * remote-row (halo) payloads of a sharded sync round: one
+     * gather-indexed row lookup plus a copy into the scatter
+     * staging buffer per entry — roughly two flat-reduce passes,
+     * hence 2x hostReduceSecPerEntry. For INT32 formats this also
+     * covers the halo's requantisation (the slice's own conversion
+     * is charged separately, mirroring the unsharded path).
+     */
+    double haloPackSecPerEntry = 2.4e-9;
+
+    /**
      * Time for a parallel CPU->PIM copy of @p bytes_per_dpu to each of
      * @p num_dpus DPUs (uniform-size payloads, fast batched path).
      */
@@ -81,6 +103,23 @@ struct TransferModel
      * payload is replicated to every DPU's MRAM bank.
      */
     double broadcastSeconds(std::size_t bytes, std::size_t num_dpus) const;
+
+    /**
+     * Host time for reducing one shard group of @p replicas replica
+     * slices of @p slice_entries entries each through the pairwise
+     * aggregation tree: ceil(log2(replicas)) levels, each one pass
+     * over the slice (minimum one pass — the averaging division is
+     * a pass of its own even for a single replica). Shard groups
+     * reduce independently; the caller charges the deepest group.
+     */
+    double aggregationTreeSeconds(std::size_t slice_entries,
+                                  std::size_t replicas) const;
+
+    /**
+     * Host time for assembling @p halo_entries remote-row entries
+     * into per-core halo payloads (sharded sync rounds only).
+     */
+    double haloPackSeconds(std::size_t halo_entries) const;
 
     /**
      * Time for one inter-PIM-core synchronisation round: gather

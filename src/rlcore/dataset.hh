@@ -7,7 +7,9 @@
  * The packed record is 16 bytes — four 32-bit words (s, a, r, s') —
  * matching the DMA-friendly layout SwiftRL distributes across DRAM
  * banks. The terminal flag is packed into the top bit of the
- * next-state word (state spaces here are tiny; Gym's largest is 500).
+ * next-state word — safe at any supported state count, since StateId
+ * is a non-negative int32 (the procedural environments cap themselves
+ * at INT32_MAX states, so bit 31 is never a state bit).
  */
 
 #ifndef SWIFTRL_RLCORE_DATASET_HH

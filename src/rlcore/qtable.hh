@@ -9,6 +9,7 @@
 #ifndef SWIFTRL_RLCORE_QTABLE_HH
 #define SWIFTRL_RLCORE_QTABLE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,18 @@
 #include "rlcore/types.hh"
 
 namespace swiftrl::rlcore {
+
+/**
+ * Bytes per Q-table entry on the wire. Both PIM formats are 4-byte
+ * elements — IEEE-754 binary32 for FP32, raw fixed-point int32 for
+ * INT32 — and every MRAM offset computation and transfer size in the
+ * engine assumes exactly this width.
+ */
+inline constexpr std::size_t kQWireBytesPerEntry = 4;
+
+static_assert(sizeof(float) == kQWireBytesPerEntry &&
+                  sizeof(std::int32_t) == kQWireBytesPerEntry,
+              "the Q-table wire format pins 4-byte elements");
 
 /** Dense state-action value table. */
 class QTable
@@ -31,7 +44,10 @@ class QTable
     std::size_t entryCount() const { return _values.size(); }
 
     /** Byte size of the FP32/INT32 wire representation. */
-    std::size_t byteSize() const { return entryCount() * 4; }
+    std::size_t byteSize() const
+    {
+        return entryCount() * kQWireBytesPerEntry;
+    }
 
     /** Mutable access to Q(s, a). */
     float &at(StateId s, ActionId a);

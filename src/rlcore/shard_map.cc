@@ -1,0 +1,55 @@
+#include "rlcore/shard_map.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace swiftrl::rlcore {
+
+ShardMap::ShardMap(StateId num_states, std::size_t num_shards)
+    : _numStates(num_states), _numShards(num_shards),
+      _rowsPerShard(0)
+{
+    const std::string reason = invalidReason(num_states, num_shards);
+    if (!reason.empty())
+        SWIFTRL_FATAL("invalid shard map: ", reason);
+    const std::size_t ns = static_cast<std::size_t>(num_states);
+    _rowsPerShard =
+        static_cast<StateId>((ns + num_shards - 1) / num_shards);
+}
+
+std::string
+ShardMap::invalidReason(StateId num_states, std::size_t num_shards)
+{
+    if (num_states <= 0)
+        return "state space is empty";
+    if (num_shards == 0)
+        return "zero shards cannot own any state";
+    const std::size_t ns = static_cast<std::size_t>(num_states);
+    if (num_shards > ns)
+        return "more shards (" + std::to_string(num_shards) +
+               ") than states (" + std::to_string(ns) + ")";
+    // Uniform padding must leave every shard at least one real row:
+    // with rows = ceil(ns / shards), the last shard starts at
+    // (shards - 1) * rows, which can reach past the table when ns is
+    // just above a multiple of (shards - 1).
+    const std::size_t rows = (ns + num_shards - 1) / num_shards;
+    if ((num_shards - 1) * rows >= ns)
+        return std::to_string(ns) + " states on " +
+               std::to_string(num_shards) + " shards leaves shard " +
+               std::to_string(num_shards - 1) +
+               " without a real row; use a shard count that divides "
+               "the state space more evenly";
+    return "";
+}
+
+StateId
+ShardMap::ownedRows(std::size_t shard) const
+{
+    SWIFTRL_ASSERT(shard < _numShards, "shard ", shard,
+                   " out of range");
+    const StateId first = firstState(shard);
+    return std::min<StateId>(_rowsPerShard, _numStates - first);
+}
+
+} // namespace swiftrl::rlcore

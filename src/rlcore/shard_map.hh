@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ShardMap: a contiguous-range partition of the state space across
+ * Q-table shards. Each shard owns an identical number of padded rows
+ * (rowsPerShard = ceil(numStates / numShards)), which keeps ownership
+ * lookup a single integer division and makes every shard's MRAM slice
+ * the same size; the trailing shard's padding rows stay zero forever
+ * and are never copied back into the aggregate.
+ */
+
+#ifndef SWIFTRL_RLCORE_SHARD_MAP_HH
+#define SWIFTRL_RLCORE_SHARD_MAP_HH
+
+#include <cstddef>
+#include <string>
+
+#include "rlcore/types.hh"
+
+namespace swiftrl::rlcore {
+
+/** Contiguous-range assignment of states to Q-table shards. */
+class ShardMap
+{
+  public:
+    /**
+     * Partition @p num_states rows across @p num_shards shards.
+     * Fatal on any configuration invalidReason() rejects — callers
+     * that take embedder input (the C ABI, the CLI) must precheck
+     * with invalidReason() and surface a typed error instead.
+     */
+    ShardMap(StateId num_states, std::size_t num_shards);
+
+    /**
+     * Empty string when (num_states, num_shards) forms a valid map;
+     * otherwise a human-readable reason. Rejects zero shards, more
+     * shards than states, and padding so extreme that a shard would
+     * own no real row at all (e.g. 5 states on 4 shards: ceil(5/4)=2
+     * rows per shard puts shard 3's range entirely past the table).
+     */
+    static std::string invalidReason(StateId num_states,
+                                     std::size_t num_shards);
+
+    StateId numStates() const { return _numStates; }
+    std::size_t numShards() const { return _numShards; }
+
+    /** Padded rows per shard: ceil(numStates / numShards). */
+    StateId rowsPerShard() const { return _rowsPerShard; }
+
+    /** Shard owning state @p s. */
+    std::size_t ownerOf(StateId s) const
+    {
+        return static_cast<std::size_t>(s) /
+               static_cast<std::size_t>(_rowsPerShard);
+    }
+
+    /** First state of @p shard's range. */
+    StateId firstState(std::size_t shard) const
+    {
+        return static_cast<StateId>(shard) * _rowsPerShard;
+    }
+
+    /**
+     * Real (un-padded) rows of @p shard: rowsPerShard() for all but
+     * possibly the last shard.
+     */
+    StateId ownedRows(std::size_t shard) const;
+
+    bool operator==(const ShardMap &) const = default;
+
+  private:
+    StateId _numStates;
+    std::size_t _numShards;
+    StateId _rowsPerShard;
+};
+
+} // namespace swiftrl::rlcore
+
+#endif // SWIFTRL_RLCORE_SHARD_MAP_HH

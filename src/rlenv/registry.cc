@@ -1,25 +1,136 @@
 #include "rlenv/registry.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 #include "rlenv/cliff_walking.hh"
 #include "rlenv/frozen_lake.hh"
+#include "rlenv/procgen.hh"
 #include "rlenv/taxi.hh"
 
 namespace swiftrl::rlenv {
 
+namespace {
+
+/**
+ * Parse a decimal integer in [lo, hi] from @p text; false on any
+ * non-digit character, empty input, or out-of-range value.
+ */
+bool
+parseBounded(const std::string &text, long lo, long hi, long *out)
+{
+    if (text.empty() || text.size() > 10)
+        return false;
+    long value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + (c - '0');
+        if (value > hi)
+            return false;
+    }
+    if (value < lo)
+        return false;
+    *out = value;
+    return true;
+}
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+} // namespace
+
+std::unique_ptr<Environment>
+tryMakeEnvironment(const std::string &spec, std::string *error)
+{
+    if (spec == "frozenlake")
+        return std::make_unique<FrozenLake>(true);
+    if (spec == "frozenlake-det")
+        return std::make_unique<FrozenLake>(false);
+    if (spec == "taxi")
+        return std::make_unique<Taxi>();
+    if (spec == "cliffwalking")
+        return std::make_unique<CliffWalking>();
+
+    // "lake:<side>" / "lake:<side>:det" — procedural slippery lake.
+    if (spec.rfind("lake:", 0) == 0) {
+        std::string body = spec.substr(5);
+        bool slippery = true;
+        const std::size_t colon = body.find(':');
+        if (colon != std::string::npos) {
+            if (body.substr(colon + 1) != "det") {
+                setError(error, "bad lake spec '" + spec +
+                                    "'; expected lake:<side>[:det]");
+                return nullptr;
+            }
+            slippery = false;
+            body = body.substr(0, colon);
+        }
+        long side = 0;
+        if (!parseBounded(body, 2, ProceduralLake::kMaxSide, &side)) {
+            setError(error,
+                     "bad lake side in '" + spec + "'; expected an "
+                     "integer in [2, " +
+                         std::to_string(ProceduralLake::kMaxSide) +
+                         "]");
+            return nullptr;
+        }
+        return std::make_unique<ProceduralLake>(
+            static_cast<StateId>(side), slippery);
+    }
+
+    // "mptaxi:<side>x<passengers>" — multi-passenger taxi.
+    if (spec.rfind("mptaxi:", 0) == 0) {
+        const std::string body = spec.substr(7);
+        const std::size_t cross = body.find('x');
+        long side = 0, passengers = 0;
+        if (cross == std::string::npos ||
+            !parseBounded(body.substr(0, cross), 2, 46340, &side) ||
+            !parseBounded(body.substr(cross + 1), 1, 19,
+                          &passengers)) {
+            setError(error, "bad mptaxi spec '" + spec +
+                                "'; expected mptaxi:<side>x<P> with "
+                                "side >= 2 and P >= 1");
+            return nullptr;
+        }
+        // side^2 * 3^P must fit a 32-bit state id; check before the
+        // constructor so embedder input never reaches its assert.
+        std::int64_t states =
+            static_cast<std::int64_t>(side) * side;
+        for (long p = 0; p < passengers && states <= INT32_MAX; ++p)
+            states *= 3;
+        if (states > INT32_MAX) {
+            setError(error,
+                     "mptaxi spec '" + spec + "' needs " +
+                         std::to_string(side) + "^2 * 3^" +
+                         std::to_string(passengers) +
+                         " states, which overflows 32-bit state ids");
+            return nullptr;
+        }
+        return std::make_unique<MultiPassengerTaxi>(
+            static_cast<StateId>(side),
+            static_cast<int>(passengers));
+    }
+
+    setError(error, "unknown environment '" + spec +
+                        "'; known: frozenlake, frozenlake-det, taxi, "
+                        "cliffwalking, lake:<side>[:det], "
+                        "mptaxi:<side>x<P>");
+    return nullptr;
+}
+
 std::unique_ptr<Environment>
 makeEnvironment(const std::string &name)
 {
-    if (name == "frozenlake")
-        return std::make_unique<FrozenLake>(true);
-    if (name == "frozenlake-det")
-        return std::make_unique<FrozenLake>(false);
-    if (name == "taxi")
-        return std::make_unique<Taxi>();
-    if (name == "cliffwalking")
-        return std::make_unique<CliffWalking>();
-    SWIFTRL_FATAL("unknown environment '", name, "'; known: frozenlake, ",
-                  "frozenlake-det, taxi, cliffwalking");
+    std::string error;
+    auto env = tryMakeEnvironment(name, &error);
+    if (env == nullptr)
+        SWIFTRL_FATAL(error);
+    return env;
 }
 
 std::vector<std::string>

@@ -16,13 +16,27 @@
 namespace swiftrl::rlenv {
 
 /**
- * Instantiate an environment by name.
- * Known names: "frozenlake" (slippery 4x4), "frozenlake-det", "taxi".
- * Fatal on unknown names.
+ * Instantiate an environment by name or parameterised spec.
+ * Fixed names: "frozenlake" (slippery 4x4), "frozenlake-det",
+ * "taxi", "cliffwalking". Procedural specs: "lake:<side>" /
+ * "lake:<side>:det" (N x N slippery gridworld) and
+ * "mptaxi:<side>x<P>" (multi-passenger taxi). Fatal on unknown
+ * names or invalid specs.
  */
 std::unique_ptr<Environment> makeEnvironment(const std::string &name);
 
-/** All registered environment names. */
+/**
+ * Non-fatal variant of makeEnvironment for embedder-facing callers
+ * (the C ABI): returns nullptr on unknown names or invalid specs
+ * and, when @p error is non-null, stores the reason there.
+ */
+std::unique_ptr<Environment>
+tryMakeEnvironment(const std::string &spec, std::string *error);
+
+/**
+ * All fixed registered environment names (procedural spec families
+ * are open-ended and not enumerated here).
+ */
 std::vector<std::string> environmentNames();
 
 } // namespace swiftrl::rlenv

@@ -9,11 +9,6 @@ partitionDataset(std::size_t total, std::size_t parts)
 {
     if (parts == 0)
         SWIFTRL_FATAL("cannot partition across zero cores");
-    if (total < parts) {
-        SWIFTRL_FATAL("dataset of ", total, " transitions cannot give "
-                      "every one of ", parts, " cores a non-empty "
-                      "chunk; use fewer cores or more data");
-    }
 
     std::vector<Chunk> chunks(parts);
     const std::size_t base = total / parts;

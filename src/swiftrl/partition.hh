@@ -26,9 +26,15 @@ struct Chunk
  * Split @p total transitions across @p parts cores.
  *
  * Chunks are contiguous, cover [0, total) exactly once, and differ in
- * size by at most one transition. Fatal when total < parts — SwiftRL
- * assigns every core a non-empty chunk, so a smaller dataset is a
- * configuration error the user must fix (fewer cores or more data).
+ * size by at most one transition. The remainder goes to the
+ * lowest-indexed cores, deterministically. When total < parts the
+ * first @p total cores each receive one transition and the remaining
+ * chunks are empty — empty chunks are legal everywhere downstream
+ * (a core with an empty chunk launches, trains on nothing, and
+ * contributes its unchanged table to aggregation), so a tiny dataset
+ * on a large fleet is a valid, if wasteful, configuration rather
+ * than a fatal one. Only parts == 0 is fatal: it cannot name an
+ * owner for any transition.
  */
 std::vector<Chunk> partitionDataset(std::size_t total,
                                     std::size_t parts);

@@ -268,18 +268,38 @@ trainCore(Ctx &ctx, const KernelParams &p, UpdateFn &&update)
     if (count == 0 || p.episodes <= 0)
         return;
 
-    const std::size_t q_entries =
-        static_cast<std::size_t>(p.numStates) *
-        static_cast<std::size_t>(p.numActions);
-    const std::size_t q_bytes = q_entries * sizeof(QWord);
+    const bool sharded = p.sliceRows > 0;
+    SWIFTRL_ASSERT(!sharded || !p.trackVisits,
+                   "visit tracking is incompatible with sharded "
+                   "Q-tables");
+    SWIFTRL_ASSERT(!sharded ||
+                       (p.haloRows && core < p.haloRows->size()),
+                   "missing halo table for core ", core);
+    // In sharded mode the WRAM table is [owned slice | halo rows]:
+    // the slice is read-write and DMA'd back, the halo is a
+    // read-only snapshot of remote next-state rows, refreshed by the
+    // host each sync round. Record state ids arrive pre-localised to
+    // this layout, so the update rules below are oblivious to it.
+    const std::size_t own_rows =
+        sharded ? p.sliceRows : static_cast<std::size_t>(p.numStates);
+    const std::size_t halo_rows =
+        sharded ? (*p.haloRows)[core] : 0;
+    const std::size_t na = static_cast<std::size_t>(p.numActions);
+    const std::size_t own_entries = own_rows * na;
+    const std::size_t q_entries = (own_rows + halo_rows) * na;
+    const std::size_t own_bytes = own_entries * sizeof(QWord);
     pimsim::KernelScratch &scratch = ctx.scratch();
 
     // Shared WRAM Q-table, DMA'd in at entry and out at exit. The
     // host image lives in the launch's scratch arena; the inbound
     // DMA overwrites every entry.
-    ctx.wramAlloc(q_bytes);
+    ctx.wramAlloc(q_entries * sizeof(QWord));
     QWord *q = scratch.template alloc<QWord>(q_entries);
-    ctx.mramToWram(p.qOffset, q, q_bytes);
+    ctx.mramToWram(p.qOffset, q, own_bytes);
+    if (halo_rows > 0) {
+        ctx.mramToWram(p.haloOffset, q + own_entries,
+                       halo_rows * na * sizeof(QWord));
+    }
 
     // Optional visit counters for weighted aggregation: zeroed each
     // launch (weights reflect the current round's coverage).
@@ -307,7 +327,9 @@ trainCore(Ctx &ctx, const KernelParams &p, UpdateFn &&update)
         trainCoreMultiTasklet(ctx, p, count, q, counted_update);
     }
 
-    ctx.wramToMram(p.qOffset, q, q_bytes);
+    // Only the owned slice is written back; halo rows are a stale
+    // read-only snapshot the host refreshes from the aggregate.
+    ctx.wramToMram(p.qOffset, q, own_bytes);
     if (p.trackVisits) {
         ctx.wramToMram(p.visitsOffset, visits,
                        q_entries * sizeof(std::uint32_t));

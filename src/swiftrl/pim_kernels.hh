@@ -85,6 +85,23 @@ struct KernelParams
 
     /** Transitions per SEQ/STR staging block (DMA limit / 16). */
     std::size_t blockTransitions = 128;
+
+    /**
+     * Sharded mode: rows of the Q-table slice each core owns (the
+     * shard map's padded rowsPerShard). 0 = unsharded, the core
+     * holds the whole table. In sharded mode the host pre-localises
+     * every record's state ids — an owned state becomes its slice
+     * row, a remote next state becomes sliceRows + its halo index —
+     * so the update rules run unchanged against the WRAM buffer
+     * [slice rows | halo rows]. Incompatible with trackVisits.
+     */
+    std::size_t sliceRows = 0;
+
+    /** MRAM byte offset of the read-only halo region (sharded). */
+    std::size_t haloOffset = 0;
+
+    /** Per-core halo row counts (sharded mode only). */
+    const std::vector<std::size_t> *haloRows = nullptr;
 };
 
 /**

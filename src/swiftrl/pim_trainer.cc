@@ -50,6 +50,7 @@ PimTrainer::sessionConfig() const
     cfg.weightedAggregation = _config.weightedAggregation;
     cfg.epsilonDecay = _config.epsilonDecay;
     cfg.streaming = false;
+    cfg.shards = _config.shards;
     cfg.metrics = _config.metrics;
     return cfg;
 }
@@ -187,10 +188,15 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
         SWIFTRL_FATAL("SwiftRL's multi-agent mode uses independent "
                       "Q-learners");
     }
+    if (_config.shards > 0) {
+        SWIFTRL_FATAL("multi-agent mode trains one whole table per "
+                      "agent; sharding does not apply");
+    }
 
     const std::size_t q_bytes =
         static_cast<std::size_t>(num_states) *
-        static_cast<std::size_t>(num_actions) * 4;
+        static_cast<std::size_t>(num_actions) *
+        rlcore::kQWireBytesPerEntry;
     _dataOffsetCache = dataOffset(q_bytes);
 
     PimTrainResult result;

@@ -98,6 +98,14 @@ struct PimTrainConfig
     float epsilonDecay = 1.0f;
 
     /**
+     * Q-table shards (0 = unsharded, the paper's whole-table
+     * replication). See SessionConfig::shards for the full contract;
+     * offline single-table training only — trainMultiAgent refuses
+     * it. shards == 1 stays bit-identical to unsharded training.
+     */
+    std::size_t shards = 0;
+
+    /**
      * Telemetry destination (null = off, the default). When set, the
      * trainer attaches an EngineCollector to its command stream
      * (per-launch instruction mix, DMA bytes, straggler histograms)

@@ -48,7 +48,8 @@ QTableIo::initQTables(pimsim::CommandStream &stream, StateId ns,
                       ActionId na) const
 {
     const std::size_t q_bytes = static_cast<std::size_t>(ns) *
-                                static_cast<std::size_t>(na) * 4;
+                                static_cast<std::size_t>(na) *
+                                rlcore::kQWireBytesPerEntry;
     const std::vector<std::uint8_t> zeros(q_bytes, 0);
     stream.pushBroadcast(qOffset(), zeros, TimeBucket::CpuToPim,
                          "broadcast:qinit");
@@ -61,7 +62,8 @@ QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
 {
     const std::size_t entries = static_cast<std::size_t>(ns) *
                                 static_cast<std::size_t>(na);
-    const std::size_t q_bytes = entries * 4;
+    const std::size_t q_bytes =
+        entries * rlcore::kQWireBytesPerEntry;
     std::vector<std::vector<std::uint8_t>> raw;
     // INT32 kernels descale their tables to FP32 on-core before the
     // transfer (Sec. 4.2); the conversion runs in parallel on all
@@ -111,7 +113,7 @@ QTableIo::gatherQTables(pimsim::CommandStream &stream, StateId ns,
 std::vector<std::uint8_t>
 QTableIo::packWire(const QTable &q) const
 {
-    std::vector<std::uint8_t> bytes(q.entryCount() * 4);
+    std::vector<std::uint8_t> bytes(q.byteSize());
     if (_workload.format == NumericFormat::Fp32) {
         std::memcpy(bytes.data(), q.values().data(), bytes.size());
     } else {

@@ -41,6 +41,12 @@ TrainerSession::TrainerSession(pimsim::PimSystem &system,
     if (_config.streaming && _config.weightedAggregation)
         SWIFTRL_FATAL("weighted aggregation is not available in "
                       "streaming mode");
+    if (_config.shards > 0 && _config.streaming)
+        SWIFTRL_FATAL("sharded Q-tables are offline-only; streaming "
+                      "generations replicate the whole table");
+    if (_config.shards > 0 && _config.weightedAggregation)
+        SWIFTRL_FATAL("sharded Q-tables do not support visit-weighted "
+                      "aggregation");
     validate(_config.retry);
 }
 
@@ -62,7 +68,7 @@ TrainerSession::start(StateId num_states, ActionId num_actions)
     _numActions = num_actions;
     _entries = static_cast<std::size_t>(num_states) *
                static_cast<std::size_t>(num_actions);
-    const std::size_t q_bytes = _entries * 4;
+    const std::size_t q_bytes = _entries * rlcore::kQWireBytesPerEntry;
     // Transitions start at the next 8-byte boundary past the Q region
     // (and, under weighted aggregation, past the visit-count region).
     _visitsOffset = (q_bytes + 7) / 8 * 8;
@@ -109,6 +115,9 @@ TrainerSession::buildKernel()
     _params.tasklets = _config.tasklets;
     _params.trackVisits = _config.weightedAggregation;
     _params.visitsOffset = _visitsOffset;
+    _params.sliceRows = shardedMode() ? _sliceRows : 0;
+    _params.haloOffset = _haloOffset;
+    _params.haloRows = &_haloRows;
     // One kernel wrapper for every round and retry: the KernelFn
     // (a std::function) allocates, so it is built once and reused
     // rather than reconstructed per launch. It reads the episode
@@ -176,10 +185,251 @@ TrainerSession::redistribute()
     // aggregate, because the faulted launch committed nothing — but
     // the real host cannot know that, so both transfers are paid for
     // on the Recovery track.
+    if (shardedMode()) {
+        repartitionSharded();
+        scatterSharded(TimeBucket::Recovery, "scatter:redistribute",
+                       /*poke=*/false);
+        pushShardSlices(TimeBucket::Recovery, "broadcast:recover",
+                        /*poke=*/false);
+        pushShardHalos(TimeBucket::Recovery, "scatter:halo-recover",
+                       /*poke=*/false);
+        return;
+    }
     repartition(*_activeData);
     scatterActive(TimeBucket::Recovery, "scatter:redistribute");
     _qio.broadcastQTable(*_stream, _aggregated, TimeBucket::Recovery,
                          "broadcast:recover");
+}
+
+void
+TrainerSession::setupShardLayout()
+{
+    SWIFTRL_ASSERT(_activeData, "shard layout needs an armed dataset");
+    const std::string reason = shardPlanInvalidReason(
+        _numStates, _config.shards, _system.numDpus());
+    if (!reason.empty())
+        SWIFTRL_FATAL("cannot shard this run: ", reason);
+    _plan = std::make_unique<ShardPlan>(
+        makeShardPlan(_numStates, _config.shards, _system.numDpus()));
+    _sliceRows = static_cast<std::size_t>(_plan->map.rowsPerShard());
+    _sliceEntries =
+        _sliceRows * static_cast<std::size_t>(_numActions);
+
+    // Sharded MRAM layout: slice | data | halo, each region 8-byte
+    // aligned. The data and halo offsets are global (identical on
+    // every core) and sized for the worst case — after dropouts a
+    // lone surviving replica can inherit its shard's entire routing
+    // share, and a fixed halo offset keeps redistribution from
+    // relayouting the bank.
+    const std::size_t slice_bytes =
+        _sliceEntries * rlcore::kQWireBytesPerEntry;
+    _dataOffset = (slice_bytes + 7) / 8 * 8;
+    const std::size_t data_end =
+        _dataOffset +
+        _activeData->size() * sizeof(rlcore::PackedTransition);
+    _haloOffset = (data_end + 7) / 8 * 8;
+
+    const std::size_t demand = shardedMramDemandBound(
+        _numStates, _numActions, _config.shards, _activeData->size());
+    if (demand > _system.config().mramBytesPerDpu)
+        SWIFTRL_FATAL("sharded layout needs ", demand,
+                      " bytes of MRAM per core but banks hold ",
+                      _system.config().mramBytesPerDpu,
+                      "; raise the shard count or shrink the dataset");
+
+    _routing = routeByOwner(*_activeData, _plan->map);
+    _haloStates.assign(_system.numDpus(), {});
+    _haloRows.assign(_system.numDpus(), 0);
+    repartitionSharded();
+    buildKernel();
+}
+
+void
+TrainerSession::repartitionSharded()
+{
+    const std::size_t shards = _plan->map.numShards();
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::size_t live = 0;
+        for (const std::size_t core : _plan->coresOfShard[s])
+            if (!_stream->isDead(core))
+                ++live;
+        // Unlike unsharded dropout (any survivor holds the whole
+        // table), losing a whole replica group means shard s's state
+        // rows would silently stop training — fail loudly instead.
+        if (live == 0)
+            SWIFTRL_FATAL("shard ", s, " lost all ",
+                          _plan->coresOfShard[s].size(),
+                          " replica cores; its state range cannot "
+                          "train on");
+        const auto chunks =
+            partitionDataset(_routing.shardCount[s], live);
+        std::size_t next = 0;
+        for (const std::size_t core : _plan->coresOfShard[s]) {
+            if (_stream->isDead(core)) {
+                _firsts[core] = 0;
+                _counts[core] = 0;
+                continue;
+            }
+            // _firsts indexes the routing order, not the dataset.
+            _firsts[core] =
+                _routing.shardFirst[s] + chunks[next].first;
+            _counts[core] = chunks[next].count;
+            ++next;
+        }
+    }
+    for (std::size_t i = 0; i < _system.numDpus(); ++i) {
+        _haloStates[i] =
+            collectHalo(*_activeData, _routing, _plan->map,
+                        _plan->shardOfCore[i], _firsts[i], _counts[i]);
+        _haloRows[i] = _haloStates[i].size();
+    }
+}
+
+std::vector<std::vector<std::uint8_t>>
+TrainerSession::packShardedChunks() const
+{
+    const std::size_t n = _system.numDpus();
+    const bool fp32 = _config.workload.format == NumericFormat::Fp32;
+    std::vector<std::vector<std::uint8_t>> packed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        packed[i] = packLocalizedChunk(
+            *_activeData, _routing, _plan->map, _plan->shardOfCore[i],
+            _firsts[i], _counts[i], _haloStates[i], fp32,
+            _qio.fixedScale());
+    }
+    return packed;
+}
+
+void
+TrainerSession::scatterSharded(TimeBucket bucket,
+                               std::string_view label, bool poke)
+{
+    const auto packed = packShardedChunks();
+    std::vector<std::span<const std::uint8_t>> spans(packed.size());
+    for (std::size_t i = 0; i < packed.size(); ++i)
+        spans[i] = packed[i];
+    if (poke)
+        _stream->pokeChunks(_dataOffset, spans);
+    else
+        _stream->pushChunks(_dataOffset, spans, bucket, label);
+}
+
+void
+TrainerSession::pushShardSlices(TimeBucket bucket,
+                                std::string_view label, bool poke)
+{
+    const std::size_t shards = _plan->map.numShards();
+    std::vector<std::vector<std::uint8_t>> wires(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        wires[s] = packSliceWire(_qio, _aggregated, _plan->map, s);
+    const std::size_t n = _system.numDpus();
+    std::vector<std::span<const std::uint8_t>> spans(n);
+    for (std::size_t i = 0; i < n; ++i)
+        spans[i] = wires[_plan->shardOfCore[i]];
+    if (poke) {
+        _stream->pokeChunks(_qio.qOffset(), spans);
+        return;
+    }
+    _stream->pushChunks(_qio.qOffset(), spans, bucket, label);
+    // Requantisation back to raw fixed point happens on-core after
+    // the slice lands (zero for FP32), as in the unsharded broadcast.
+    const double convert =
+        _qio.conversionSeconds(*_stream, _sliceEntries,
+                               /*to_float=*/false);
+    if (convert > 0.0)
+        _stream->onCoreCompute(convert, bucket, "convert:requantise");
+}
+
+void
+TrainerSession::pushShardHalos(TimeBucket bucket,
+                               std::string_view label, bool poke)
+{
+    const std::size_t n = _system.numDpus();
+    std::vector<std::vector<std::uint8_t>> wires(n);
+    std::size_t halo_entries = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        wires[i] = packHaloWire(_qio, _aggregated, _haloStates[i],
+                                _numActions);
+        halo_entries += _haloStates[i].size() *
+                        static_cast<std::size_t>(_numActions);
+    }
+    if (halo_entries == 0)
+        return; // single shard, or no cross-shard transitions
+    std::vector<std::span<const std::uint8_t>> spans(n);
+    for (std::size_t i = 0; i < n; ++i)
+        spans[i] = wires[i];
+    if (poke) {
+        _stream->pokeChunks(_haloOffset, spans);
+        return;
+    }
+    // Host-side halo assembly: row lookups into the aggregate plus
+    // the staging copies (and, for INT32, the halo requantisation).
+    _stream->hostReduce(
+        _system.config().transferModel.haloPackSeconds(halo_entries),
+        "pack:halo");
+    _stream->pushChunks(_haloOffset, spans, bucket, label);
+}
+
+std::size_t
+TrainerSession::shardedAggregate()
+{
+    // On-core descale of each slice before the wire transfer, as in
+    // the unsharded gather but over slice entries only.
+    const double convert =
+        _qio.conversionSeconds(*_stream, _sliceEntries,
+                               /*to_float=*/true);
+    if (convert > 0.0)
+        _stream->onCoreCompute(convert, TimeBucket::InterCore,
+                               "convert:descale");
+    std::vector<std::vector<std::uint8_t>> raw;
+    runWithRecovery(
+        *_stream, _config.retry, "gather:slices",
+        [&] {
+            return _stream->gather(
+                _qio.qOffset(),
+                _sliceEntries * rlcore::kQWireBytesPerEntry, raw,
+                TimeBucket::InterCore, "gather:slices");
+        },
+        [](const pimsim::CommandError &) {
+            SWIFTRL_PANIC("gathers cannot drop cores");
+        });
+
+    const bool fp32 = _config.workload.format == NumericFormat::Fp32;
+    const std::int32_t scale = _qio.fixedScale();
+    const std::size_t row_entries =
+        static_cast<std::size_t>(_numActions);
+    std::size_t deepest = 0;
+    for (std::size_t s = 0; s < _plan->map.numShards(); ++s) {
+        // Sum the live replica slices in ascending core order, then
+        // scale once by 1/liveCount — the exact op order of
+        // QTable::average, so a one-shard run aggregates
+        // bit-identically to the unsharded path.
+        std::vector<float> sum(_sliceEntries, 0.0f);
+        std::size_t live = 0;
+        for (const std::size_t core : _plan->coresOfShard[s]) {
+            if (_stream->isDead(core))
+                continue;
+            const auto decoded = decodeSliceWire(
+                raw[core], _sliceEntries, fp32, scale);
+            for (std::size_t i = 0; i < _sliceEntries; ++i)
+                sum[i] += decoded[i];
+            ++live;
+        }
+        SWIFTRL_ASSERT(live > 0, "shard ", s,
+                       " has no live replica to aggregate");
+        const float inv = 1.0f / static_cast<float>(live);
+        for (float &v : sum)
+            v *= inv;
+        deepest = std::max(deepest, live);
+        // Only the real (un-padded) rows flow back to the aggregate.
+        const StateId base = _plan->map.firstState(s);
+        const StateId owned = _plan->map.ownedRows(s);
+        std::copy_n(sum.begin(),
+                    static_cast<std::size_t>(owned) * row_entries,
+                    _aggregated.values().begin() +
+                        static_cast<std::size_t>(base) * row_entries);
+    }
+    return deepest;
 }
 
 void
@@ -193,9 +443,23 @@ TrainerSession::beginOffline(const Dataset &data, StateId num_states,
 
     // Step 1: partition and distribute the dataset (Figure 4 (1)).
     _activeData = &data;
-    repartition(data);
-    scatterActive(TimeBucket::CpuToPim, "scatter:dataset");
-    _qio.initQTables(*_stream, num_states, num_actions);
+    if (_config.shards > 0) {
+        setupShardLayout();
+        scatterSharded(TimeBucket::CpuToPim, "scatter:dataset",
+                       /*poke=*/false);
+        // Zero-init the slice region (both formats share a 4-byte
+        // zero encoding) and place the initial all-zero halo rows.
+        const std::vector<std::uint8_t> zeros(
+            _sliceEntries * rlcore::kQWireBytesPerEntry, 0);
+        _stream->pushBroadcast(_qio.qOffset(), zeros,
+                               TimeBucket::CpuToPim, "broadcast:qinit");
+        pushShardHalos(TimeBucket::CpuToPim, "scatter:halo",
+                       /*poke=*/false);
+    } else {
+        repartition(data);
+        scatterActive(TimeBucket::CpuToPim, "scatter:dataset");
+        _qio.initQTables(*_stream, num_states, num_actions);
+    }
 
     _episodesRemaining = _config.hyper.episodes;
     _state = SessionState::Ready;
@@ -266,50 +530,73 @@ TrainerSession::step()
         },
         [&](const pimsim::CommandError &) { redistribute(); });
 
-    auto tables = _qio.gatherQTables(*_stream, _numStates, _numActions,
-                                     TimeBucket::InterCore,
-                                     &_config.retry);
     const QTable previous = _aggregated;
-    if (_config.weightedAggregation) {
-        // Extra gather of the per-core visit counts, then a
-        // count-weighted mean with fallback to the previous
-        // aggregate for entries no core visited this round.
-        // Dropped cores come back zero-filled with zero counts,
-        // so they carry no weight.
-        std::vector<std::vector<std::uint8_t>> raw_counts;
-        runWithRecovery(
-            *_stream, _config.retry, "gather:visits",
-            [&] {
-                return _stream->gather(_visitsOffset, _entries * 4,
-                                       raw_counts,
-                                       TimeBucket::InterCore,
-                                       "gather:visits");
-            },
-            [](const pimsim::CommandError &) {
-                SWIFTRL_PANIC("gathers cannot drop cores");
-            });
-        _aggregated = weightedAverage(tables, raw_counts, previous);
+    std::size_t deepest_group = 0;
+    if (shardedMode()) {
+        deepest_group = shardedAggregate();
     } else {
-        // Plain mean over the *surviving* cores only; a dropped
-        // core's zero-filled placeholder must not dilute it.
-        std::vector<QTable> live_tables;
-        live_tables.reserve(_stream->liveDpuCount());
-        for (std::size_t i = 0; i < tables.size(); ++i) {
-            if (!_stream->isDead(i))
-                live_tables.push_back(std::move(tables[i]));
+        auto tables = _qio.gatherQTables(*_stream, _numStates,
+                                         _numActions,
+                                         TimeBucket::InterCore,
+                                         &_config.retry);
+        if (_config.weightedAggregation) {
+            // Extra gather of the per-core visit counts, then a
+            // count-weighted mean with fallback to the previous
+            // aggregate for entries no core visited this round.
+            // Dropped cores come back zero-filled with zero counts,
+            // so they carry no weight.
+            std::vector<std::vector<std::uint8_t>> raw_counts;
+            runWithRecovery(
+                *_stream, _config.retry, "gather:visits",
+                [&] {
+                    return _stream->gather(
+                        _visitsOffset,
+                        _entries * rlcore::kQWireBytesPerEntry,
+                        raw_counts, TimeBucket::InterCore,
+                        "gather:visits");
+                },
+                [](const pimsim::CommandError &) {
+                    SWIFTRL_PANIC("gathers cannot drop cores");
+                });
+            _aggregated = weightedAverage(tables, raw_counts, previous);
+        } else {
+            // Plain mean over the *surviving* cores only; a dropped
+            // core's zero-filled placeholder must not dilute it.
+            std::vector<QTable> live_tables;
+            live_tables.reserve(_stream->liveDpuCount());
+            for (std::size_t i = 0; i < tables.size(); ++i) {
+                if (!_stream->isDead(i))
+                    live_tables.push_back(std::move(tables[i]));
+            }
+            _aggregated = QTable::average(live_tables);
         }
-        _aggregated = QTable::average(live_tables);
     }
     const float delta = QTable::maxAbsDifference(_aggregated, previous);
     if (!_config.streaming)
         _roundDeltas.push_back(delta);
-    // Host-side reduction cost of the averaging itself.
-    _stream->hostReduce(
-        _system.config().transferModel.hostReduceSecPerEntry *
-            static_cast<double>(_entries) *
-            static_cast<double>(_stream->liveDpuCount()),
-        "reduce:average");
-    _qio.broadcastQTable(*_stream, _aggregated, TimeBucket::InterCore);
+    if (shardedMode()) {
+        // Host-side cost of the hierarchical aggregation: each shard
+        // group reduces independently, so the bill is the deepest
+        // group's ceil(log2(replicas)) passes over one slice — not
+        // the flat reduction's pass per core over the whole table.
+        _stream->hostReduce(
+            _system.config().transferModel.aggregationTreeSeconds(
+                _sliceEntries, deepest_group),
+            "reduce:tree");
+        pushShardSlices(TimeBucket::InterCore, "broadcast:slices",
+                        /*poke=*/false);
+        pushShardHalos(TimeBucket::InterCore, "scatter:halo",
+                       /*poke=*/false);
+    } else {
+        // Host-side reduction cost of the averaging itself.
+        _stream->hostReduce(
+            _system.config().transferModel.hostReduceSecPerEntry *
+                static_cast<double>(_entries) *
+                static_cast<double>(_stream->liveDpuCount()),
+            "reduce:average");
+        _qio.broadcastQTable(*_stream, _aggregated,
+                             TimeBucket::InterCore);
+    }
     ++_commRounds;
     _epsilonNow *= _config.epsilonDecay;
     if (!_config.streaming) {
@@ -354,12 +641,15 @@ TrainerSession::finishRetrieval()
     // every core holds the aggregated table, so the deployed policy
     // is that aggregate; the gather is still paid for — timing-only,
     // as the host provably holds the payload already.
-    const double convert =
-        _qio.conversionSeconds(*_stream, _entries, /*to_float=*/true);
+    const std::size_t gather_entries =
+        shardedMode() ? _sliceEntries : _entries;
+    const double convert = _qio.conversionSeconds(
+        *_stream, gather_entries, /*to_float=*/true);
     if (convert > 0.0)
         _stream->onCoreCompute(convert, TimeBucket::PimToCpu,
                                "convert:descale");
-    _stream->gatherTimed(_qio.qOffset(), _entries * 4,
+    _stream->gatherTimed(_qio.qOffset(),
+                         gather_entries * rlcore::kQWireBytesPerEntry,
                          TimeBucket::PimToCpu, "gather:final");
     _state = SessionState::Done;
 }
@@ -436,6 +726,7 @@ TrainerSession::checkpoint() const
     ck.weightedAggregation = _config.weightedAggregation;
     ck.epsilonDecay = _config.epsilonDecay;
     ck.numDpus = _system.numDpus();
+    ck.shards = _config.shards;
     ck.numStates = _numStates;
     ck.numActions = _numActions;
 
@@ -469,9 +760,9 @@ checkpointMismatch(const SessionConfig &config, std::size_t num_dpus,
         ck.blockTransitions != config.blockTransitions ||
         ck.tasklets != config.tasklets ||
         ck.weightedAggregation != config.weightedAggregation ||
-        ck.numDpus != num_dpus) {
+        ck.numDpus != num_dpus || ck.shards != config.shards) {
         return "checkpoint does not match the session "
-               "configuration (workload/tau/tasklets/cores)";
+               "configuration (workload/tau/tasklets/cores/shards)";
     }
     const rlcore::Hyper &a = ck.hyper;
     const rlcore::Hyper &b = config.hyper;
@@ -528,9 +819,13 @@ TrainerSession::adopt(const SessionCheckpoint &ck)
     _faultEventsBase = ck.faultEventsBase;
 
     // Rebuild the MRAM Q region functionally: the exact wire bytes
-    // the last broadcast (or init) put in every live bank.
-    const auto wire = _qio.packWire(_aggregated);
-    _stream->pokeBroadcast(_qio.qOffset(), wire);
+    // the last broadcast (or init) put in every live bank. Sharded
+    // sessions rebuild per-core slices (and halos) instead, once
+    // restoreOffline has re-derived the shard layout.
+    if (_config.shards == 0) {
+        const auto wire = _qio.packWire(_aggregated);
+        _stream->pokeBroadcast(_qio.qOffset(), wire);
+    }
     // The visit-count region (weighted aggregation) needs no restore:
     // the kernel overwrites it wholesale on every launch before the
     // per-round gather reads it.
@@ -550,6 +845,16 @@ TrainerSession::restoreOffline(const Dataset &data,
     // (initial scatter and every redistribution use the same
     // deterministic partitionDataset-over-survivors assignment).
     _activeData = &data;
+    if (_config.shards > 0) {
+        // The shard plan, routing, and halos are pure functions of
+        // (shape, shards, cores, data, live set) — re-derive them and
+        // poke the slice / data / halo regions functionally.
+        setupShardLayout();
+        scatterSharded(TimeBucket::Recovery, "", /*poke=*/true);
+        pushShardSlices(TimeBucket::Recovery, "", /*poke=*/true);
+        pushShardHalos(TimeBucket::Recovery, "", /*poke=*/true);
+        return;
+    }
     repartition(data);
     const auto packed = packChunks(data);
     std::vector<std::span<const std::uint8_t>> spans(packed.size());
@@ -708,6 +1013,7 @@ trySaveCheckpoint(const SessionCheckpoint &ck,
     w.put<std::uint8_t>(ck.weightedAggregation ? 1 : 0);
     w.put<float>(ck.epsilonDecay);
     w.put<std::uint64_t>(ck.numDpus);
+    w.put<std::uint64_t>(ck.shards);
     w.put<std::int32_t>(ck.numStates);
     w.put<std::int32_t>(ck.numActions);
 
@@ -804,10 +1110,13 @@ tryLoadCheckpoint(const std::string &path, std::string *error)
 
     ByteReader r(payload, path);
     const auto version = r.get<std::uint32_t>();
-    if (version != SessionCheckpoint::kVersion)
+    // Version 1 predates sharding (its sessions are shards = 0);
+    // everything else about its layout is identical, so it still
+    // loads. Any other version fails loudly.
+    if (version != 1 && version != SessionCheckpoint::kVersion)
         return fail("checkpoint " + path + " is format version " +
                     std::to_string(version) +
-                    "; this build reads version " +
+                    "; this build reads versions 1 and " +
                     std::to_string(SessionCheckpoint::kVersion));
 
     // Past the checksum + version gate the payload is authentic;
@@ -836,6 +1145,8 @@ tryLoadCheckpoint(const std::string &path, std::string *error)
     ck.weightedAggregation = r.get<std::uint8_t>() != 0;
     ck.epsilonDecay = r.get<float>();
     ck.numDpus = static_cast<std::size_t>(r.get<std::uint64_t>());
+    if (version >= 2)
+        ck.shards = static_cast<std::size_t>(r.get<std::uint64_t>());
     ck.numStates = r.get<std::int32_t>();
     ck.numActions = r.get<std::int32_t>();
 

@@ -65,6 +65,7 @@
 #include "rlcore/qtable.hh"
 #include "swiftrl/pim_kernels.hh"
 #include "swiftrl/qtable_io.hh"
+#include "swiftrl/sharding.hh"
 #include "swiftrl/retry_policy.hh"
 #include "swiftrl/time_breakdown.hh"
 #include "swiftrl/workload.hh"
@@ -113,6 +114,22 @@ struct SessionConfig
      *  per-generation metrics left to the driver. */
     bool streaming = false;
 
+    /**
+     * Q-table shards for procedurally scaled state spaces: 0 (the
+     * default) replicates the whole table on every core (the paper's
+     * scheme); S >= 1 partitions the state space into S contiguous
+     * ranges (rlcore::ShardMap), routes each transition to the shard
+     * owning its current state, and replicates each shard's slice
+     * over a contiguous core group. Sync rounds then gather slices,
+     * reduce each shard group through the hierarchical aggregation
+     * tree (TransferModel::aggregationTreeSeconds), and push back
+     * slices plus per-core remote-row halos. shards == 1 is the
+     * degenerate single-shard layout and stays bit-identical to
+     * unsharded training. Offline mode only; incompatible with
+     * streaming and weightedAggregation.
+     */
+    std::size_t shards = 0;
+
     /** Telemetry destination (null = off). Observation-only. */
     telemetry::MetricRegistry *metrics = nullptr;
 };
@@ -149,9 +166,11 @@ struct SessionConfig
  */
 struct SessionCheckpoint
 {
-    /** Format version this struct describes (bumped on layout
-     *  change; loads of other versions fail loudly). */
-    static constexpr std::uint32_t kVersion = 1;
+    /** Format version this struct describes. Version 2 added the
+     *  shard count to the identity block; version-1 files still load
+     *  (they predate sharding, so shards = 0). Loads of any other
+     *  version fail loudly. */
+    static constexpr std::uint32_t kVersion = 2;
 
     // --- identity (must match the restoring session's config) ------
     bool streaming = false;
@@ -163,6 +182,10 @@ struct SessionCheckpoint
     bool weightedAggregation = false;
     float epsilonDecay = 1.0f;
     std::size_t numDpus = 0;
+    /** Q-table shard count (0 = unsharded; see SessionConfig). The
+     *  shard plan, routing, and halos are re-derived on restore —
+     *  only the count is identity. */
+    std::size_t shards = 0;
     rlcore::StateId numStates = 0;
     rlcore::ActionId numActions = 0;
 
@@ -435,6 +458,47 @@ class TrainerSession
      *  aggregate rebroadcast. */
     void redistribute();
 
+    /** True once the session runs with a shard plan. */
+    bool shardedMode() const { return _plan != nullptr; }
+
+    /**
+     * Build the sharded layout for the armed dataset: plan, routing,
+     * MRAM offsets (slice | data | halo), per-core assignment, halos,
+     * and the kernel parameters. Fatal when the plan is invalid or
+     * the conservative MRAM demand bound exceeds the bank.
+     */
+    void setupShardLayout();
+
+    /**
+     * Sharded repartition: split each shard's routed transitions over
+     * its *surviving* replicas (fatal when a shard group loses every
+     * replica — its slice rows would stop training silently) and
+     * rebuild every core's halo.
+     */
+    void repartitionSharded();
+
+    /** Localized wire chunks per the current sharded partition. */
+    std::vector<std::vector<std::uint8_t>> packShardedChunks() const;
+
+    /** Scatter the localized chunks (push or poke). */
+    void scatterSharded(pimsim::TimeBucket bucket,
+                        std::string_view label, bool poke);
+
+    /** Per-core slice wire of the aggregate (push or poke). */
+    void pushShardSlices(pimsim::TimeBucket bucket,
+                         std::string_view label, bool poke);
+
+    /** Per-core halo wire of the aggregate (push or poke). */
+    void pushShardHalos(pimsim::TimeBucket bucket,
+                        std::string_view label, bool poke);
+
+    /**
+     * Sharded gather + per-shard-group slice averaging into
+     * _aggregated. Returns the largest live replica group (the
+     * aggregation tree's depth driver).
+     */
+    std::size_t shardedAggregate();
+
     /** Visit-count-weighted mean (offline weighted aggregation). */
     rlcore::QTable weightedAverage(
         const std::vector<rlcore::QTable> &tables,
@@ -467,6 +531,17 @@ class TrainerSession
     std::vector<std::size_t> _counts;
     std::vector<std::uint32_t> _lcgStates;
     rlcore::QTable _aggregated;
+
+    /** Sharded-mode state (null/empty when unsharded). The plan and
+     *  routing are pure functions of (shape, shards, numDpus, data),
+     *  so none of this is checkpointed — restore re-derives it. */
+    std::unique_ptr<ShardPlan> _plan;
+    ShardRouting _routing;
+    std::vector<std::vector<rlcore::StateId>> _haloStates;
+    std::vector<std::size_t> _haloRows;
+    std::size_t _sliceRows = 0;
+    std::size_t _sliceEntries = 0;
+    std::size_t _haloOffset = 0;
 
     int _episodesRemaining = 0;
     int _commRounds = 0;

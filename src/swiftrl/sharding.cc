@@ -1,0 +1,263 @@
+#include "swiftrl/sharding.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace swiftrl {
+
+using rlcore::ActionId;
+using rlcore::Dataset;
+using rlcore::PackedTransition;
+using rlcore::QTable;
+using rlcore::ShardMap;
+using rlcore::StateId;
+
+namespace {
+
+std::size_t
+align8(std::size_t bytes)
+{
+    return (bytes + 7) / 8 * 8;
+}
+
+} // namespace
+
+std::string
+shardPlanInvalidReason(StateId num_states, std::size_t num_shards,
+                       std::size_t num_dpus)
+{
+    std::string reason = ShardMap::invalidReason(num_states, num_shards);
+    if (!reason.empty())
+        return reason;
+    if (num_dpus == 0)
+        return "no cores to place shards on";
+    if (num_dpus < num_shards)
+        return "more shards (" + std::to_string(num_shards) +
+               ") than cores (" + std::to_string(num_dpus) +
+               "); every shard needs at least one replica core";
+    return "";
+}
+
+ShardPlan
+makeShardPlan(StateId num_states, std::size_t num_shards,
+              std::size_t num_dpus)
+{
+    const std::string reason =
+        shardPlanInvalidReason(num_states, num_shards, num_dpus);
+    if (!reason.empty())
+        SWIFTRL_FATAL("invalid shard plan: ", reason);
+
+    ShardPlan plan{ShardMap(num_states, num_shards), {}, {}};
+    plan.shardOfCore.resize(num_dpus);
+    plan.coresOfShard.resize(num_shards);
+    // Near-equal contiguous replica groups, remainder to the low
+    // shards — the same determinism rule as partitionDataset.
+    const std::size_t base = num_dpus / num_shards;
+    const std::size_t extra = num_dpus % num_shards;
+    std::size_t core = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        const std::size_t replicas = base + (s < extra ? 1 : 0);
+        for (std::size_t r = 0; r < replicas; ++r, ++core) {
+            plan.shardOfCore[core] = s;
+            plan.coresOfShard[s].push_back(core);
+        }
+    }
+    SWIFTRL_ASSERT(core == num_dpus, "replica groups must cover all cores");
+    return plan;
+}
+
+ShardRouting
+routeByOwner(const Dataset &data, const ShardMap &map)
+{
+    const std::size_t shards = map.numShards();
+    ShardRouting routing;
+    routing.shardCount.assign(shards, 0);
+    for (const StateId s : data.states())
+        ++routing.shardCount[map.ownerOf(s)];
+    routing.shardFirst.assign(shards, 0);
+    for (std::size_t s = 1; s < shards; ++s) {
+        routing.shardFirst[s] =
+            routing.shardFirst[s - 1] + routing.shardCount[s - 1];
+    }
+    routing.order.resize(data.size());
+    std::vector<std::size_t> cursor = routing.shardFirst;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        routing.order[cursor[map.ownerOf(data.states()[i])]++] = i;
+    return routing;
+}
+
+std::vector<StateId>
+collectHalo(const Dataset &data, const ShardRouting &routing,
+            const ShardMap &map, std::size_t shard, std::size_t first,
+            std::size_t count)
+{
+    SWIFTRL_ASSERT(first + count <= routing.order.size(),
+                   "halo range out of bounds");
+    std::vector<StateId> halo;
+    for (std::size_t k = first; k < first + count; ++k) {
+        const std::size_t idx = routing.order[k];
+        SWIFTRL_ASSERT(map.ownerOf(data.states()[idx]) == shard,
+                       "routed transition landed on the wrong shard");
+        if (data.terminals()[idx] != 0)
+            continue;
+        const StateId next = data.nextStates()[idx];
+        if (map.ownerOf(next) != shard)
+            halo.push_back(next);
+    }
+    std::sort(halo.begin(), halo.end());
+    halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+    return halo;
+}
+
+std::vector<std::uint8_t>
+packLocalizedChunk(const Dataset &data, const ShardRouting &routing,
+                   const ShardMap &map, std::size_t shard,
+                   std::size_t first, std::size_t count,
+                   const std::vector<StateId> &halo, bool fp32,
+                   std::int32_t scale)
+{
+    SWIFTRL_ASSERT(first + count <= routing.order.size(),
+                   "pack range out of bounds");
+    SWIFTRL_ASSERT(fp32 || scale > 0, "scale factor must be positive");
+    const StateId base = map.firstState(shard);
+    const StateId slice_rows = map.rowsPerShard();
+    std::vector<std::uint8_t> out(count * sizeof(PackedTransition));
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t idx = routing.order[first + i];
+        const StateId s = data.states()[idx];
+        SWIFTRL_ASSERT(map.ownerOf(s) == shard,
+                       "routed transition landed on the wrong shard");
+        PackedTransition p;
+        p.state = s - base;
+        p.action = data.actions()[idx];
+        const float reward = data.rewards()[idx];
+        if (fp32) {
+            p.rewardBits = std::bit_cast<std::int32_t>(reward);
+        } else {
+            // Same rounding as Dataset::packInt32.
+            const double scaled = static_cast<double>(reward) *
+                                  static_cast<double>(scale);
+            const double rounded =
+                scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+            p.rewardBits = static_cast<std::int32_t>(rounded);
+        }
+        const bool terminal = data.terminals()[idx] != 0;
+        const StateId next = data.nextStates()[idx];
+        StateId local_next = 0;
+        if (!terminal) {
+            if (map.ownerOf(next) == shard) {
+                local_next = next - base;
+            } else {
+                const auto it = std::lower_bound(halo.begin(),
+                                                 halo.end(), next);
+                SWIFTRL_ASSERT(it != halo.end() && *it == next,
+                               "remote next state ", next,
+                               " missing from the halo");
+                local_next = slice_rows +
+                             static_cast<StateId>(it - halo.begin());
+            }
+        }
+        // Terminal records keep local row 0: the update rules form
+        // the next-state row pointer before branching on the flag,
+        // so the id must stay inside the WRAM buffer even though its
+        // value is never read.
+        std::uint32_t bits = static_cast<std::uint32_t>(local_next);
+        SWIFTRL_ASSERT((bits & PackedTransition::kTerminalBit) == 0,
+                       "local row collides with the terminal flag bit");
+        if (terminal)
+            bits |= PackedTransition::kTerminalBit;
+        p.nextStateBits = bits;
+        std::memcpy(out.data() + i * sizeof(PackedTransition), &p,
+                    sizeof(PackedTransition));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+packSliceWire(const QTableIo &qio, const QTable &aggregated,
+              const ShardMap &map, std::size_t shard)
+{
+    SWIFTRL_ASSERT(aggregated.numStates() == map.numStates(),
+                   "aggregate and shard map disagree on shape");
+    const ActionId na = aggregated.numActions();
+    const StateId base = map.firstState(shard);
+    const StateId owned = map.ownedRows(shard);
+    // Padding rows (past ownedRows) stay zero on the wire forever.
+    QTable slice(map.rowsPerShard(), na);
+    const auto row_entries = static_cast<std::size_t>(na);
+    std::copy_n(aggregated.values().begin() +
+                    static_cast<std::size_t>(base) * row_entries,
+                static_cast<std::size_t>(owned) * row_entries,
+                slice.values().begin());
+    return qio.packWire(slice);
+}
+
+std::vector<std::uint8_t>
+packHaloWire(const QTableIo &qio, const QTable &aggregated,
+             const std::vector<StateId> &halo, ActionId num_actions)
+{
+    if (halo.empty())
+        return {};
+    SWIFTRL_ASSERT(aggregated.numActions() == num_actions,
+                   "aggregate and halo disagree on action count");
+    QTable rows(static_cast<StateId>(halo.size()), num_actions);
+    const auto row_entries = static_cast<std::size_t>(num_actions);
+    for (std::size_t i = 0; i < halo.size(); ++i) {
+        std::copy_n(aggregated.values().begin() +
+                        static_cast<std::size_t>(halo[i]) * row_entries,
+                    row_entries,
+                    rows.values().begin() + i * row_entries);
+    }
+    return qio.packWire(rows);
+}
+
+std::vector<float>
+decodeSliceWire(const std::vector<std::uint8_t> &bytes,
+                std::size_t entries, bool fp32, std::int32_t scale)
+{
+    SWIFTRL_ASSERT(bytes.size() == entries * rlcore::kQWireBytesPerEntry,
+                   "slice wire size mismatch");
+    std::vector<float> out(entries);
+    if (fp32) {
+        std::memcpy(out.data(), bytes.data(), bytes.size());
+    } else {
+        // Same double-precision descale as QTableIo::gatherQTables,
+        // so a 1-shard gather decodes bit-identically.
+        SWIFTRL_ASSERT(scale > 0, "scale factor must be positive");
+        const auto *fixed =
+            reinterpret_cast<const std::int32_t *>(bytes.data());
+        for (std::size_t i = 0; i < entries; ++i) {
+            out[i] = static_cast<float>(static_cast<double>(fixed[i]) /
+                                        static_cast<double>(scale));
+        }
+    }
+    return out;
+}
+
+std::size_t
+shardedMramDemandBound(StateId num_states, ActionId num_actions,
+                       std::size_t num_shards, std::size_t transitions)
+{
+    SWIFTRL_ASSERT(num_states > 0 && num_actions > 0 && num_shards > 0,
+                   "demand bound needs a real shape");
+    const std::size_t ns = static_cast<std::size_t>(num_states);
+    const std::size_t na = static_cast<std::size_t>(num_actions);
+    const std::size_t rows = (ns + num_shards - 1) / num_shards;
+    const std::size_t slice_bytes =
+        rows * na * rlcore::kQWireBytesPerEntry;
+    // The data region is laid out for the *whole* dataset: after
+    // dropouts a lone surviving replica can inherit its shard's
+    // entire routing share, and a globally fixed halo offset keeps
+    // every core's layout identical.
+    const std::size_t data_end =
+        align8(slice_bytes) + transitions * sizeof(PackedTransition);
+    // Worst-case halo: every transition names a distinct remote row.
+    const std::size_t halo_bytes =
+        std::min(transitions, ns) * na * rlcore::kQWireBytesPerEntry;
+    return align8(data_end) + halo_bytes;
+}
+
+} // namespace swiftrl

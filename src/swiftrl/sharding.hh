@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Host-side machinery for sharded Q-tables: replica-group placement,
+ * transition routing, halo discovery, and the localized wire packing
+ * that lets the unmodified update rules run against a Q-table slice.
+ *
+ * Design (docs/ARCHITECTURE.md section 13): the state space is cut
+ * into contiguous ranges by rlcore::ShardMap; each shard's slice is
+ * replicated over a contiguous group of cores; every transition is
+ * routed to the shard owning its *current* state; and remote
+ * next-state rows — the only cross-shard reads a tabular update
+ * makes — are satisfied by a per-core read-only "halo" region the
+ * host refreshes from the aggregate every sync round. DPUs cannot
+ * talk to each other (the paper's constraint), so all of this is
+ * batched host-mediated exchange on the existing CommandStream.
+ *
+ * Everything here is pure host-side computation over plain inputs,
+ * so TrainerSession's checkpoint only needs the shard *count*: the
+ * plan, routing, and halos are re-derived bit-identically from
+ * (numStates, shards, numDpus, dataset, live set) on restore.
+ */
+
+#ifndef SWIFTRL_SWIFTRL_SHARDING_HH
+#define SWIFTRL_SWIFTRL_SHARDING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rlcore/dataset.hh"
+#include "rlcore/qtable.hh"
+#include "rlcore/shard_map.hh"
+#include "swiftrl/qtable_io.hh"
+
+namespace swiftrl {
+
+/** Shard-to-core placement: contiguous replica groups. */
+struct ShardPlan
+{
+    /** The state-range partition. */
+    rlcore::ShardMap map;
+
+    /** Owning shard of each core (size numDpus). */
+    std::vector<std::size_t> shardOfCore;
+
+    /** Replica cores of each shard, ascending core ids. */
+    std::vector<std::vector<std::size_t>> coresOfShard;
+};
+
+/**
+ * Empty when (num_states, num_shards, num_dpus) admits a valid plan,
+ * else the human-readable reason. Embedder-facing callers (the C
+ * ABI, the CLI) precheck with this; makeShardPlan is fatal on the
+ * same conditions.
+ */
+std::string shardPlanInvalidReason(rlcore::StateId num_states,
+                                   std::size_t num_shards,
+                                   std::size_t num_dpus);
+
+/**
+ * Build the placement: cores are split into numShards contiguous
+ * replica groups of near-equal size (remainder to the low shards,
+ * mirroring partitionDataset's determinism).
+ */
+ShardPlan makeShardPlan(rlcore::StateId num_states,
+                        std::size_t num_shards, std::size_t num_dpus);
+
+/**
+ * Dataset indices grouped by owning shard. `order` is a permutation
+ * of [0, data.size()): shard s's transitions are
+ * order[shardFirst[s] .. shardFirst[s] + shardCount[s]), in dataset
+ * order within the shard (a stable counting sort, so the routing is
+ * a pure function of the dataset and the map).
+ */
+struct ShardRouting
+{
+    std::vector<std::size_t> order;
+    std::vector<std::size_t> shardFirst;
+    std::vector<std::size_t> shardCount;
+};
+
+/** Route every transition to the shard owning its current state. */
+ShardRouting routeByOwner(const rlcore::Dataset &data,
+                          const rlcore::ShardMap &map);
+
+/**
+ * Sorted unique remote next states of routing.order[first ..
+ * first + count) for a core of @p shard: the non-terminal next
+ * states owned by *other* shards, i.e. the rows this core's halo
+ * region must carry. Terminal next states need no row (the update
+ * rules never read their value).
+ */
+std::vector<rlcore::StateId>
+collectHalo(const rlcore::Dataset &data, const ShardRouting &routing,
+            const rlcore::ShardMap &map, std::size_t shard,
+            std::size_t first, std::size_t count);
+
+/**
+ * Wire-pack routing.order[first .. first + count) for a core of
+ * @p shard with state ids localized to its WRAM layout
+ * [slice rows | halo rows]: an owned state s becomes row
+ * s - map.firstState(shard); a remote non-terminal next state
+ * becomes rowsPerShard + its index in @p halo; a terminal next
+ * state becomes row 0 (its value is never read, but the update
+ * rules form the row pointer before branching on the flag, so the
+ * row must stay in bounds). Reward encoding matches
+ * Dataset::packFp32/packInt32 exactly.
+ */
+std::vector<std::uint8_t> packLocalizedChunk(
+    const rlcore::Dataset &data, const ShardRouting &routing,
+    const rlcore::ShardMap &map, std::size_t shard,
+    std::size_t first, std::size_t count,
+    const std::vector<rlcore::StateId> &halo, bool fp32,
+    std::int32_t scale);
+
+/**
+ * Wire bytes of @p shard's slice of @p aggregated, padded with zero
+ * rows to map.rowsPerShard(), in @p qio's format. With one shard
+ * this is byte-identical to qio.packWire(aggregated).
+ */
+std::vector<std::uint8_t>
+packSliceWire(const QTableIo &qio, const rlcore::QTable &aggregated,
+              const rlcore::ShardMap &map, std::size_t shard);
+
+/**
+ * Wire bytes of the @p halo rows of @p aggregated, in halo order
+ * (the localized ids packLocalizedChunk assigned). Empty for an
+ * empty halo.
+ */
+std::vector<std::uint8_t>
+packHaloWire(const QTableIo &qio, const rlcore::QTable &aggregated,
+             const std::vector<rlcore::StateId> &halo,
+             rlcore::ActionId num_actions);
+
+/**
+ * Decode one gathered slice back to floats — the same per-entry
+ * expressions as QTableIo::gatherQTables, so a 1-shard run decodes
+ * bit-identically to the unsharded gather.
+ */
+std::vector<float>
+decodeSliceWire(const std::vector<std::uint8_t> &bytes,
+                std::size_t entries, bool fp32, std::int32_t scale);
+
+/**
+ * Conservative per-core MRAM demand upper bound for a sharded run:
+ * slice + a data region reserved for the whole dataset (after
+ * dropouts one surviving replica can inherit its shard's entire
+ * routing share) + the worst-case halo (every transition naming a
+ * distinct remote row). Embedder-facing callers compare this
+ * against PimConfig::mramBytesPerDpu before constructing a session.
+ */
+std::size_t shardedMramDemandBound(rlcore::StateId num_states,
+                                   rlcore::ActionId num_actions,
+                                   std::size_t num_shards,
+                                   std::size_t transitions);
+
+} // namespace swiftrl
+
+#endif // SWIFTRL_SWIFTRL_SHARDING_HH

@@ -71,10 +71,42 @@ TEST(Partition, PaperScale)
         ASSERT_EQ(c.count, 500u);
 }
 
-TEST(PartitionDeath, MoreCoresThanDataIsFatal)
+TEST(Partition, MoreCoresThanDataGivesEmptyTrailingChunks)
 {
-    EXPECT_EXIT((void)partitionDataset(3, 4),
-                ::testing::ExitedWithCode(1), "non-empty");
+    // 3 transitions on 5 cores: the first three cores get one each,
+    // the last two get empty (but well-placed) chunks.
+    const auto chunks = partitionDataset(3, 5);
+    ASSERT_EQ(chunks.size(), 5u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(chunks[i].first, i);
+        EXPECT_EQ(chunks[i].count, 1u);
+    }
+    for (std::size_t i = 3; i < 5; ++i) {
+        EXPECT_EQ(chunks[i].first, 3u);
+        EXPECT_EQ(chunks[i].count, 0u);
+    }
+}
+
+TEST(Partition, EmptyDatasetGivesAllEmptyChunks)
+{
+    const auto chunks = partitionDataset(0, 4);
+    ASSERT_EQ(chunks.size(), 4u);
+    for (const auto &c : chunks)
+        EXPECT_EQ(c, (Chunk{0, 0}));
+}
+
+TEST(Partition, RemainderGoesToLowestCoresDeterministically)
+{
+    // 10 = 4*2 + 2: cores 0 and 1 get 3, cores 2 and 3 get 2 —
+    // always, on every call. Recovery repartitions after a core
+    // dropout rely on this being a pure function of (total, parts).
+    const auto a = partitionDataset(10, 4);
+    const auto b = partitionDataset(10, 4);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a[0], (Chunk{0, 3}));
+    EXPECT_EQ(a[1], (Chunk{3, 3}));
+    EXPECT_EQ(a[2], (Chunk{6, 2}));
+    EXPECT_EQ(a[3], (Chunk{8, 2}));
 }
 
 TEST(PartitionDeath, ZeroPartsIsFatal)

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The procedural environment family: solvability-by-construction and
+ * reproducibility of the hashed lake maps, the multi-passenger taxi's
+ * state encoding and reward semantics, and spec parsing through
+ * rlenv::tryMakeEnvironment (the embedder-facing non-fatal path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.hh"
+#include "rlenv/procgen.hh"
+#include "rlenv/registry.hh"
+
+namespace {
+
+using swiftrl::common::XorShift128;
+using namespace swiftrl::rlenv;
+
+// --- ProceduralLake ---------------------------------------------------
+
+TEST(ProceduralLake, ShapeAndEpisodeCap)
+{
+    const ProceduralLake env(8);
+    EXPECT_EQ(env.numStates(), 64);
+    EXPECT_EQ(env.numActions(), 4);
+    EXPECT_EQ(env.maxEpisodeSteps(), 100); // max(100, 4 * 8)
+    const ProceduralLake big(64);
+    EXPECT_EQ(big.numStates(), 4096);
+    EXPECT_EQ(big.maxEpisodeSteps(), 256); // 4 * 64
+}
+
+TEST(ProceduralLake, GuaranteedPathIsHoleFree)
+{
+    // The top row and the rightmost column are frozen by
+    // construction, so right-then-down always reaches the goal.
+    for (const StateId side : {4, 16, 64, 301}) {
+        const ProceduralLake env(side);
+        for (StateId col = 0; col < side; ++col)
+            EXPECT_NE(env.tileAt(col), 'H') << "side " << side;
+        for (StateId row = 0; row < side; ++row)
+            EXPECT_NE(env.tileAt(row * side + side - 1), 'H')
+                << "side " << side;
+        EXPECT_EQ(env.tileAt(0), 'S');
+        EXPECT_EQ(env.tileAt(side * side - 1), 'G');
+    }
+}
+
+TEST(ProceduralLake, MapIsAPureFunctionOfSideAndSeed)
+{
+    const ProceduralLake a(32), b(32);
+    for (StateId s = 0; s < 1024; ++s)
+        ASSERT_EQ(a.tileAt(s), b.tileAt(s));
+    // A different seed yields a different map somewhere.
+    const ProceduralLake c(32, true, 99);
+    bool differs = false;
+    for (StateId s = 0; s < 1024 && !differs; ++s)
+        differs = a.tileAt(s) != c.tileAt(s);
+    EXPECT_TRUE(differs);
+}
+
+TEST(ProceduralLake, HolesExistOnLargeMaps)
+{
+    const ProceduralLake env(64);
+    int holes = 0;
+    for (StateId s = 0; s < env.numStates(); ++s)
+        holes += env.tileAt(s) == 'H';
+    // ~1/8 of the interior; just assert the map is not trivial.
+    EXPECT_GT(holes, 100);
+}
+
+TEST(ProceduralLake, DeterministicStepsFollowTheGrid)
+{
+    ProceduralLake env(8, /*slippery=*/false);
+    XorShift128 rng(1);
+    EXPECT_EQ(env.reset(rng), 0);
+    auto r = env.step(ProceduralLake::Right, rng);
+    EXPECT_EQ(r.nextState, 1);
+    EXPECT_EQ(r.reward, 0.0f);
+    r = env.step(ProceduralLake::Up, rng); // clamped at the top edge
+    EXPECT_EQ(r.nextState, 1);
+    r = env.step(ProceduralLake::Down, rng);
+    EXPECT_EQ(r.nextState, 9);
+}
+
+TEST(ProceduralLake, EpisodesTerminateWithBoundedStates)
+{
+    ProceduralLake env(16);
+    XorShift128 rng(7);
+    for (int episode = 0; episode < 50; ++episode) {
+        StateId s = env.reset(rng);
+        for (int t = 0; t < env.maxEpisodeSteps(); ++t) {
+            ASSERT_GE(s, 0);
+            ASSERT_LT(s, env.numStates());
+            const auto r = env.step(ActionId(rng.nextBounded(4)), rng);
+            s = r.nextState;
+            if (r.done())
+                break;
+        }
+    }
+}
+
+// --- MultiPassengerTaxi -----------------------------------------------
+
+TEST(MultiPassengerTaxi, StateCountIsSideSquaredTimesPowersOfThree)
+{
+    const MultiPassengerTaxi env(5, 2);
+    EXPECT_EQ(env.numStates(), 25 * 9);
+    EXPECT_EQ(env.numActions(), 6);
+    const MultiPassengerTaxi big(100, 8);
+    EXPECT_EQ(big.numStates(), 100 * 100 * 6561);
+}
+
+TEST(MultiPassengerTaxi, LandmarksAreDistinctCorners)
+{
+    const MultiPassengerTaxi env(6, 3);
+    for (int p = 0; p < 3; ++p) {
+        const StateId src = env.sourceCell(p);
+        const StateId dst = env.destinationCell(p);
+        EXPECT_NE(src, dst);
+        const std::set<StateId> corners{0, 5, 30, 35};
+        EXPECT_TRUE(corners.count(src));
+        EXPECT_TRUE(corners.count(dst));
+    }
+}
+
+TEST(MultiPassengerTaxi, MoveCostsOneAndClampsAtWalls)
+{
+    MultiPassengerTaxi env(4, 1);
+    XorShift128 rng(3);
+    env.reset(rng);
+    // Drive into the left wall until clamped.
+    for (int i = 0; i < 4; ++i) {
+        const auto r = env.step(MultiPassengerTaxi::Left, rng);
+        EXPECT_EQ(r.reward, -1.0f);
+        EXPECT_FALSE(r.done());
+    }
+    const StateId pinned = env.currentState();
+    const auto r = env.step(MultiPassengerTaxi::Left, rng);
+    EXPECT_EQ(r.nextState, pinned);
+}
+
+TEST(MultiPassengerTaxi, BadPickupAndDropoffPayMinusTen)
+{
+    MultiPassengerTaxi env(4, 1);
+    XorShift128 rng(5);
+    env.reset(rng);
+    // Nothing has been picked up yet, so Dropoff is always wrong.
+    EXPECT_EQ(env.step(MultiPassengerTaxi::Dropoff, rng).reward,
+              -10.0f);
+}
+
+TEST(MultiPassengerTaxi, FullDeliveryTerminatesWithPlusTwenty)
+{
+    // Random-walk until the episode terminates; the final transition
+    // must be the +20 dropoff of the last passenger.
+    MultiPassengerTaxi env(3, 1);
+    XorShift128 rng(11);
+    bool delivered = false;
+    for (int episode = 0; episode < 200 && !delivered; ++episode) {
+        env.reset(rng);
+        for (int t = 0; t < env.maxEpisodeSteps(); ++t) {
+            const auto r = env.step(ActionId(rng.nextBounded(6)), rng);
+            if (r.terminated) {
+                EXPECT_EQ(r.reward, 20.0f);
+                delivered = true;
+                break;
+            }
+            if (r.truncated)
+                break;
+        }
+    }
+    EXPECT_TRUE(delivered) << "random walk never delivered";
+}
+
+TEST(MultiPassengerTaxi, StatesStayInRange)
+{
+    MultiPassengerTaxi env(5, 2);
+    XorShift128 rng(13);
+    for (int episode = 0; episode < 20; ++episode) {
+        StateId s = env.reset(rng);
+        for (int t = 0; t < env.maxEpisodeSteps(); ++t) {
+            ASSERT_GE(s, 0);
+            ASSERT_LT(s, env.numStates());
+            const auto r = env.step(ActionId(rng.nextBounded(6)), rng);
+            s = r.nextState;
+            if (r.done())
+                break;
+        }
+    }
+}
+
+// --- spec parsing -----------------------------------------------------
+
+TEST(EnvSpecs, ProceduralSpecsParse)
+{
+    std::string err;
+    auto lake = tryMakeEnvironment("lake:64", &err);
+    ASSERT_NE(lake, nullptr) << err;
+    EXPECT_EQ(lake->numStates(), 4096);
+
+    auto det = tryMakeEnvironment("lake:8:det", &err);
+    ASSERT_NE(det, nullptr) << err;
+
+    auto taxi = tryMakeEnvironment("mptaxi:6x2", &err);
+    ASSERT_NE(taxi, nullptr) << err;
+    EXPECT_EQ(taxi->numStates(), 36 * 9);
+}
+
+TEST(EnvSpecs, FixedNamesStillResolve)
+{
+    std::string err;
+    for (const auto &name : environmentNames()) {
+        auto env = tryMakeEnvironment(name, &err);
+        EXPECT_NE(env, nullptr) << name << ": " << err;
+    }
+}
+
+TEST(EnvSpecs, InvalidSpecsReturnNullWithReason)
+{
+    for (const std::string spec :
+         {"bogus", "lake:", "lake:1", "lake:abc", "lake:0",
+          "lake:50000", "lake:8:wet", "mptaxi:", "mptaxi:4",
+          "mptaxi:4x0", "mptaxi:4x25", "mptaxi:0x2",
+          "mptaxi:46340x19"}) {
+        std::string err;
+        EXPECT_EQ(tryMakeEnvironment(spec, &err), nullptr) << spec;
+        EXPECT_NE(err, "") << spec;
+    }
+}
+
+} // namespace
