@@ -24,9 +24,11 @@
  * that altered modelled numbers would be visible immediately.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -92,7 +94,7 @@ PerfResult
 measureCase(const PerfCase &shape, const rlcore::Dataset &data,
             rlcore::StateId num_states, rlcore::ActionId num_actions,
             std::size_t cores, int tau, int reps,
-            unsigned host_threads)
+            unsigned host_threads, bool batch_exec)
 {
     PerfResult r;
     r.shape = shape;
@@ -109,6 +111,7 @@ measureCase(const PerfCase &shape, const rlcore::Dataset &data,
         cfg.workload = shape.workload;
         cfg.hyper.episodes = tau; // one communication round
         cfg.tau = tau;
+        cfg.batchExec = batch_exec;
         PimTrainer trainer(system, cfg);
 
         common::Stopwatch wall;
@@ -140,9 +143,53 @@ measureCase(const PerfCase &shape, const rlcore::Dataset &data,
     return r;
 }
 
+/** One thread-sweep point: the same shape at a given pool size. */
+struct SweepPoint
+{
+    unsigned hostThreads = 0;
+    double wallSec = 0.0;
+};
+
+void
+writeRow(std::ostream &out, const PerfResult &r, const char *indent,
+         bool last)
+{
+    const double ops_per_sec = static_cast<double>(r.simOps) / r.wallSec;
+    const double updates_per_sec =
+        static_cast<double>(r.updates) / r.wallSec;
+    const double launches_per_sec =
+        static_cast<double>(r.launches) / r.wallSec;
+    out << indent << "{\n"
+        << indent << "  \"name\": \"" << r.name << "\",\n"
+        << indent << "  \"figure\": \"" << r.shape.figure << "\",\n"
+        << indent << "  \"env\": \"" << r.shape.env << "\",\n"
+        << indent << "  \"workload\": \"" << r.shape.workload.name()
+        << "\",\n"
+        << indent << "  \"cores\": " << r.cores << ",\n"
+        << indent << "  \"transitions\": " << r.transitions << ",\n"
+        << indent << "  \"episodes\": " << r.episodes << ",\n"
+        << indent << "  \"reps\": " << r.reps << ",\n"
+        << indent << "  \"host_threads\": " << r.hostThreads << ",\n"
+        << indent << "  \"wall_sec\": " << r.wallSec << ",\n"
+        << indent << "  \"sim_ops\": " << r.simOps << ",\n"
+        << indent << "  \"sim_ops_per_sec\": " << ops_per_sec << ",\n"
+        << indent << "  \"dma_bytes\": " << r.dmaBytes << ",\n"
+        << indent << "  \"updates\": " << r.updates << ",\n"
+        << indent << "  \"updates_per_sec\": " << updates_per_sec
+        << ",\n"
+        << indent << "  \"launches\": " << r.launches << ",\n"
+        << indent << "  \"launches_per_sec\": " << launches_per_sec
+        << ",\n"
+        << indent << "  \"modelled_max_cycles\": " << r.maxCycles
+        << "\n"
+        << indent << "}" << (last ? "" : ",") << "\n";
+}
+
 bool
 writeJson(const std::string &path, const std::string &mode,
-          const std::vector<PerfResult> &rows)
+          bool batch_exec, const std::vector<PerfResult> &rows,
+          const std::string &sweep_name,
+          const std::vector<SweepPoint> &sweep)
 {
     std::ofstream out(path);
     if (!out)
@@ -150,41 +197,28 @@ writeJson(const std::string &path, const std::string &mode,
     out << "{\n"
         << "  \"bench\": \"perf_sim_throughput\",\n"
         << "  \"mode\": \"" << mode << "\",\n"
+        << "  \"batch_exec\": " << (batch_exec ? "true" : "false")
+        << ",\n"
         << "  \"workloads\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto &r = rows[i];
-        const double ops_per_sec =
-            static_cast<double>(r.simOps) / r.wallSec;
-        const double updates_per_sec =
-            static_cast<double>(r.updates) / r.wallSec;
-        const double launches_per_sec =
-            static_cast<double>(r.launches) / r.wallSec;
-        out << "    {\n"
-            << "      \"name\": \"" << r.name << "\",\n"
-            << "      \"figure\": \"" << r.shape.figure << "\",\n"
-            << "      \"env\": \"" << r.shape.env << "\",\n"
-            << "      \"workload\": \"" << r.shape.workload.name()
-            << "\",\n"
-            << "      \"cores\": " << r.cores << ",\n"
-            << "      \"transitions\": " << r.transitions << ",\n"
-            << "      \"episodes\": " << r.episodes << ",\n"
-            << "      \"reps\": " << r.reps << ",\n"
-            << "      \"host_threads\": " << r.hostThreads << ",\n"
-            << "      \"wall_sec\": " << r.wallSec << ",\n"
-            << "      \"sim_ops\": " << r.simOps << ",\n"
-            << "      \"sim_ops_per_sec\": " << ops_per_sec << ",\n"
-            << "      \"dma_bytes\": " << r.dmaBytes << ",\n"
-            << "      \"updates\": " << r.updates << ",\n"
-            << "      \"updates_per_sec\": " << updates_per_sec
-            << ",\n"
-            << "      \"launches\": " << r.launches << ",\n"
-            << "      \"launches_per_sec\": " << launches_per_sec
-            << ",\n"
-            << "      \"modelled_max_cycles\": " << r.maxCycles
-            << "\n"
-            << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        writeRow(out, rows[i], "    ", i + 1 == rows.size());
+    out << "  ]";
+    if (!sweep.empty()) {
+        // Host-pool scaling of one representative shape: same
+        // modelled run at each pool size, so the points differ in
+        // wall-clock only.
+        out << ",\n  \"thread_sweep\": {\n"
+            << "    \"name\": \"" << sweep_name << "\",\n"
+            << "    \"points\": [\n";
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            out << "      {\"host_threads\": "
+                << sweep[i].hostThreads << ", \"wall_sec\": "
+                << sweep[i].wallSec << "}"
+                << (i + 1 < sweep.size() ? "," : "") << "\n";
+        }
+        out << "    ]\n  }";
     }
-    out << "  ]\n}\n";
+    out << "\n}\n";
     return static_cast<bool>(out);
 }
 
@@ -196,7 +230,7 @@ main(int argc, char **argv)
     const common::CliFlags flags(
         argc, argv,
         {"smoke", "json", "reps", "cores", "transitions", "tau",
-         "host-threads"});
+         "host-threads", "batch-exec", "sweep"});
 
     const bool smoke = flags.getBool("smoke", false);
     // Full shapes mirror one strong-scaling point at the paper's
@@ -211,6 +245,15 @@ main(int argc, char **argv)
         static_cast<int>(flags.getInt("reps", smoke ? 1 : 3));
     const unsigned host_threads =
         static_cast<unsigned>(flags.getInt("host-threads", 0));
+    // --batch-exec 0/1 overrides the build default
+    // (SWIFTRL_BATCH_EXEC): run eligible launches through the
+    // lockstep batch interpreter. Modelled outputs are bit-identical
+    // either way; only wall_sec moves.
+    const bool batch_exec =
+        flags.getBool("batch-exec", PimTrainConfig{}.batchExec);
+    // --sweep 0 skips the host-pool scaling points (they rerun the
+    // first workload once per pool size).
+    const bool sweep_enabled = flags.getBool("sweep", true);
     const std::string json_path =
         flags.getString("json", "BENCH_sim_throughput.json");
 
@@ -232,7 +275,32 @@ main(int argc, char **argv)
         auto env = rlenv::makeEnvironment(shape.env);
         rows.push_back(measureCase(shape, data, env->numStates(),
                                    env->numActions(), cores, tau,
-                                   reps, host_threads));
+                                   reps, host_threads, batch_exec));
+    }
+
+    // Host-pool scaling sweep (1 / 2 / hardware threads) of the first
+    // shape. Modelled results are pool-size-invariant, so the points
+    // record pure host scaling.
+    std::vector<SweepPoint> sweep;
+    std::string sweep_name;
+    if (sweep_enabled) {
+        std::vector<unsigned> pools{
+            1u, 2u, std::max(1u, std::thread::hardware_concurrency())};
+        std::sort(pools.begin(), pools.end());
+        pools.erase(std::unique(pools.begin(), pools.end()),
+                    pools.end());
+        const auto shape = perfCases().front();
+        const auto sweep_data =
+            bench::collectDataset(shape.env, transitions, 1);
+        auto env = rlenv::makeEnvironment(shape.env);
+        for (const unsigned pool : pools) {
+            const auto r = measureCase(
+                shape, sweep_data, env->numStates(),
+                env->numActions(), cores, tau, /*reps=*/1, pool,
+                batch_exec);
+            sweep.push_back({r.hostThreads, r.wallSec});
+            sweep_name = r.name;
+        }
     }
 
     TextTable t("Host throughput per workload (best of reps)");
@@ -252,9 +320,14 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
     std::cout << "\nhost threads: " << rows.front().hostThreads
-              << " (modelled results are pool-size-invariant)\n";
+              << ", batch-exec: " << (batch_exec ? "on" : "off")
+              << " (modelled results are engine-invariant)\n";
+    for (const auto &p : sweep)
+        std::cout << "sweep " << sweep_name << ": " << p.hostThreads
+                  << " thread(s) -> " << p.wallSec << " s\n";
 
-    if (!writeJson(json_path, smoke ? "smoke" : "full", rows)) {
+    if (!writeJson(json_path, smoke ? "smoke" : "full", batch_exec,
+                   rows, sweep_name, sweep)) {
         std::cerr << "cannot write " << json_path << "\n";
         return 1;
     }

@@ -289,6 +289,82 @@ CommandStream::gatherTimed(std::size_t offset, std::size_t bytes,
     return seconds;
 }
 
+std::optional<CommandStatus>
+CommandStream::launchFaultCheck()
+{
+    const auto &config = _system.config();
+    const FaultPlan &plan = config.faultPlan;
+    if (!plan.enabled())
+        return std::nullopt;
+    const std::size_t site = _faultSites++;
+    std::vector<std::size_t> &dropped = _faultScratchA;
+    std::vector<std::size_t> &transient = _faultScratchB;
+    dropped.clear();
+    transient.clear();
+    for (std::size_t i = 0; i < _dead.size(); ++i) {
+        if (_dead[i])
+            continue;
+        if (plan.fires(FaultKind::PermanentDropout, site, i))
+            dropped.push_back(i);
+        else if (plan.fires(FaultKind::TransientKernel, site, i))
+            transient.push_back(i);
+    }
+    if (dropped.empty() && transient.empty())
+        return std::nullopt;
+    // The launch is abandoned before any core commits work
+    // (no MRAM writes, no cycle advance): the host sees the
+    // fault line, polls per-core status, reports. A dropout
+    // outranks a transient fault at the same site — the
+    // caller must redistribute before any retry can succeed.
+    const FaultKind kind = dropped.empty()
+                               ? FaultKind::TransientKernel
+                               : FaultKind::PermanentDropout;
+    auto &faultyDpus = dropped.empty() ? transient : dropped;
+    if (kind == FaultKind::PermanentDropout) {
+        for (const std::size_t i : faultyDpus) {
+            _dead[i] = true;
+            --_liveCount;
+        }
+    }
+    const double seconds = config.launchOverheadSec + plan.detectSec;
+    record(Phase::Recovery, TimeBucket::Recovery, seconds,
+           faultLabel(kind));
+    CommandStatus status;
+    status.seconds = seconds;
+    // Copied, not moved: faultyDpus aliases reusable scratch.
+    status.error = CommandError{kind, faultyDpus, site};
+    return status;
+}
+
+CommandStatus
+CommandStream::finishLaunch(TimeBucket bucket, std::string_view label)
+{
+    const auto &config = _system.config();
+    auto &dpus = _system._dpus;
+    // Commit clocks and reduce the slowest core serially, in core
+    // order: bit-identical for every pool size.
+    Cycles slowest = 0;
+    for (std::size_t i = 0; i < dpus.size(); ++i) {
+        if (_dead[i])
+            continue;
+        dpus[i].addCycles(_effective[i]);
+        slowest = std::max(slowest, _effective[i]);
+    }
+    const double seconds = config.launchOverheadSec +
+                           config.costModel.seconds(slowest);
+    record(Phase::Kernel, bucket, seconds, label);
+    if (_observer) {
+        LaunchStats stats;
+        stats.label = label;
+        stats.start = _cursor - seconds;
+        stats.end = _cursor;
+        stats.effectiveCycles = _effective;
+        stats.liveCount = _liveCount;
+        _observer->onLaunch(*this, stats);
+    }
+    return {seconds, std::nullopt};
+}
+
 CommandStatus
 CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
                       TimeBucket bucket, std::string_view label)
@@ -299,48 +375,8 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
                    tasklets);
     const auto &config = _system.config();
 
-    const FaultPlan &plan = config.faultPlan;
-    if (plan.enabled()) {
-        const std::size_t site = _faultSites++;
-        std::vector<std::size_t> &dropped = _faultScratchA;
-        std::vector<std::size_t> &transient = _faultScratchB;
-        dropped.clear();
-        transient.clear();
-        for (std::size_t i = 0; i < _dead.size(); ++i) {
-            if (_dead[i])
-                continue;
-            if (plan.fires(FaultKind::PermanentDropout, site, i))
-                dropped.push_back(i);
-            else if (plan.fires(FaultKind::TransientKernel, site, i))
-                transient.push_back(i);
-        }
-        if (!dropped.empty() || !transient.empty()) {
-            // The launch is abandoned before any core commits work
-            // (no MRAM writes, no cycle advance): the host sees the
-            // fault line, polls per-core status, reports. A dropout
-            // outranks a transient fault at the same site — the
-            // caller must redistribute before any retry can succeed.
-            const FaultKind kind = dropped.empty()
-                                       ? FaultKind::TransientKernel
-                                       : FaultKind::PermanentDropout;
-            auto &faultyDpus = dropped.empty() ? transient : dropped;
-            if (kind == FaultKind::PermanentDropout) {
-                for (const std::size_t i : faultyDpus) {
-                    _dead[i] = true;
-                    --_liveCount;
-                }
-            }
-            const double seconds =
-                config.launchOverheadSec + plan.detectSec;
-            record(Phase::Recovery, TimeBucket::Recovery, seconds,
-                   faultLabel(kind));
-            CommandStatus status;
-            status.seconds = seconds;
-            // Copied, not moved: faultyDpus aliases reusable scratch.
-            status.error = CommandError{kind, faultyDpus, site};
-            return status;
-        }
-    }
+    if (auto faulted = launchFaultCheck())
+        return *faulted;
 
     // Fine-grained multithreading: t resident tasklets retire t
     // instructions per pipelineInterval window (saturating at one
@@ -374,28 +410,77 @@ CommandStream::launch(const KernelFn &kernel, unsigned tasklets,
         w.ctx->flush();
         _effective[i] = w.ctx->cycles() / speedup;
     });
-    // Commit clocks and reduce the slowest core serially, in core
-    // order: bit-identical for every pool size.
-    Cycles slowest = 0;
+    return finishLaunch(bucket, label);
+}
+
+CommandStatus
+CommandStream::launchBatch(const BatchKernelFn &kernel,
+                           unsigned tasklets, TimeBucket bucket,
+                           std::string_view label)
+{
+    SWIFTRL_ASSERT(kernel, "launch of an empty batch kernel");
+    SWIFTRL_ASSERT(tasklets >= 1 && tasklets <= 24,
+                   "UPMEM DPUs support 1-24 tasklets, got ",
+                   tasklets);
+    const auto &config = _system.config();
+
+    // Same fault site as a scalar launch would consume, same
+    // semantics: the site numbering of a run cannot depend on which
+    // interpreter executes it.
+    if (auto faulted = launchFaultCheck())
+        return *faulted;
+
+    const Cycles speedup = std::min<Cycles>(
+        tasklets, config.costModel.pipelineInterval);
+
+    auto &dpus = _system._dpus;
+    const std::size_t n = dpus.size();
+    _effective.assign(n, 0);
+
+    // Cohort = live cores in ascending id order; dead lanes are
+    // excluded here, the batch-kernel equivalent of launch()'s
+    // per-core _dead check.
+    std::vector<std::size_t> &cohort = _cohortScratch;
+    cohort.clear();
     for (std::size_t i = 0; i < n; ++i) {
-        if (_dead[i])
-            continue;
-        dpus[i].addCycles(_effective[i]);
-        slowest = std::max(slowest, _effective[i]);
+        if (!_dead[i])
+            cohort.push_back(i);
     }
-    const double seconds = config.launchOverheadSec +
-                           config.costModel.seconds(slowest);
-    record(Phase::Kernel, bucket, seconds, label);
-    if (_observer) {
-        LaunchStats stats;
-        stats.label = label;
-        stats.start = _cursor - seconds;
-        stats.end = _cursor;
-        stats.effectiveCycles = _effective;
-        stats.liveCount = _liveCount;
-        _observer->onLaunch(*this, stats);
+    const std::size_t lanes = cohort.size();
+    if (lanes > 0) {
+        // CPU-count-aware chunking: ~4 chunks per host thread for
+        // load balance, clamped to the cohort so tiny cohorts do not
+        // over-chunk. Each chunk gets a contiguous near-equal lane
+        // range and one BatchKernelContext on one worker.
+        const std::size_t chunks = std::min<std::size_t>(
+            lanes,
+            static_cast<std::size_t>(
+                std::max(1u, _system.hostThreadCount())) *
+                4);
+        _system._pool->parallelFor(chunks, [&](std::size_t c,
+                                               unsigned worker) {
+            const std::size_t begin = lanes * c / chunks;
+            const std::size_t end = lanes * (c + 1) / chunks;
+            if (begin == end)
+                return;
+            LaunchWorker &w = launchWorker(worker);
+            w.scratch.reset();
+            std::vector<Dpu *> lane_dpus;
+            lane_dpus.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+                lane_dpus.push_back(&dpus[cohort[i]]);
+            BatchKernelContext bctx(lane_dpus, config.costModel,
+                                    config.wramBytesPerDpu,
+                                    &w.scratch);
+            kernel(bctx);
+            bctx.flushAll();
+            for (std::size_t i = begin; i < end; ++i) {
+                _effective[cohort[i]] =
+                    bctx.lane(i - begin).cycles() / speedup;
+            }
+        });
     }
-    return {seconds, std::nullopt};
+    return finishLaunch(bucket, label);
 }
 
 double

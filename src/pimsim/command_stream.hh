@@ -49,10 +49,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "pimsim/batch_context.hh"
 #include "pimsim/fault_plan.hh"
 #include "pimsim/kernel_context.hh"
 #include "pimsim/kernel_scratch.hh"
@@ -193,6 +195,26 @@ class CommandStream
     CommandStatus launch(const KernelFn &kernel, unsigned tasklets = 1,
                          TimeBucket bucket = TimeBucket::Kernel,
                          std::string_view label = "kernel");
+
+    /**
+     * Batch-interpreted launch: form the live cores into cohort
+     * chunks (CPU-count-aware: at most ~4 chunks per host thread,
+     * clamped to the cohort size) and run @p kernel once per chunk on
+     * the host pool, handing it a BatchKernelContext over that
+     * chunk's lanes. Everything observable — fault-site numbering,
+     * dead-core masking, per-core cycle commits, the slowest-core
+     * reduce, the timeline event, LaunchStats — matches launch() of
+     * an equivalent scalar kernel bit for bit; only the host-side
+     * execution strategy differs. See docs/PERFORMANCE.md.
+     *
+     * A fault site, with exactly launch()'s semantics: one site per
+     * launch, dropouts outrank transient faults, a faulted launch is
+     * abandoned before any lane commits work.
+     */
+    CommandStatus launchBatch(const BatchKernelFn &kernel,
+                              unsigned tasklets = 1,
+                              TimeBucket bucket = TimeBucket::Kernel,
+                              std::string_view label = "kernel");
 
     /**
      * Record host-side reduction work of @p seconds (the averaging
@@ -356,6 +378,22 @@ class CommandStream
     double checksumSeconds(std::size_t bytes) const;
 
     /**
+     * Shared fault block of launch()/launchBatch(): consume one
+     * fault site while the plan is active and, if the launch is
+     * fated, mark dropouts dead, charge the detection cost, and
+     * return the error status. nullopt = proceed with the launch.
+     */
+    std::optional<CommandStatus> launchFaultCheck();
+
+    /**
+     * Shared tail of launch()/launchBatch(): commit per-core clocks
+     * from _effective serially in core order, reduce the slowest
+     * core, record the timeline event, and notify the observer.
+     */
+    CommandStatus finishLaunch(TimeBucket bucket,
+                               std::string_view label);
+
+    /**
      * Per-host-worker launch state, reused across launches: the
      * staging arena (reset per kernel instance) and a rebindable
      * KernelContext, so steady-state launches construct nothing.
@@ -395,6 +433,9 @@ class CommandStream
      *  error path so their capacity survives). */
     std::vector<std::size_t> _faultScratchA;
     std::vector<std::size_t> _faultScratchB;
+
+    /** Live-lane cohort of the current batch launch (reused). */
+    std::vector<std::size_t> _cohortScratch;
 };
 
 } // namespace swiftrl::pimsim

@@ -49,6 +49,22 @@ class Dpu
     /** Read from the MRAM bank; fatal on out-of-range access. */
     void mramRead(std::size_t offset, void *dst, std::size_t bytes) const;
 
+    /**
+     * Raw read-only view of MRAM bytes [offset, offset + bytes).
+     * Grows the lazy buffer (zero-filled) first, so never-written
+     * ranges read as zero exactly like mramRead. The pointer stays
+     * valid until a write past the current buffer end triggers
+     * growth; callers that interleave writes must re-acquire. Fatal
+     * past the bank capacity. Used by the batch interpreter to avoid
+     * staging copies of the read-only transition region.
+     */
+    const std::uint8_t *
+    mramView(std::size_t offset, std::size_t bytes)
+    {
+        ensure(offset + bytes);
+        return _mram.data() + offset;
+    }
+
     /** Total cycles this core has consumed. */
     Cycles cycles() const { return _cycles; }
 

@@ -87,9 +87,13 @@ HostPool::run(std::size_t n, RawFn fn, void *ctx)
     job->n = n;
     // Oversubscribe ~4 chunks per thread: large enough that a full
     // launch costs O(threads) atomics, small enough to rebalance
-    // when per-index costs are skewed.
-    job->grain = std::max<std::size_t>(
-        1, n / (static_cast<std::size_t>(_threads) * 4));
+    // when per-index costs are skewed. Ceil-divide and cap the chunk
+    // count at the range length: the old truncating `n / (4*threads)`
+    // degenerated to grain 1 for any n < 8*threads, paying one atomic
+    // per index on exactly the small ranges where that overhead shows.
+    const std::size_t target_chunks = std::min<std::size_t>(
+        n, static_cast<std::size_t>(_threads) * 4);
+    job->grain = (n + target_chunks - 1) / target_chunks;
     {
         std::lock_guard lock(_mutex);
         _job = job;

@@ -489,6 +489,75 @@ class BasicKernelContext
      */
     std::uint32_t lcgState() const { return _lcg.state(); }
 
+    // --- batch-interpreter support --------------------------------
+
+    /**
+     * Bulk charge used by the lockstep batch interpreter: commits
+     * @p count ops of class @p op in one call. Identical to @p count
+     * individual priced-helper calls — integer addition is
+     * associative — so batch execution stays bit-identical to the
+     * scalar interpreter (see docs/PERFORMANCE.md).
+     */
+    void
+    chargeBulk(OpClass op, std::uint64_t count)
+    {
+        charge(op, count);
+    }
+
+    /**
+     * Charge-only DMA of one logical transfer of @p bytes: advances
+     * the clock and the DMA byte counter exactly as mramToWram /
+     * wramToMram would (same 2,048-byte piece split, same per-piece
+     * tail padding) without moving any data. The batch interpreter
+     * reads transitions through a raw MRAM view (Dpu::mramView) and
+     * accounts the modelled transfer here.
+     */
+    void
+    chargeDmaSpan(std::size_t bytes)
+    {
+        std::size_t done = 0;
+        while (done < bytes) {
+            const std::size_t piece = std::min<std::size_t>(
+                bytes - done, _model->mramDmaMaxBytes);
+            chargeDma(piece);
+            done += piece;
+        }
+    }
+
+    /**
+     * Charge @p times identical logical transfers of @p bytes each.
+     * Equivalent to calling chargeDmaSpan(@p bytes) @p times — every
+     * transfer pads and splits independently, so the per-transfer
+     * cycle and byte totals are exact integers that scale by
+     * multiplication. Lets the batch interpreter retire a whole run
+     * of per-record 16-byte fetches (RANDOM sampling) in one call.
+     */
+    void
+    chargeDmaSpanBulk(std::size_t bytes, std::uint64_t times)
+    {
+        if (times == 0 || bytes == 0)
+            return;
+        Cycles span_cycles = 0;
+        std::uint64_t span_bytes = 0;
+        std::size_t done = 0;
+        const std::size_t align = _model->mramDmaAlignBytes;
+        while (done < bytes) {
+            const std::size_t piece = std::min<std::size_t>(
+                bytes - done, _model->mramDmaMaxBytes);
+            const std::size_t padded =
+                (piece + align - 1) / align * align;
+            span_cycles += _model->dmaCycles(
+                static_cast<std::uint32_t>(padded));
+            span_bytes += padded;
+            done += piece;
+        }
+        _cycles += span_cycles * times;
+        if constexpr (Policy == ChargePolicy::Batched)
+            _pendingDmaBytes += span_bytes * times;
+        else
+            _dpu->addDmaBytes(span_bytes * times);
+    }
+
   private:
     /** Charge @p count ops of class @p op. */
     void

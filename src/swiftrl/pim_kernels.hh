@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pimsim/batch_context.hh"
 #include "pimsim/kernel_context.hh"
 #include "rlcore/trainers.hh"
 #include "rlcore/types.hh"
@@ -116,6 +117,28 @@ struct KernelParams
  */
 template <typename Ctx>
 void runTrainingKernel(Ctx &ctx, const KernelParams &params);
+
+/**
+ * Batch-interpreted kernel entry point: trains every lane of a cohort
+ * in one lockstep pass instead of interpreting the kernel once per
+ * core (see docs/PERFORMANCE.md, "Batch interpretation").
+ *
+ * Functionally and in every modelled quantity — per-core cycles, op
+ * counts, DMA bytes, Q-tables, LCG streams — the result is
+ * bit-identical to running runTrainingKernel over the same cores with
+ * the same KernelParams: the lanes execute the real update-rule
+ * templates record by record, while op-class charges are retired as
+ * per-lane *shape tallies* multiplied by probe-calibrated per-shape
+ * charge profiles (exact, because every update's charge sequence is
+ * fully determined by its control-flow shape). The invariant is
+ * enforced by tests/test_batch_context.cc across all kernel variants.
+ *
+ * Preconditions (callers fall back to the scalar path otherwise):
+ * params.tasklets == 1 and !params.trackVisits. Sharded layouts are
+ * supported.
+ */
+void runTrainingKernelBatch(pimsim::BatchKernelContext &batch,
+                            const KernelParams &params);
 
 /** Bytes of one packed transition record. */
 inline constexpr std::size_t kTransitionBytes = 16;

@@ -125,6 +125,9 @@ TrainerSession::buildKernel()
     _kernel = [this](pimsim::KernelContext &ctx) {
         runTrainingKernel(ctx, _params);
     };
+    _batchKernel = [this](pimsim::BatchKernelContext &batch) {
+        runTrainingKernelBatch(batch, _params);
+    };
 }
 
 std::vector<std::vector<std::uint8_t>>
@@ -522,11 +525,21 @@ TrainerSession::step()
     _episodesRemaining -= _params.episodes;
     _params.hyper.epsilon = _epsilonNow;
 
+    // Batch interpretation when the kernel qualifies (single
+    // tasklet, no visit tracking): one lockstep pass over the live
+    // cohort instead of one interpreter run per core. Either path
+    // produces bit-identical modelled results.
     runWithRecovery(
         *_stream, _config.retry, "kernel:round",
         [&] {
-            return _stream->launch(_kernel, _config.tasklets,
-                                   TimeBucket::Kernel, "kernel:round");
+            return batchEligible()
+                       ? _stream->launchBatch(_batchKernel,
+                                              _config.tasklets,
+                                              TimeBucket::Kernel,
+                                              "kernel:round")
+                       : _stream->launch(_kernel, _config.tasklets,
+                                         TimeBucket::Kernel,
+                                         "kernel:round");
         },
         [&](const pimsim::CommandError &) { redistribute(); });
 

@@ -68,6 +68,41 @@ TEST(HostPool, SerialPoolRunsInlineOnTheCaller)
     EXPECT_EQ(sum, 4950u);
 }
 
+TEST(HostPool, OneElementRangeRunsInlineEvenWithWorkers)
+{
+    // n == 1 must never pay dispatch: a single index runs inline on
+    // the caller even when the pool has idle workers.
+    HostPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    int runs = 0;
+    pool.parallelFor(1, [&](std::size_t i, unsigned worker) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(i, 0u);
+        EXPECT_EQ(worker, 0u);
+        ++runs;
+    });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(HostPool, RangeShorterThanThePoolVisitsEveryIndexOnce)
+{
+    // Ranges shorter than the pool are the shape where the old
+    // truncating grain computation degenerated; the clamped chunking
+    // must still cover every index exactly once.
+    HostPool pool(8);
+    for (const std::size_t n :
+         {std::size_t{2}, std::size_t{3}, std::size_t{5},
+          std::size_t{7}}) {
+        std::vector<std::atomic<std::uint32_t>> hits(n);
+        pool.parallelFor(n, [&](std::size_t i, unsigned) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1u)
+                << "index " << i << " with n=" << n;
+    }
+}
+
 TEST(HostPool, CallableIsBorrowedNotCopied)
 {
     // A mutable callable's state must survive the dispatch — the

@@ -2,7 +2,8 @@
 """Compare two SwiftRL result files: bench outputs or metrics exports.
 
 Usage:
-    tools/bench_compare.py BEFORE.json AFTER.json
+    tools/bench_compare.py [--throughput] [--min-speedup R] \\
+        BEFORE.json AFTER.json
 
 Bench mode — each input is a raw ``bench/perf_sim_throughput`` output
 (``{"bench": ..., "workloads": [...]}``) or a checked-in combined
@@ -22,7 +23,17 @@ runs), then diffs every modelled counter — the ``pim_*`` / ``rl_*``
 instruction-mix, DMA, round, and fault counters — exactly, and
 reports straggler-ratio and core-cycle histogram drift alongside.
 
-Exit status is 0 when every modelled quantity agrees, 1 on drift,
+Throughput gate — with ``--throughput`` (bench mode only) the tool
+additionally fails when any common workload's host wall-clock
+*regresses* beyond tolerance: the per-workload speedup
+(``before.wall_sec / after.wall_sec``) must be at least
+``--min-speedup`` (default 0.9, i.e. up to 10% slack for timer
+noise). Raise the bar (e.g. ``--min-speedup 1.2``) to assert an
+optimisation actually pays off, as the CI perf-smoke job does for
+the batch interpreter.
+
+Exit status is 0 when every modelled quantity agrees (and, under
+``--throughput``, no workload regressed), 1 on drift or regression,
 2 on unusable/incomparable inputs. Stdlib only.
 """
 
@@ -142,22 +153,50 @@ def compare_metrics(path_a, path_b, doc_a, doc_b):
     return 0
 
 
+def parse_args(argv):
+    """Split argv into (positional paths, throughput, min_speedup)."""
+    throughput = False
+    min_speedup = 0.9
+    paths = []
+    rest = argv[1:]
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--throughput":
+            throughput = True
+        elif arg == "--min-speedup":
+            if not rest:
+                sys.exit("--min-speedup needs a value")
+            try:
+                min_speedup = float(rest.pop(0))
+            except ValueError:
+                sys.exit("--min-speedup needs a number")
+        elif arg.startswith("--"):
+            sys.exit(f"unknown option {arg}")
+        else:
+            paths.append(arg)
+    return paths, throughput, min_speedup
+
+
 def main(argv):
-    if len(argv) != 3:
+    paths, throughput, min_speedup = parse_args(argv)
+    if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    doc_a = load_json(argv[1])
-    doc_b = load_json(argv[2])
+    doc_a = load_json(paths[0])
+    doc_b = load_json(paths[1])
     a_metrics = doc_a.get("schema") == METRICS_SCHEMA
     b_metrics = doc_b.get("schema") == METRICS_SCHEMA
     if a_metrics != b_metrics:
         sys.exit("cannot mix a metrics export with a bench output")
     if a_metrics:
-        return compare_metrics(argv[1], argv[2], doc_a, doc_b)
+        if throughput:
+            sys.exit("--throughput applies to bench outputs, not "
+                     "metrics exports")
+        return compare_metrics(paths[0], paths[1], doc_a, doc_b)
 
-    before = load_workloads(argv[1], "before")
-    after = load_workloads(argv[2], "after")
+    before = load_workloads(paths[0], "before")
+    after = load_workloads(paths[1], "after")
 
     common = [name for name in before if name in after]
     if not common:
@@ -167,28 +206,39 @@ def main(argv):
     print(f"{'workload':<{width}}  {'before':>9}  {'after':>9}  "
           f"{'speedup':>8}  modelled")
     mismatches = 0
+    regressions = 0
     for name in common:
         b, a = before[name], after[name]
         speedup = b["wall_sec"] / a["wall_sec"] if a["wall_sec"] else 0.0
         identical = all(b.get(k) == a.get(k) for k in MODELLED_KEYS)
         if not identical:
             mismatches += 1
+        slow = throughput and speedup < min_speedup
+        if slow:
+            regressions += 1
         print(f"{name:<{width}}  {b['wall_sec']:>8.4f}s  "
               f"{a['wall_sec']:>8.4f}s  {speedup:>7.2f}x  "
-              f"{'identical' if identical else 'MISMATCH'}")
+              f"{'identical' if identical else 'MISMATCH'}"
+              f"{'  REGRESSION' if slow else ''}")
 
     only_before = sorted(set(before) - set(after))
     only_after = sorted(set(after) - set(before))
     for name in only_before:
-        print(f"{name}: only in {argv[1]}")
+        print(f"{name}: only in {paths[0]}")
     for name in only_after:
-        print(f"{name}: only in {argv[2]}")
+        print(f"{name}: only in {paths[1]}")
 
+    status = 0
     if mismatches:
         print(f"{mismatches} workload(s) changed modelled outputs — "
               "the cost model contract is broken", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if regressions:
+        print(f"{regressions} workload(s) below the {min_speedup:g}x "
+              "throughput bar — host wall-clock regressed",
+              file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":
