@@ -181,6 +181,27 @@ main(void)
     CHECK(strcmp(swiftrl_status_name(SWIFTRL_ERR_IO),
                  "SWIFTRL_ERR_IO") == 0);
 
+    /* The flight recorder has accumulated breadcrumbs from the runs
+     * above; its JSON dump must succeed and be non-empty, and an
+     * unwritable path must come back as a typed IO error, not a
+     * crash. */
+    CHECK(swiftrl_dump_flight_record("smoke_flight.json") ==
+          SWIFTRL_OK);
+    {
+        FILE *flight = fopen("smoke_flight.json", "rb");
+        CHECK(flight != NULL);
+        if (flight != NULL) {
+            char header[32] = {0};
+            CHECK(fread(header, 1, sizeof(header) - 1, flight) > 0);
+            CHECK(strstr(header, "swiftrl-flight-v1") != NULL);
+            fclose(flight);
+        }
+    }
+    CHECK(swiftrl_dump_flight_record(
+              "no-such-dir/smoke_flight.json") == SWIFTRL_ERR_IO);
+    CHECK(strlen(swiftrl_last_error()) > 0);
+    remove("smoke_flight.json");
+
     remove("smoke_full.qt");
     remove("smoke_resumed.qt");
     remove("smoke.ck");

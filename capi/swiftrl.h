@@ -205,6 +205,19 @@ int32_t swiftrl_policy_num_actions(const swiftrl_policy *policy);
 /** Stop serving and destroy the handle. NULL is a no-op. */
 void swiftrl_policy_free(swiftrl_policy *policy);
 
+/* --- diagnostics --------------------------------------------------- */
+
+/**
+ * Dump the library's always-on flight recorder — the last ~256
+ * span/log breadcrumbs from every subsystem — for post-mortem
+ * diagnosis. With a non-NULL @p path, writes self-describing JSON
+ * ({"schema":"swiftrl-flight-v1",...}) to that file and returns
+ * SWIFTRL_ERR_IO if it cannot be written; with NULL, prints the
+ * ring as text to stderr. Observation-only: dumping never perturbs
+ * training or serving results.
+ */
+swiftrl_status swiftrl_dump_flight_record(const char *path);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include <iostream>
+
 #include "common/json.hh"
 #include "pimsim/pim_system.hh"
 #include "rlcore/dataset.hh"
@@ -629,6 +631,22 @@ void
 swiftrl_policy_free(swiftrl_policy *policy)
 {
     delete policy;
+}
+
+swiftrl_status
+swiftrl_dump_flight_record(const char *path)
+{
+    auto &tracer = swiftrl::telemetry::tracer();
+    if (path == nullptr) {
+        tracer.dumpFlightText(std::cerr);
+        return ok();
+    }
+    if (!tracer.writeFlightJson(path)) {
+        return fail(SWIFTRL_ERR_IO,
+                    std::string("cannot write flight record to ") +
+                        path);
+    }
+    return ok();
 }
 
 } // extern "C"

@@ -20,6 +20,12 @@
  * fault plan, and cost-model provenance (docs/OBSERVABILITY.md).
  * --log-level (or SWIFTRL_LOG) sets the stderr verbosity.
  *
+ * With --trace-spans the run retains its causal span tree (fleet ->
+ * session -> engine / serving) and writes it as self-describing JSON
+ * validated by tools/check_trace.py; --flight-record dumps the
+ * always-on flight ring on exit and names the crash-dump destination
+ * for SWIFTRL_FATAL / SWIFTRL_PANIC.
+ *
  * Examples:
  *   swiftrl_cli --env taxi --algo sarsa --sampling ran --format int32
  *   swiftrl_cli --env frozenlake --cores 2000 --episodes 200 --tau 50
@@ -46,8 +52,43 @@
 #include "telemetry/export.hh"
 #include "telemetry/metric_registry.hh"
 #include "telemetry/run_manifest.hh"
+#include "telemetry/tracing.hh"
 
 namespace {
+
+/**
+ * Causal-trace exports, shared by every mode: --trace-spans writes
+ * the retained span dump (validated by tools/check_trace.py),
+ * --flight-record writes the always-on flight ring on demand.
+ * Returns non-zero when a requested file could not be written.
+ */
+int
+writeTraceOutputs(const swiftrl::common::CliFlags &flags)
+{
+    using namespace swiftrl;
+
+    const auto spans_path = flags.getString("trace-spans", "");
+    if (!spans_path.empty()) {
+        if (telemetry::tracer().writeSpansJson(spans_path)) {
+            std::cout << "trace spans written to " << spans_path
+                      << "\n";
+        } else {
+            SWIFTRL_WARN("cannot write span file ", spans_path);
+            return 1;
+        }
+    }
+    const auto flight_path = flags.getString("flight-record", "");
+    if (!flight_path.empty()) {
+        if (telemetry::tracer().writeFlightJson(flight_path)) {
+            std::cout << "flight record written to " << flight_path
+                      << "\n";
+        } else {
+            SWIFTRL_WARN("cannot write flight record ", flight_path);
+            return 1;
+        }
+    }
+    return 0;
+}
 
 /** Shared tail of both modes: evaluate, report, export, checkpoint. */
 int
@@ -84,7 +125,11 @@ finishRun(const swiftrl::common::CliFlags &flags,
     // (straggler ratio, DMA bytes, live cores, max |dQ|).
     const auto trace_path = flags.getString("trace", "");
     if (!trace_path.empty()) {
-        if (timeline.writeChromeTrace(trace_path)) {
+        // With --trace-spans active, the retained causal spans are
+        // merged into the same trace as nested slices (pid 1).
+        if (timeline.writeChromeTrace(
+                trace_path,
+                telemetry::tracer().chromeSpanEvents())) {
             std::cout << "trace written to " << trace_path << " ("
                       << timeline.size() << " commands)\n";
         } else {
@@ -145,7 +190,7 @@ finishRun(const swiftrl::common::CliFlags &flags,
                   << " greedy queries in " << stats.batches
                   << " batch(es)\n";
     }
-    return 0;
+    return writeTraceOutputs(flags);
 }
 
 } // namespace
@@ -165,18 +210,25 @@ main(int argc, char **argv)
          "generations", "fault-seed", "fault-rate", "dropout-rate",
          "retry-limit", "metrics", "metrics-prom", "log-level",
          "checkpoint", "pause-round", "restore", "serve", "fleet",
-         "shards", "batch-exec"});
+         "shards", "batch-exec", "trace-spans", "flight-record"});
 
     // --log-level overrides the SWIFTRL_LOG environment variable.
+    // An unknown name warns once and falls back to inform rather
+    // than aborting the run.
     const auto log_level_name = flags.getString("log-level", "");
-    if (!log_level_name.empty()) {
-        const auto level = common::parseLogLevel(log_level_name);
-        if (!level) {
-            SWIFTRL_FATAL("--log-level must be quiet|warn|inform|"
-                          "debug, got ", log_level_name);
-        }
-        common::setLogLevel(*level);
-    }
+    if (!log_level_name.empty())
+        common::setLogLevelFromName(log_level_name, "--log-level");
+
+    // Causal tracing: --trace-spans turns on span retention for the
+    // whole run; --flight-record names the on-demand flight-ring dump
+    // and doubles as the crash-dump destination, so a SWIFTRL_FATAL
+    // mid-run still leaves the recorder's trail on disk.
+    if (!flags.getString("trace-spans", "").empty())
+        telemetry::tracer().enableExport(true);
+    const auto flight_record_path =
+        flags.getString("flight-record", "");
+    if (!flight_record_path.empty())
+        telemetry::tracer().setCrashDumpPath(flight_record_path);
 
     // --- fleet mode --------------------------------------------------
     // --fleet jobs.json replaces the single-run flow entirely: the
@@ -230,6 +282,37 @@ main(int argc, char **argv)
                   << "preemptions:      " << result.totalPreemptions
                   << "\n";
 
+        // --serve N in fleet mode: stand up one serving frontend per
+        // finished job and answer N greedy queries from its trained
+        // table, labelled with the job's tenant. Each server's span
+        // tree parents on that job's fleet.job span, so serve traffic
+        // in the trace dump is causally attributed to the job that
+        // trained the table.
+        const auto fleet_serve = flags.getInt("serve", 0);
+        if (fleet_serve > 0) {
+            for (const auto &job : result.jobs) {
+                serving::ServingConfig serve_cfg;
+                serve_cfg.traceParent = job.traceSpanId;
+                serve_cfg.metrics = spec.config.metrics;
+                serving::PolicyServer server(job.finalQ, serve_cfg);
+                for (long long i = 0; i < fleet_serve; ++i) {
+                    const auto state = static_cast<rlcore::StateId>(
+                        i % job.finalQ.numStates());
+                    if (server.act(state, job.tenant) < 0) {
+                        SWIFTRL_WARN("policy serving rejected state ",
+                                     state, " for job ", job.id);
+                        return 1;
+                    }
+                }
+                server.stop();
+                const auto stats = server.stats();
+                std::cout << "served " << stats.queries
+                          << " queries for " << job.id << " (tenant "
+                          << job.tenant << ") in " << stats.batches
+                          << " batch(es)\n";
+            }
+        }
+
         telemetry::RunManifest fleet_manifest;
         fleet_manifest.tool = "swiftrl_cli";
         fleet_manifest.mode = "fleet";
@@ -262,7 +345,7 @@ main(int argc, char **argv)
             std::cout << "prometheus metrics written to "
                       << fleet_prom_path << "\n";
         }
-        return 0;
+        return writeTraceOutputs(flags);
     }
 
     const auto env_name = flags.getString("env", "frozenlake");
@@ -510,7 +593,7 @@ main(int argc, char **argv)
                   << " after " << ck.commRounds << " round(s); "
                   << "resume with --restore " << checkpoint_path
                   << "\n";
-        return 0;
+        return writeTraceOutputs(flags);
     }
 
     const auto result =

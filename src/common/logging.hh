@@ -39,6 +39,36 @@ void setLogLevel(LogLevel level);
  */
 std::optional<LogLevel> parseLogLevel(std::string_view name);
 
+/**
+ * Set the level from a user-supplied name. An unrecognised name warns
+ * once per process (naming @p source, e.g. "--log-level" or
+ * "SWIFTRL_LOG") and falls back to Inform — a typo should degrade to
+ * the default verbosity, not silently change behaviour or kill the
+ * run.
+ */
+void setLogLevelFromName(std::string_view name, std::string_view source);
+
+/** Monotonic wall-clock seconds since process start. */
+double monotonicSeconds();
+
+/**
+ * Observer hook called (under the log mutex) with every emitted log
+ * line's level tag and message body. Installed by the telemetry
+ * tracing layer to feed the flight recorder; pass nullptr to clear.
+ * The hook must not log.
+ */
+using LogEventHook = void (*)(const char *level, const char *message);
+void setLogEventHook(LogEventHook hook);
+
+/**
+ * Hook called by fatal()/panic() after the failure message is
+ * printed, immediately before exit/abort — the flight recorder's
+ * chance to dump a causal trail. Runs outside the log mutex (it is
+ * expected to write to stderr itself); pass nullptr to clear.
+ */
+using CrashDumpHook = void (*)();
+void setCrashDumpHook(CrashDumpHook hook);
+
 namespace detail {
 
 [[noreturn]] void fatalImpl(const char *file, int line,

@@ -15,6 +15,7 @@
 #include "rlenv/registry.hh"
 #include "swiftrl/session.hh"
 #include "telemetry/metric_registry.hh"
+#include "telemetry/tracing.hh"
 
 namespace swiftrl::fleet {
 
@@ -90,6 +91,11 @@ struct Job
      *  instead of the just-preempted job re-winning its ranks. */
     double consumedRankSec = 0.0;
 
+    /** Causal spans (fleet clock): the job's lifetime (arrival to
+     *  finish) and the currently-held grant. Observation-only. */
+    telemetry::Span span;
+    telemetry::Span grantSpan;
+
     JobOutcome outcome;
 };
 
@@ -129,6 +135,9 @@ struct RunState
     std::map<std::string, double> virtualTime;
     double clock = 0.0;
     std::vector<std::string> log;
+
+    /** Root "fleet.run" span over the whole schedule (fleet clock). */
+    telemetry::Span runSpan;
 
     explicit RunState(const FleetConfig &cfg)
         : config(cfg), pool(cfg.totalRanks)
@@ -222,14 +231,28 @@ grant(RunState &rs, std::size_t ji, std::size_t want)
             ? want
             : std::min(job.outcome.minGrantRanks, want);
 
+    // One span per grant on the fleet clock, the causal parent of the
+    // session the grant hosts (the session's own spans tick the
+    // modelled clock, so the link is parental, not containment).
+    job.grantSpan = telemetry::tracer().begin(
+        job.outcome.grants == 1 ? "fleet.grant" : "fleet.resume",
+        "fleet", "fleet", rs.clock, job.span.id());
+    job.grantSpan
+        .attr("ranks", std::to_string(job.granted.size()) + "/" +
+                           std::to_string(spec.ranks))
+        .attr("first_rank", job.granted.front())
+        .attr("tenant", spec.tenant);
+
     // The job's logical machine is always full width; the physical
     // grant only sets the time-multiplexing factor.
     pimsim::PimConfig pim;
     pim.numDpus = spec.ranks * rs.config.dpusPerRank;
     pim.hostThreads = rs.config.hostThreads;
     job.system = std::make_unique<pimsim::PimSystem>(pim);
-    job.session = std::make_unique<TrainerSession>(
-        *job.system, sessionConfigFor(spec));
+    SessionConfig scfg = sessionConfigFor(spec);
+    scfg.traceParent = job.grantSpan.id();
+    job.session = std::make_unique<TrainerSession>(*job.system,
+                                                   std::move(scfg));
 
     double cost = rs.config.dispatchOverheadSec;
     if (job.checkpoint) {
@@ -325,6 +348,10 @@ handleSliceEnd(RunState &rs, std::size_t ji)
         job.outcome.commRounds = job.session->commRounds();
         job.outcome.modelledTrainSec = job.session->stream().now();
         job.outcome.finishSec = rs.clock;
+        // Whole-run fault tallies, captured before the session (and
+        // its timeline) is torn down.
+        job.outcome.faultsDetected = job.session->faultsDetected();
+        job.outcome.coresLost = job.session->coresLost();
         job.session.reset();
         job.system.reset();
         job.data.reset();
@@ -333,6 +360,14 @@ handleSliceEnd(RunState &rs, std::size_t ji)
         job.state = Job::State::Finished;
         rs.logLine("finish", job,
                    " rounds=" + std::to_string(job.outcome.commRounds));
+        job.grantSpan.finish(rs.clock);
+        job.span.attr("rounds", job.outcome.commRounds)
+            .attr("preemptions", job.outcome.preemptions)
+            .attr("faults", job.outcome.faultsDetected)
+            .attr("cores_lost", job.outcome.coresLost);
+        job.span.finish(rs.clock,
+                        job.outcome.faultsDetected > 0 ? "retried"
+                                                       : "ok");
         return;
     }
     if (!anyQueued(rs)) {
@@ -361,6 +396,14 @@ handleSliceEnd(RunState &rs, std::size_t ji)
     rs.logLine("preempt", job,
                " rounds=" +
                    std::to_string(job.checkpoint->commRounds));
+    // Retrospective span over the checkpoint serialisation window;
+    // the grant closes with it, outcome "preempted".
+    auto preempt = telemetry::tracer().begin(
+        "fleet.preempt", "fleet", "fleet", rs.clock, job.span.id());
+    preempt.attr("rounds", job.checkpoint->commRounds)
+        .attr("tenant", job.spec->tenant);
+    preempt.finish(rs.clock + cost);
+    job.grantSpan.finish(rs.clock + cost, "preempted");
     rs.push(rs.clock + cost, Event::Kind::PreemptDone, ji);
 }
 
@@ -393,6 +436,10 @@ FleetScheduler::run(const std::vector<JobSpec> &jobs)
     if (jobs.empty())
         SWIFTRL_FATAL("a fleet run needs at least one job");
     RunState rs(_config);
+    rs.runSpan =
+        telemetry::tracer().begin("fleet.run", "fleet", "fleet", 0.0);
+    rs.runSpan.attr("jobs", jobs.size())
+        .attr("ranks", _config.totalRanks);
     rs.jobs.resize(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const JobSpec &spec = jobs[i];
@@ -418,6 +465,16 @@ FleetScheduler::run(const std::vector<JobSpec> &jobs)
             job.state = Job::State::Queued;
             job.enqueueSec = rs.clock;
             rs.logLine("arrive", job);
+            // The job's lifetime span opens at admission so every
+            // grant, session, engine command, and serve batch below
+            // it can name it as an ancestor.
+            job.span = telemetry::tracer().begin(
+                "fleet.job", "fleet", "fleet", rs.clock,
+                rs.runSpan.id());
+            job.span.attr("job", job.spec->id)
+                .attr("tenant", job.spec->tenant)
+                .attr("ranks", job.spec->ranks);
+            job.outcome.traceSpanId = job.span.id();
             break;
         case Event::Kind::SliceEnd:
             handleSliceEnd(rs, e.job);
@@ -447,6 +504,8 @@ FleetScheduler::run(const std::vector<JobSpec> &jobs)
     for (std::size_t r = 0; r < _config.totalRanks; ++r)
         result.perRankBusySec.push_back(rs.pool.busySeconds(r));
     result.rankBusySeconds = rs.pool.totalBusySeconds();
+    rs.runSpan.attr("preemptions", result.totalPreemptions);
+    rs.runSpan.finish(result.makespanSec);
 
     if (_config.metrics) {
         auto &m = *_config.metrics;
@@ -461,6 +520,10 @@ FleetScheduler::run(const std::vector<JobSpec> &jobs)
                 .add(static_cast<std::uint64_t>(out.grants));
             m.gauge("fleet_job_finish_seconds", labels)
                 .set(out.finishSec);
+            m.counter("fleet_job_faults_detected_total", labels)
+                .add(static_cast<std::uint64_t>(out.faultsDetected));
+            m.gauge("fleet_job_cores_lost", labels)
+                .set(static_cast<double>(out.coresLost));
             m.counter("fleet_jobs_completed_total",
                       {{"tenant", out.tenant}})
                 .add();

@@ -49,6 +49,7 @@
 #define SWIFTRL_FLEET_SCHEDULER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,17 @@ struct JobOutcome
 
     /** Communication rounds trained. */
     int commRounds = 0;
+
+    /** Faults detected across the job's whole run (all grants). */
+    int faultsDetected = 0;
+
+    /** Cores lost to permanent dropouts over the whole run. */
+    std::size_t coresLost = 0;
+
+    /** Causal-trace span id of the job's "fleet.job" span (0 when no
+     *  tracing ran). Serving frontends attached to the job after the
+     *  run parent their spans here. */
+    std::uint64_t traceSpanId = 0;
 
     JobOutcome() : finalQ(1, 1) {}
 };

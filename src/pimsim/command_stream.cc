@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "pimsim/host_pool.hh"
 #include "pimsim/pim_system.hh"
+#include "telemetry/tracing.hh"
 
 namespace swiftrl::pimsim {
 
@@ -16,6 +17,27 @@ std::string
 faultLabel(FaultKind kind)
 {
     return std::string("fault:") + faultKindName(kind);
+}
+
+/**
+ * Emit a causal span mirroring one timeline event, parented on the
+ * ambient span (the session round that issued the command). Only
+ * called behind tracingActive(): the untraced hot path pays a single
+ * relaxed atomic load. Observation-only — reads the already-recorded
+ * interval, never touches the cursor or any modelled state.
+ */
+void
+traceCommandSpan(Phase phase, TimeBucket bucket, double start,
+                 double end, std::string_view label)
+{
+    const bool faulted = phase == Phase::Recovery &&
+                         label.substr(0, 6) == "fault:";
+    auto span = telemetry::tracer().begin(
+        label, "engine", "modelled", start,
+        telemetry::currentSpanParent());
+    span.attr("phase", phaseName(phase))
+        .attr("bucket", bucketName(bucket));
+    span.finish(end, faulted ? "faulted" : "ok");
 }
 
 } // namespace
@@ -55,6 +77,9 @@ CommandStream::record(Phase phase, TimeBucket bucket, double seconds,
     event.label = std::string(label);
     _timeline.record(std::move(event));
     _cursor += seconds;
+    if (telemetry::tracingActive())
+        traceCommandSpan(phase, bucket, _cursor - seconds, _cursor,
+                         label);
     return seconds;
 }
 
@@ -447,16 +472,15 @@ CommandStream::launchBatch(const BatchKernelFn &kernel,
             cohort.push_back(i);
     }
     const std::size_t lanes = cohort.size();
+    // CPU-count-aware chunking: ~4 chunks per host thread for load
+    // balance, clamped to the cohort so tiny cohorts do not
+    // over-chunk. Each chunk gets a contiguous near-equal lane range
+    // and one BatchKernelContext on one worker.
+    const std::size_t chunks = std::min<std::size_t>(
+        lanes, static_cast<std::size_t>(
+                   std::max(1u, _system.hostThreadCount())) *
+                   4);
     if (lanes > 0) {
-        // CPU-count-aware chunking: ~4 chunks per host thread for
-        // load balance, clamped to the cohort so tiny cohorts do not
-        // over-chunk. Each chunk gets a contiguous near-equal lane
-        // range and one BatchKernelContext on one worker.
-        const std::size_t chunks = std::min<std::size_t>(
-            lanes,
-            static_cast<std::size_t>(
-                std::max(1u, _system.hostThreadCount())) *
-                4);
         _system._pool->parallelFor(chunks, [&](std::size_t c,
                                                unsigned worker) {
             const std::size_t begin = lanes * c / chunks;
@@ -480,7 +504,19 @@ CommandStream::launchBatch(const BatchKernelFn &kernel,
             }
         });
     }
-    return finishLaunch(bucket, label);
+    const CommandStatus status = finishLaunch(bucket, label);
+    if (telemetry::tracingActive()) {
+        // Cohort span covering the committed kernel interval, sitting
+        // alongside the per-command span finishLaunch's record()
+        // already emitted.
+        auto span = telemetry::tracer().begin(
+            "engine.cohort", "engine", "modelled",
+            _cursor - status.seconds, telemetry::currentSpanParent());
+        span.attr("label", label).attr("lanes", lanes).attr("chunks",
+                                                            chunks);
+        span.finish(_cursor, "ok");
+    }
+    return status;
 }
 
 double
@@ -513,6 +549,9 @@ CommandStream::recordHostSpan(Phase phase, TimeBucket bucket,
     event.end = start + seconds;
     event.label = std::string(label);
     _timeline.record(std::move(event));
+    if (telemetry::tracingActive())
+        traceCommandSpan(phase, bucket, start, start + seconds,
+                         label);
     return seconds;
 }
 

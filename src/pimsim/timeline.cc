@@ -45,6 +45,13 @@ using json::jsonEscape;
 void
 Timeline::exportChromeTrace(std::ostream &os) const
 {
+    exportChromeTrace(os, {});
+}
+
+void
+Timeline::exportChromeTrace(std::ostream &os,
+                            std::string_view extra_events) const
+{
     const auto old_precision = os.precision(
         std::numeric_limits<double>::max_digits10);
 
@@ -78,17 +85,26 @@ Timeline::exportChromeTrace(std::ostream &os) const
            << "\",\"ph\":\"C\",\"pid\":0,\"ts\":" << c.time * 1e6
            << ",\"args\":{\"value\":" << c.value << "}}";
     }
+    // Caller-supplied extra events (causal spans on pid 1); each
+    // object arrives pre-serialized with its ",\n" prefix.
+    if (!extra_events.empty()) {
+        // Name the span process so the merged view reads cleanly.
+        os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+              "\"args\":{\"name\":\"swiftrl causal spans\"}}";
+        os << extra_events;
+    }
     os << "\n]}\n";
     os.precision(old_precision);
 }
 
 bool
-Timeline::writeChromeTrace(const std::string &path) const
+Timeline::writeChromeTrace(const std::string &path,
+                           std::string_view extra_events) const
 {
     std::ofstream file(path);
     if (!file)
         return false;
-    exportChromeTrace(file);
+    exportChromeTrace(file, extra_events);
     return static_cast<bool>(file);
 }
 

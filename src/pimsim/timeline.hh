@@ -20,6 +20,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pimsim/event.hh"
@@ -111,10 +112,22 @@ class Timeline
     void exportChromeTrace(std::ostream &os) const;
 
     /**
+     * As above, splicing @p extra_events — pre-serialized trace-event
+     * JSON objects, each prefixed with ",\n" — immediately before the
+     * closing bracket. The timeline stays telemetry-agnostic: the
+     * tracing layer renders its spans (Tracer::chromeSpanEvents, on
+     * pid 1) and hands the opaque string in here. Empty string ≡ the
+     * plain overload.
+     */
+    void exportChromeTrace(std::ostream &os,
+                           std::string_view extra_events) const;
+
+    /**
      * Convenience wrapper: write the Chrome trace to @p path.
      * @return false when the file cannot be opened.
      */
-    bool writeChromeTrace(const std::string &path) const;
+    bool writeChromeTrace(const std::string &path,
+                          std::string_view extra_events = {}) const;
 
   private:
     std::vector<Event> _events;

@@ -35,6 +35,12 @@ PolicyServer::PolicyServer(rlcore::QTable table, ServingConfig config)
     for (StateId s = 0; s < _table.numStates(); ++s)
         _greedy[static_cast<std::size_t>(s)] = _table.greedyAction(s);
 
+    _traceSpan = telemetry::tracer().begin(
+        "serving.server", "serving", "wall",
+        common::monotonicSeconds(), _config.traceParent);
+    _traceSpan.attr("states", _greedy.size())
+        .attr("max_batch", _config.maxBatch);
+
     _worker = std::thread([this] { serveLoop(); });
 }
 
@@ -68,6 +74,12 @@ PolicyServer::actBatch(const StateId *states, ActionId *actions,
     request.count = count;
     request.tenant = tenant;
 
+    // Per-request span (gated: serving is the hot path). Recorded
+    // retrospectively over the enqueue-to-completion window.
+    const bool traced = telemetry::tracingActive();
+    const double enqueued =
+        traced ? common::monotonicSeconds() : 0.0;
+
     std::unique_lock<std::mutex> lock(_mutex);
     if (_stopping)
         return false;
@@ -75,6 +87,13 @@ PolicyServer::actBatch(const StateId *states, ActionId *actions,
     _pendingQueries += count;
     _workReady.notify_one();
     request.cv.wait(lock, [&request] { return request.done; });
+    if (traced) {
+        auto span = telemetry::tracer().begin(
+            "serving.request", "serving", "wall", enqueued,
+            _traceSpan.id());
+        span.attr("tenant", tenant).attr("count", count);
+        span.finish(common::monotonicSeconds());
+    }
     return true;
 }
 
@@ -99,6 +118,15 @@ PolicyServer::stop()
     }
     if (_worker.joinable())
         _worker.join();
+    // After the join: every request span has finished, so the server
+    // span closes last and the wall-clock nesting stays monotone.
+    if (_traceSpan.active()) {
+        const ServingStats totals = stats();
+        _traceSpan.attr("queries", totals.queries)
+            .attr("requests", totals.requests)
+            .attr("batches", totals.batches);
+        _traceSpan.finish(common::monotonicSeconds());
+    }
 }
 
 ServingStats
@@ -165,6 +193,10 @@ PolicyServer::flushBatch(std::unique_lock<std::mutex> &lock,
     }
     SWIFTRL_ASSERT(!batch.empty(), "flushBatch needs pending work");
 
+    const bool traced = telemetry::tracingActive();
+    const double serve_start =
+        traced ? common::monotonicSeconds() : 0.0;
+
     // The lookups are pure reads of immutable state; release the
     // lock so new requests can queue behind this batch.
     lock.unlock();
@@ -182,6 +214,17 @@ PolicyServer::flushBatch(std::unique_lock<std::mutex> &lock,
         _stats.fullBatches += 1;
     else if (timed_out)
         _stats.timeoutBatches += 1;
+    if (traced) {
+        auto span = telemetry::tracer().begin(
+            "serving.batch", "serving", "wall", serve_start,
+            _traceSpan.id());
+        span.attr("queries", batch_queries)
+            .attr("requests", batch.size())
+            .attr("reason", batch_queries >= _config.maxBatch
+                                ? "full"
+                                : (timed_out ? "timeout" : "drain"));
+        span.finish(common::monotonicSeconds());
+    }
     if (_config.metrics) {
         auto &m = *_config.metrics;
         for (Request *request : batch) {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "rlcore/qtable.hh"
+#include "telemetry/tracing.hh"
 
 namespace swiftrl::telemetry {
 class MetricRegistry;
@@ -66,6 +67,14 @@ struct ServingConfig
 
     /** Telemetry destination (null = off, the default). */
     telemetry::MetricRegistry *metrics = nullptr;
+
+    /**
+     * Causal-trace parent of this server's "serving.server" span
+     * (0 = root). The fleet CLI sets the owning job's fleet.job span
+     * id here so serve traffic parents up to the job that trained the
+     * table. Observation-only.
+     */
+    std::uint64_t traceParent = 0;
 };
 
 /** Whole-lifetime serving counters (see PolicyServer::stats). */
@@ -187,6 +196,10 @@ class PolicyServer
     std::size_t _pendingQueries = 0;
     bool _stopping = false;
     ServingStats _stats;
+
+    /** Lifetime span ("serving.server", wall clock), construction to
+     *  stop(). Observation-only. */
+    telemetry::Span _traceSpan;
 
     std::thread _worker;
 };

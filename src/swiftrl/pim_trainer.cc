@@ -145,6 +145,8 @@ PimTrainer::runImpl(const Dataset &data, StateId num_states,
         m.gauge("rl_live_cores")
             .set(static_cast<double>(
                 session.stream().liveDpuCount()));
+        m.counter("rl_cores_lost_total")
+            .add(static_cast<std::uint64_t>(result.coresLost));
         m.gauge("rl_recovery_seconds").set(result.time.recovery);
     }
     return result;
@@ -293,6 +295,8 @@ PimTrainer::trainMultiAgent(const std::vector<Dataset> &agent_data,
             .add(static_cast<std::uint64_t>(result.faultsDetected));
         m.gauge("rl_live_cores")
             .set(static_cast<double>(stream.liveDpuCount()));
+        m.counter("rl_cores_lost_total")
+            .add(static_cast<std::uint64_t>(result.coresLost));
         m.gauge("rl_recovery_seconds").set(result.time.recovery);
     }
     return result;

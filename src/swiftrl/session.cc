@@ -50,7 +50,32 @@ TrainerSession::TrainerSession(pimsim::PimSystem &system,
     validate(_config.retry);
 }
 
-TrainerSession::~TrainerSession() = default;
+TrainerSession::~TrainerSession()
+{
+    // A session torn down mid-run (the fleet preemption path destroys
+    // Paused sessions after checkpointing them) still closes its
+    // lifecycle span, with an outcome that says why it ended.
+    if (_traceSpan.active()) {
+        _traceSpan.finish(_stream ? _stream->now() : 0.0,
+                          _state == SessionState::Paused ? "preempted"
+                                                         : "abandoned");
+    }
+}
+
+void
+TrainerSession::openRunSpan(const char *how)
+{
+    _traceSpan = telemetry::tracer().begin(
+        "session.run", "session", "modelled", _stream->now(),
+        _config.traceParent ? _config.traceParent
+                            : telemetry::currentSpanParent());
+    _traceSpan.attr("how", how)
+        .attr("cores", _system.numDpus())
+        .attr("streaming", _config.streaming ? "yes" : "no");
+    if (_config.shards > 0)
+        _traceSpan.attr("shards", _config.shards);
+    _traceFaultsSeen = 0;
+}
 
 pimsim::CommandStream &
 TrainerSession::stream()
@@ -443,6 +468,10 @@ TrainerSession::beginOffline(const Dataset &data, StateId num_states,
     SWIFTRL_ASSERT(!_config.streaming,
                    "beginOffline on a streaming session");
     start(num_states, num_actions);
+    openRunSpan("begin");
+    // Init-phase engine commands (scatter, q-init) parent on the run
+    // span so a traced fleet job owns its whole causal subtree.
+    telemetry::ScopedSpanParent ambient(_traceSpan.id());
 
     // Step 1: partition and distribute the dataset (Figure 4 (1)).
     _activeData = &data;
@@ -475,6 +504,8 @@ TrainerSession::beginStreaming(StateId num_states,
     SWIFTRL_ASSERT(_config.streaming,
                    "beginStreaming on an offline session");
     start(num_states, num_actions);
+    openRunSpan("begin");
+    telemetry::ScopedSpanParent ambient(_traceSpan.id());
     _qio.initQTables(*_stream, num_states, num_actions);
     _state = SessionState::Ready;
 }
@@ -487,6 +518,7 @@ TrainerSession::loadGeneration(const Dataset &gen_data)
     SWIFTRL_ASSERT(_episodesRemaining == 0,
                    "previous generation still has rounds pending");
     _activeData = &gen_data;
+    telemetry::ScopedSpanParent ambient(_traceSpan.id());
     repartition(gen_data);
     const std::string label =
         "scatter:gen" + std::to_string(_generation);
@@ -524,6 +556,23 @@ TrainerSession::step()
     _params.episodes = std::min(_config.tau, _episodesRemaining);
     _episodesRemaining -= _params.episodes;
     _params.hyper.epsilon = _epsilonNow;
+
+    // One causal span per tau-round, parent of every engine command
+    // the round issues. The "retried" outcome (faults recovered
+    // inside the round) needs an O(timeline) fault count, so it is
+    // only computed while span export is on; the always-on flight
+    // breadcrumb keeps outcome "ok".
+    const bool traceOutcome = telemetry::tracingActive();
+    if (traceOutcome)
+        _traceFaultsSeen = faultsDetected();
+    telemetry::Span round = telemetry::tracer().begin(
+        "session.round", "session", "modelled", _stream->now(),
+        _traceSpan.active() ? _traceSpan.id()
+                            : telemetry::currentSpanParent());
+    round.attr("round", _commRounds + 1)
+        .attr("generation", _generation)
+        .attr("episodes", _params.episodes);
+    telemetry::ScopedSpanParent ambient(round.id());
 
     // Batch interpretation when the kernel qualifies (single
     // tasklet, no visit tracking): one lockstep pass over the live
@@ -612,6 +661,12 @@ TrainerSession::step()
     }
     ++_commRounds;
     _epsilonNow *= _config.epsilonDecay;
+    if (shardedMode())
+        round.attr("reduce_group", deepest_group);
+    round.finish(_stream->now(),
+                 traceOutcome && faultsDetected() > _traceFaultsSeen
+                     ? "retried"
+                     : "ok");
     if (!_config.streaming) {
         SWIFTRL_DEBUG("round ", _commRounds, ": max |dQ| ", delta,
                       ", live cores ", _stream->liveDpuCount(),
@@ -650,6 +705,8 @@ TrainerSession::finishRetrieval()
 {
     SWIFTRL_ASSERT(_state == SessionState::Ready,
                    "finishRetrieval() needs a Ready session");
+    const double finish_start = _stream->now();
+    telemetry::ScopedSpanParent ambient(_traceSpan.id());
     // Final retrieval (Figure 4 (3)): after the last synchronisation
     // every core holds the aggregated table, so the deployed policy
     // is that aggregate; the gather is still paid for — timing-only,
@@ -664,6 +721,17 @@ TrainerSession::finishRetrieval()
     _stream->gatherTimed(_qio.qOffset(),
                          gather_entries * rlcore::kQWireBytesPerEntry,
                          TimeBucket::PimToCpu, "gather:final");
+    if (_traceSpan.active()) {
+        auto span = telemetry::tracer().begin(
+            "session.finish", "session", "modelled", finish_start,
+            _traceSpan.id());
+        span.attr("rounds", _commRounds);
+        span.finish(_stream->now());
+        _traceSpan.attr("rounds", _commRounds)
+            .attr("faults", faultsDetected())
+            .attr("cores_lost", coresLost());
+        _traceSpan.finish(_stream->now());
+    }
     _state = SessionState::Done;
 }
 
@@ -761,6 +829,15 @@ TrainerSession::checkpoint() const
     ck.dpuCycles.reserve(ck.numDpus);
     for (std::size_t i = 0; i < ck.numDpus; ++i)
         ck.dpuCycles.push_back(_system.dpu(i).cycles());
+
+    // Zero-width marker span: checkpoints charge no modelled time,
+    // but the causal trail should show where the state was captured.
+    auto span = telemetry::tracer().begin(
+        "session.checkpoint", "session", "modelled", ck.cursor,
+        _traceSpan.active() ? _traceSpan.id() : 0);
+    span.attr("round", _commRounds)
+        .attr("episodes_remaining", _episodesRemaining);
+    span.finish(ck.cursor);
     return ck;
 }
 
@@ -842,6 +919,14 @@ TrainerSession::adopt(const SessionCheckpoint &ck)
     // The visit-count region (weighted aggregation) needs no restore:
     // the kernel overwrites it wholesale on every launch before the
     // per-round gather reads it.
+
+    openRunSpan("restore");
+    auto span = telemetry::tracer().begin(
+        "session.restore", "session", "modelled", ck.cursor,
+        _traceSpan.id());
+    span.attr("round", _commRounds)
+        .attr("episodes_remaining", _episodesRemaining);
+    span.finish(ck.cursor);
 
     _state = SessionState::Ready;
 }

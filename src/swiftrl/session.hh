@@ -61,6 +61,7 @@
 
 #include "pimsim/command_stream.hh"
 #include "pimsim/pim_system.hh"
+#include "telemetry/tracing.hh"
 #include "rlcore/dataset.hh"
 #include "rlcore/qtable.hh"
 #include "swiftrl/pim_kernels.hh"
@@ -147,6 +148,14 @@ struct SessionConfig
 
     /** Telemetry destination (null = off). Observation-only. */
     telemetry::MetricRegistry *metrics = nullptr;
+
+    /**
+     * Causal-trace parent for this session's "session.run" span
+     * (0 = ambient/root). The fleet scheduler sets its grant span's
+     * id here so every round, engine command, and serve batch of a
+     * job transitively parents up to the fleet job. Observation-only.
+     */
+    std::uint64_t traceParent = 0;
 };
 
 /**
@@ -454,6 +463,10 @@ class TrainerSession
     void start(rlcore::StateId num_states,
                rlcore::ActionId num_actions);
 
+    /** Open the "session.run" lifecycle span at the current stream
+     *  clock; @p how is "begin" or "restore". Observation-only. */
+    void openRunSpan(const char *how);
+
     /** Fill _params/_kernel once shapes are known. */
     void buildKernel();
 
@@ -567,6 +580,14 @@ class TrainerSession
     /** Restore bases (zero for a from-scratch run). */
     TimeBreakdown _timeBase;
     int _faultEventsBase = 0;
+
+    /** Lifecycle span ("session.run"), opened by start()/adopt() and
+     *  finished by finishRetrieval() or the destructor (outcome
+     *  "preempted" when torn down Paused). Observation-only. */
+    telemetry::Span _traceSpan;
+    /** faultsDetected() at the last traced round start (to stamp a
+     *  round's outcome "retried"); only maintained while tracing. */
+    int _traceFaultsSeen = 0;
 
     KernelParams _params;
     pimsim::KernelFn _kernel;

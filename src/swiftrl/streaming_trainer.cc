@@ -392,6 +392,8 @@ StreamingTrainer::runImpl(const rlcore::EnvFactory &make_env,
         m.gauge("rl_live_cores")
             .set(static_cast<double>(
                 session.stream().liveDpuCount()));
+        m.counter("rl_cores_lost_total")
+            .add(static_cast<std::uint64_t>(result.coresLost));
         m.gauge("rl_recovery_seconds").set(result.time.recovery);
     }
     return result;

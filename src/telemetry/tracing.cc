@@ -1,0 +1,357 @@
+#include "telemetry/tracing.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace swiftrl::telemetry {
+
+namespace {
+
+// Span retention flag, readable without touching the tracer singleton
+// so the hot-path gate is one relaxed load.
+std::atomic<bool> g_exportEnabled{false};
+
+thread_local std::uint64_t t_ambientParent = 0;
+
+void appendAttr(SpanRecord &record, std::string_view key,
+                std::string_view value)
+{
+    record.attrs.emplace_back(std::string(key), std::string(value));
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+    std::atomic<std::uint64_t> nextId{1};
+
+    mutable std::mutex spansMutex;
+    std::vector<SpanRecord> spans;
+
+    // Flight ring. Guarded by a plain mutex rather than a lock-free
+    // scheme: slots are 176 bytes so a CAS ring would tear, and the
+    // TSan CI job keeps us honest. The critical section is a bounded
+    // memcpy — "lock-light" in the sense that matters.
+    mutable std::mutex flightMutex;
+    std::vector<FlightEvent> ring{std::vector<FlightEvent>(kFlightCapacity)};
+    std::uint64_t flightSeq = 0;  // next sequence number to assign
+
+    mutable std::mutex crashPathMutex;
+    std::string crashPath;
+};
+
+Tracer::Tracer() : _impl(new Impl) {}
+
+Span &Span::operator=(Span &&other) noexcept
+{
+    if (this != &other) {
+        _record = std::move(other._record);
+        _active = other._active;
+        other._active = false;
+    }
+    return *this;
+}
+
+Span &Span::attr(std::string_view key, std::string_view value)
+{
+    if (_active)
+        appendAttr(_record, key, value);
+    return *this;
+}
+
+Span &Span::attr(std::string_view key, std::int64_t value)
+{
+    return attr(key, std::string_view(std::to_string(value)));
+}
+
+Span &Span::attr(std::string_view key, std::uint64_t value)
+{
+    return attr(key, std::string_view(std::to_string(value)));
+}
+
+Span &Span::attr(std::string_view key, int value)
+{
+    return attr(key, static_cast<std::int64_t>(value));
+}
+
+void Span::finish(double end, std::string_view outcome)
+{
+    if (!_active)
+        return;
+    _active = false;
+    _record.end = end;
+    _record.outcome.assign(outcome.data(), outcome.size());
+    tracer().submit(std::move(_record));
+}
+
+Span Tracer::begin(std::string_view name, std::string_view category,
+                   std::string_view clock, double start, std::uint64_t parent)
+{
+    Span span;
+    span._record.id = _impl->nextId.fetch_add(1, std::memory_order_relaxed);
+    span._record.parent = parent;
+    span._record.name.assign(name.data(), name.size());
+    span._record.category.assign(category.data(), category.size());
+    span._record.clock.assign(clock.data(), clock.size());
+    span._record.start = start;
+    span._active = true;
+    return span;
+}
+
+void Tracer::enableExport(bool on)
+{
+    g_exportEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::exportEnabled() const
+{
+    return g_exportEnabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::submit(SpanRecord record)
+{
+    {
+        // Breadcrumb for the always-on flight ring; bounded snprintf,
+        // no allocation.
+        char text[sizeof(FlightEvent{}.text)];
+        std::snprintf(text, sizeof(text), "span %s [%s] #%llu<-#%llu %s",
+                      record.name.c_str(), record.category.c_str(),
+                      static_cast<unsigned long long>(record.id),
+                      static_cast<unsigned long long>(record.parent),
+                      record.outcome.c_str());
+        note(text);
+    }
+    if (!exportEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(_impl->spansMutex);
+    _impl->spans.push_back(std::move(record));
+}
+
+void Tracer::note(std::string_view text)
+{
+    std::lock_guard<std::mutex> lock(_impl->flightMutex);
+    FlightEvent &slot = _impl->ring[_impl->flightSeq % kFlightCapacity];
+    slot.seq = _impl->flightSeq++;
+    // Stamped inside the mutex so t is non-decreasing in seq order.
+    slot.t = common::monotonicSeconds();
+    const std::size_t n = std::min(text.size(), sizeof(slot.text) - 1);
+    std::memcpy(slot.text, text.data(), n);
+    slot.text[n] = '\0';
+}
+
+namespace {
+
+void writeSpan(std::ostream &out, const SpanRecord &s)
+{
+    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent << ",\"name\":\""
+        << json::jsonEscape(s.name) << "\",\"category\":\""
+        << json::jsonEscape(s.category) << "\",\"clock\":\""
+        << json::jsonEscape(s.clock)
+        << "\",\"start\":" << json::jsonNumber(s.start)
+        << ",\"end\":" << json::jsonNumber(s.end) << ",\"outcome\":\""
+        << json::jsonEscape(s.outcome) << "\",\"attrs\":{";
+    bool first = true;
+    for (const auto &[key, value] : s.attrs) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << json::jsonEscape(key) << "\":\""
+            << json::jsonEscape(value) << "\"";
+    }
+    out << "}}";
+}
+
+}  // namespace
+
+bool Tracer::writeSpansJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    std::vector<SpanRecord> spans = snapshot();
+    out << "{\"schema\":\"swiftrl-trace-v1\",\"spans\":[";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        out << (i ? ",\n" : "\n");
+        writeSpan(out, spans[i]);
+    }
+    out << "\n]}\n";
+    return static_cast<bool>(out);
+}
+
+std::string Tracer::chromeSpanEvents() const
+{
+    std::vector<SpanRecord> spans = snapshot();
+    std::string out;
+    for (const SpanRecord &s : spans) {
+        if (s.clock != "modelled")
+            continue;
+        // Chrome "X" slice on pid 1 (the engine timeline exports on
+        // pid 0), microsecond timestamps like Timeline's exporter.
+        out += ",\n{\"name\":\"" + json::jsonEscape(s.name) +
+               "\",\"cat\":\"" + json::jsonEscape(s.category) +
+               "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" +
+               json::jsonNumber(s.start * 1e6) + ",\"dur\":" +
+               json::jsonNumber((s.end - s.start) * 1e6) +
+               ",\"args\":{\"id\":\"" + std::to_string(s.id) +
+               "\",\"parent\":\"" + std::to_string(s.parent) +
+               "\",\"outcome\":\"" + json::jsonEscape(s.outcome) + "\"";
+        for (const auto &[key, value] : s.attrs)
+            out += ",\"" + json::jsonEscape(key) + "\":\"" +
+                   json::jsonEscape(value) + "\"";
+        out += "}}";
+    }
+    return out;
+}
+
+namespace {
+
+std::vector<FlightEvent> orderedRing(const std::vector<FlightEvent> &ring,
+                                     std::uint64_t nextSeq)
+{
+    std::vector<FlightEvent> out;
+    out.reserve(ring.size());
+    const std::uint64_t count =
+        std::min<std::uint64_t>(nextSeq, ring.size());
+    for (std::uint64_t seq = nextSeq - count; seq < nextSeq; ++seq)
+        out.push_back(ring[seq % ring.size()]);
+    return out;
+}
+
+}  // namespace
+
+void Tracer::dumpFlightText(std::ostream &out) const
+{
+    std::vector<FlightEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(_impl->flightMutex);
+        events = orderedRing(_impl->ring, _impl->flightSeq);
+    }
+    out << "=== flight recorder (" << events.size() << " events, ring "
+        << kFlightCapacity << ") ===\n";
+    char line[224];
+    for (const FlightEvent &e : events) {
+        std::snprintf(line, sizeof(line), "  #%llu [%.6f] %s\n",
+                      static_cast<unsigned long long>(e.seq), e.t, e.text);
+        out << line;
+    }
+    out << "=== end flight recorder ===\n";
+}
+
+bool Tracer::writeFlightJson(const std::string &path) const
+{
+    std::vector<FlightEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(_impl->flightMutex);
+        events = orderedRing(_impl->ring, _impl->flightSeq);
+    }
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\"schema\":\"swiftrl-flight-v1\",\"events\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        out << (i ? ",\n" : "\n");
+        out << "{\"seq\":" << events[i].seq
+            << ",\"t\":" << json::jsonNumber(events[i].t) << ",\"text\":\""
+            << json::jsonEscape(events[i].text) << "\"}";
+    }
+    out << "\n]}\n";
+    return static_cast<bool>(out);
+}
+
+void Tracer::setCrashDumpPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(_impl->crashPathMutex);
+    _impl->crashPath = std::move(path);
+}
+
+std::string Tracer::crashDumpPath() const
+{
+    std::lock_guard<std::mutex> lock(_impl->crashPathMutex);
+    return _impl->crashPath;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_impl->spansMutex);
+    return _impl->spans;
+}
+
+void Tracer::resetForTest()
+{
+    {
+        std::lock_guard<std::mutex> lock(_impl->spansMutex);
+        _impl->spans.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_impl->flightMutex);
+        for (FlightEvent &e : _impl->ring)
+            e = FlightEvent{};
+        _impl->flightSeq = 0;
+    }
+    setCrashDumpPath("");
+}
+
+Tracer &tracer()
+{
+    static Tracer instance;
+    return instance;
+}
+
+bool tracingActive()
+{
+    return g_exportEnabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t currentSpanParent()
+{
+    return t_ambientParent;
+}
+
+ScopedSpanParent::ScopedSpanParent(std::uint64_t id) : _saved(t_ambientParent)
+{
+    t_ambientParent = id;
+}
+
+ScopedSpanParent::~ScopedSpanParent()
+{
+    t_ambientParent = _saved;
+}
+
+namespace {
+
+// Wire the logging layer into the flight recorder: every emitted log
+// line becomes a ring breadcrumb, and a fatal/panic dumps the ring —
+// to stderr always, and to the configured crash path as JSON. The
+// initializer runs before main() in any binary that links tracing
+// (every binary references tracer(), so the object is never
+// dead-stripped from the static archive).
+struct HookInstaller {
+    HookInstaller()
+    {
+        common::setLogEventHook(+[](const char *level, const char *message) {
+            char text[sizeof(FlightEvent{}.text)];
+            std::snprintf(text, sizeof(text), "log %s: %s", level, message);
+            tracer().note(text);
+        });
+        common::setCrashDumpHook(+[] {
+            tracer().dumpFlightText(std::cerr);
+            const std::string path = tracer().crashDumpPath();
+            if (!path.empty() && tracer().writeFlightJson(path))
+                std::cerr << "flight record written to " << path << "\n";
+        });
+    }
+};
+
+const HookInstaller g_hookInstaller;
+
+}  // namespace
+
+}  // namespace swiftrl::telemetry

@@ -1,0 +1,176 @@
+#pragma once
+
+// Span-structured causal tracing plus an always-on, bounded flight
+// recorder.
+//
+// Every unit of work across the stack — fleet job admission / grant /
+// preempt / resume, session rounds and checkpoint / restore, engine
+// commands and batch cohorts, serving requests and batches — can open
+// a Span carrying a propagated trace context: parent span id, name,
+// category, clock domain, start/end time, outcome, and string
+// attributes.  Like the rest of the telemetry subsystem the layer is
+// observation-only: it never reads back into modelled state, and a
+// traced run is bit-identical to an untraced one (tests/test_tracing).
+//
+// Clock domains.  Spans from different layers tick different clocks,
+// and mixing them silently would make nesting checks meaningless, so
+// each span names its domain:
+//   "fleet"    — the fleet scheduler's discrete-event clock (seconds)
+//   "modelled" — a command stream's modelled timeline (seconds)
+//   "wall"     — host wall clock, seconds since process start
+// tools/check_trace.py only enforces child-inside-parent nesting when
+// the two spans share a clock.
+//
+// Cost model.  Span *retention* (the JSON dump) is off by default and
+// enabled by --trace-spans; hot-path call sites (per-command engine
+// spans, per-request serving spans) gate on tracingActive(), a single
+// relaxed atomic load, so an untraced run pays nothing there.  Coarse
+// lifecycle spans (fleet events, session rounds) are recorded
+// unconditionally into the flight ring: a fixed-size mutex-guarded
+// ring of short text events that costs a few hundred nanoseconds per
+// event and gives SWIFTRL_FATAL / SWIFTRL_PANIC a causal trail to
+// dump instead of a single log line.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swiftrl::telemetry {
+
+/// A completed (or in-flight) span as retained by the tracer.
+struct SpanRecord {
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;  ///< 0 = root
+    std::string name;          ///< e.g. "fleet.job", "session.round"
+    std::string category;      ///< "fleet" | "session" | "engine" | "serving"
+    std::string clock;         ///< "fleet" | "modelled" | "wall"
+    double start = 0.0;        ///< seconds in the span's clock domain
+    double end = 0.0;
+    std::string outcome;       ///< "ok" | "retried" | "faulted" | "preempted" | ...
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Handle for an open span.  Movable value type; finish() submits the
+/// record to the tracer.  Destroying an unfinished span drops it
+/// silently (callers that need a guaranteed outcome — e.g. session
+/// teardown under preemption — finish explicitly in their destructor).
+class Span {
+public:
+    Span() = default;
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+    Span(Span &&other) noexcept { *this = std::move(other); }
+    Span &operator=(Span &&other) noexcept;
+    ~Span() = default;
+
+    /// Attach a string attribute. No-op on an inactive span.
+    Span &attr(std::string_view key, std::string_view value);
+    /// Numeric convenience overloads (formatted as decimal strings).
+    Span &attr(std::string_view key, std::int64_t value);
+    Span &attr(std::string_view key, std::uint64_t value);
+    Span &attr(std::string_view key, int value);
+
+    /// Close the span at `end` (same clock domain as its start) and
+    /// submit it. Idempotent: second call is a no-op.
+    void finish(double end, std::string_view outcome = "ok");
+
+    [[nodiscard]] std::uint64_t id() const { return _record.id; }
+    [[nodiscard]] bool active() const { return _active; }
+
+private:
+    friend class Tracer;
+    SpanRecord _record;
+    bool _active = false;
+};
+
+/// One entry in the flight ring. Text is bounded so the ring never
+/// allocates after construction.
+struct FlightEvent {
+    std::uint64_t seq = 0;  ///< strictly increasing, never resets
+    double t = 0.0;         ///< wall seconds since process start
+    char text[160] = {};
+};
+
+/// Process-wide tracer: span factory, retained-span store, and the
+/// always-on flight ring. All methods are thread-safe.
+class Tracer {
+public:
+    static constexpr std::size_t kFlightCapacity = 256;
+
+    Tracer();
+
+    /// Open a span. Always assigns an id and records a flight-ring
+    /// breadcrumb; the full SpanRecord is retained only while export
+    /// is enabled.
+    Span begin(std::string_view name, std::string_view category,
+               std::string_view clock, double start, std::uint64_t parent = 0);
+
+    /// Turn span retention on/off (`--trace-spans`). Off by default.
+    void enableExport(bool on);
+    [[nodiscard]] bool exportEnabled() const;
+
+    /// Append a free-text breadcrumb to the flight ring.
+    void note(std::string_view text);
+
+    /// Write the retained spans as self-describing JSON
+    /// ({"schema":"swiftrl-trace-v1","spans":[...]}).
+    /// Returns false if the file could not be written.
+    bool writeSpansJson(const std::string &path) const;
+
+    /// Retained modelled-clock spans serialized as Chrome trace-event
+    /// objects (pid 1), ready to splice into Timeline::exportChromeTrace
+    /// via its extra-events overload. Empty string when none.
+    [[nodiscard]] std::string chromeSpanEvents() const;
+
+    /// Flight-ring dump, oldest first.
+    void dumpFlightText(std::ostream &out) const;
+    bool writeFlightJson(const std::string &path) const;
+
+    /// When set, the crash hook (SWIFTRL_FATAL / SWIFTRL_PANIC) also
+    /// writes the flight ring as JSON to this path.
+    void setCrashDumpPath(std::string path);
+    [[nodiscard]] std::string crashDumpPath() const;
+
+    /// Snapshot of retained spans (test helper).
+    [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+    /// Drop retained spans and ring contents; keeps the id counter so
+    /// span ids stay unique across a process. Test helper.
+    void resetForTest();
+
+private:
+    void submit(SpanRecord record);
+    friend class Span;
+
+    struct Impl;
+    Impl *_impl;  // leaked singleton state; never destroyed
+};
+
+/// The process-wide tracer instance.
+Tracer &tracer();
+
+/// True when span retention is enabled. Single relaxed atomic load —
+/// the hot-path gate for per-command / per-request spans.
+bool tracingActive();
+
+/// Ambient parent span id for the current thread (0 = none).
+std::uint64_t currentSpanParent();
+
+/// RAII push/pop of the ambient parent span id; lets a session round
+/// become the parent of the engine spans its stream emits without
+/// threading ids through every call.
+class ScopedSpanParent {
+public:
+    explicit ScopedSpanParent(std::uint64_t id);
+    ~ScopedSpanParent();
+    ScopedSpanParent(const ScopedSpanParent &) = delete;
+    ScopedSpanParent &operator=(const ScopedSpanParent &) = delete;
+
+private:
+    std::uint64_t _saved;
+};
+
+}  // namespace swiftrl::telemetry

@@ -6,16 +6,20 @@ Usage:
 
 Checks the ``swiftrl-metrics-v1`` schema structurally — manifest
 presence and field types, record shapes of the four metric arrays,
-histogram invariants (ascending bounds, len(counts) == len(bounds)+1,
-bucket counts summing to the observation count) — and that the core
-engine and trainer metrics documented in docs/OBSERVABILITY.md are
-present. CI runs this against a smoke run's export, so a refactor
-that silently stops emitting a metric fails the build rather than
-shipping an empty dashboard. Exit status 0 when valid, 1 otherwise.
-Stdlib only.
+histogram invariants (ascending finite bounds, len(counts) ==
+len(bounds)+1, non-decreasing cumulative bucket counts that sum to
+the observation count), every exported value finite (NaN or ±Inf in
+a gauge, histogram, or series is a bug, never a value) — and that
+the core engine and trainer metrics documented in
+docs/OBSERVABILITY.md are present (for ``mode: "fleet"`` manifests,
+the per-job ``fleet_*`` set of docs/SCHEDULER.md instead). CI runs
+this against a smoke run's export, so a refactor that silently stops
+emitting a metric fails the build rather than shipping an empty
+dashboard. Exit status 0 when valid, 1 otherwise. Stdlib only.
 """
 
 import json
+import math
 import pathlib
 import sys
 
@@ -50,12 +54,25 @@ MANIFEST_FIELDS = {
 REQUIRED = {
     "counters": ["pim_launches_total", "pim_mram_dma_bytes_total",
                  "pim_ops_total", "rl_comm_rounds_total",
+                 "rl_cores_lost_total",
                  "rl_faults_detected_total"],
     "gauges": ["pim_live_cores", "rl_epsilon", "rl_eval_mean_reward",
                "rl_live_cores", "rl_recovery_seconds"],
     "histograms": ["pim_launch_core_cycles",
                    "pim_launch_straggler_ratio"],
     "series": [],  # offline emits rl_round_*, streaming rl_generation_*
+}
+
+# Fleet runs aggregate per-job results instead (docs/SCHEDULER.md).
+REQUIRED_FLEET = {
+    "counters": ["fleet_preemptions_total", "fleet_grants_total",
+                 "fleet_job_faults_detected_total",
+                 "fleet_jobs_completed_total"],
+    "gauges": ["fleet_queue_wait_seconds", "fleet_job_finish_seconds",
+               "fleet_job_cores_lost", "fleet_makespan_seconds",
+               "fleet_rank_occupancy_ratio", "fleet_jobs_per_hour"],
+    "histograms": [],
+    "series": [],
 }
 
 
@@ -66,6 +83,14 @@ class Invalid(Exception):
 def require(cond, message):
     if not cond:
         raise Invalid(message)
+
+
+def require_finite(name, what, value):
+    require(isinstance(value, (int, float))
+            and not isinstance(value, bool),
+            f"{name}: {what} must be a number")
+    require(math.isfinite(value),
+            f"{name}: {what} must be finite, got {value!r}")
 
 
 def check_record(kind, rec):
@@ -85,15 +110,14 @@ def check_record(kind, rec):
                 and rec["value"] >= 0,
                 f"{name}: counter value must be a non-negative int")
     elif kind == "gauges":
-        require(isinstance(rec.get("value"), (int, float)),
-                f"{name}: gauge value must be a number")
+        require_finite(name, "gauge value", rec.get("value"))
     elif kind == "histograms":
         bounds = rec.get("bounds")
         counts = rec.get("counts")
         require(isinstance(bounds, list) and bounds,
                 f"{name}: histogram needs non-empty bounds")
-        require(all(isinstance(b, (int, float)) for b in bounds),
-                f"{name}: bounds must be numbers")
+        for bound in bounds:
+            require_finite(name, "histogram bound", bound)
         require(bounds == sorted(bounds),
                 f"{name}: bounds must ascend")
         require(isinstance(counts, list)
@@ -102,15 +126,32 @@ def check_record(kind, rec):
                 "(implicit +Inf bucket)")
         require(all(isinstance(c, int) and c >= 0 for c in counts),
                 f"{name}: bucket counts must be non-negative ints")
-        require(sum(counts) == rec.get("count"),
+        total = rec.get("count")
+        require(isinstance(total, int) and total >= 0,
+                f"{name}: 'count' must be a non-negative int")
+        # Cumulative (Prometheus-style) bucket view: the running sum
+        # must be non-decreasing and never overshoot 'count', and
+        # must land exactly on it. Catches a writer emitting deltas
+        # against a stale snapshot.
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            require(cumulative >= previous,
+                    f"{name}: cumulative bucket count decreases at "
+                    f"bucket {index}")
+            require(cumulative <= total,
+                    f"{name}: cumulative bucket count {cumulative} "
+                    f"exceeds 'count' {total} at bucket {index}")
+        require(cumulative == total,
                 f"{name}: bucket counts must sum to 'count'")
-        require(isinstance(rec.get("sum"), (int, float)),
-                f"{name}: histogram 'sum' must be a number")
+        require_finite(name, "histogram 'sum'", rec.get("sum"))
     elif kind == "series":
         values = rec.get("values")
-        require(isinstance(values, list)
-                and all(isinstance(v, (int, float)) for v in values),
+        require(isinstance(values, list),
                 f"{name}: series values must be a number array")
+        for value in values:
+            require_finite(name, "series value", value)
 
 
 def check(doc):
@@ -128,13 +169,14 @@ def check(doc):
                        dict) and manifest["cost_model"]["instructions"],
             "manifest.cost_model.instructions missing")
 
+    required = REQUIRED_FLEET if manifest["mode"] == "fleet" else REQUIRED
     for kind in ("counters", "gauges", "histograms", "series"):
         records = doc.get(kind)
         require(isinstance(records, list), f"{kind} must be an array")
         for rec in records:
             check_record(kind, rec)
         names = {rec["name"] for rec in records}
-        for needed in REQUIRED[kind]:
+        for needed in required[kind]:
             require(needed in names,
                     f"required {kind[:-1]} {needed!r} not exported")
 

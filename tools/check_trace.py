@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Validate a ``swiftrl_cli --trace-spans`` / ``--flight-record`` dump.
+
+Usage:
+    tools/check_trace.py SPANS.json
+        [--require-ancestor NAME --scope CAT[,CAT...]]
+    tools/check_trace.py --flight FLIGHT.json
+
+Span mode checks the ``swiftrl-trace-v1`` schema structurally —
+unique positive span ids, parent references that resolve (or 0 for a
+root), acyclic parent chains, non-empty name/category/clock, finite
+start <= end, string-to-string attrs — and the causal invariants:
+
+  * nesting: a child span must lie inside its parent's [start, end]
+    window, enforced only when both spans tick the same clock domain
+    ("fleet" / "modelled" / "wall" — cross-clock links carry
+    causality, not containment). Spans tagged ``phase=host-collect``
+    are exempt: streaming host collection deliberately overlaps round
+    boundaries (docs/OBSERVABILITY.md "Tracing & flight recorder").
+  * with --require-ancestor NAME, every span whose category is in
+    --scope must transitively reach an ancestor span named NAME —
+    CI uses this to prove every session/engine/serving span of a
+    fleet run parents up to its fleet.job span.
+
+Flight mode checks the ``swiftrl-flight-v1`` ring dump: strictly
+increasing sequence numbers, finite non-decreasing timestamps, and
+string event text. Exit status 0 when valid, 1 otherwise. Stdlib
+only.
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+TRACE_SCHEMA = "swiftrl-trace-v1"
+FLIGHT_SCHEMA = "swiftrl-flight-v1"
+
+# Slack for child-inside-parent windows: spans stamped from the same
+# clock can differ by rounding in the shortest-round-trip decimal
+# serialisation.
+EPSILON = 1e-9
+
+CLOCKS = {"fleet", "modelled", "wall"}
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise Invalid(message)
+
+
+def is_finite_number(value):
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def check_span(span):
+    require(isinstance(span, dict), "span is not an object")
+    require(isinstance(span.get("id"), int) and span["id"] > 0,
+            f"span id must be a positive int, got {span.get('id')!r}")
+    sid = span["id"]
+    require(isinstance(span.get("parent"), int)
+            and span["parent"] >= 0,
+            f"span {sid}: parent must be a non-negative int")
+    for field in ("name", "category", "clock", "outcome"):
+        require(isinstance(span.get(field), str) and span[field],
+                f"span {sid}: {field} must be a non-empty string")
+    require(span["clock"] in CLOCKS,
+            f"span {sid}: unknown clock {span['clock']!r}")
+    for field in ("start", "end"):
+        require(is_finite_number(span.get(field)),
+                f"span {sid}: {field} must be a finite number")
+    require(span["start"] <= span["end"],
+            f"span {sid} ({span['name']}): start {span['start']} "
+            f"after end {span['end']}")
+    attrs = span.get("attrs", {})
+    require(isinstance(attrs, dict),
+            f"span {sid}: attrs must be an object")
+    require(all(isinstance(k, str) and isinstance(v, str)
+                for k, v in attrs.items()),
+            f"span {sid}: attrs must map strings to strings")
+
+
+def ancestor_chain(span, by_id):
+    """Yield the ancestors of *span*, root-last; Invalid on a cycle."""
+    seen = {span["id"]}
+    parent = span["parent"]
+    while parent != 0:
+        require(parent not in seen,
+                f"span {span['id']}: parent chain has a cycle at "
+                f"{parent}")
+        seen.add(parent)
+        node = by_id[parent]
+        yield node
+        parent = node["parent"]
+
+
+def check_trace(doc, require_ancestor=None, scope=None):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("schema") == TRACE_SCHEMA,
+            f"schema must be {TRACE_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}")
+    spans = doc.get("spans")
+    require(isinstance(spans, list), "spans must be an array")
+
+    by_id = {}
+    for span in spans:
+        check_span(span)
+        require(span["id"] not in by_id,
+                f"duplicate span id {span['id']}")
+        by_id[span["id"]] = span
+
+    for span in spans:
+        # Parent referential integrity, then cycle detection along
+        # the whole chain.
+        parent = span["parent"]
+        require(parent == 0 or parent in by_id,
+                f"span {span['id']} ({span['name']}): parent "
+                f"{parent} does not exist in the dump")
+        for _ in ancestor_chain(span, by_id):
+            pass
+
+        # Same-clock nesting: the child window fits the parent's.
+        # Streaming host collection is pipelined across rounds, so
+        # its spans are exempt by design.
+        if parent == 0 or span.get("attrs", {}).get("phase") == \
+                "host-collect":
+            continue
+        parent_span = by_id[parent]
+        if parent_span["clock"] != span["clock"]:
+            continue
+        require(parent_span["start"] - EPSILON <= span["start"]
+                and span["end"] <= parent_span["end"] + EPSILON,
+                f"span {span['id']} ({span['name']}) "
+                f"[{span['start']}, {span['end']}] escapes parent "
+                f"{parent} ({parent_span['name']}) "
+                f"[{parent_span['start']}, {parent_span['end']}]")
+
+    if require_ancestor is not None:
+        checked = 0
+        for span in spans:
+            if span["category"] not in scope:
+                continue
+            checked += 1
+            names = {a["name"] for a in ancestor_chain(span, by_id)}
+            require(require_ancestor in names,
+                    f"span {span['id']} ({span['name']}, category "
+                    f"{span['category']}) has no ancestor named "
+                    f"{require_ancestor!r}")
+        require(checked > 0,
+                f"no spans in scope {sorted(scope)} — nothing "
+                f"proved the {require_ancestor!r} ancestry")
+    return len(spans)
+
+
+def check_flight(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("schema") == FLIGHT_SCHEMA,
+            f"schema must be {FLIGHT_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}")
+    events = doc.get("events")
+    require(isinstance(events, list), "events must be an array")
+    previous = None
+    for event in events:
+        require(isinstance(event, dict), "event is not an object")
+        require(isinstance(event.get("seq"), int)
+                and event["seq"] >= 0,
+                f"event seq must be a non-negative int, got "
+                f"{event.get('seq')!r}")
+        require(is_finite_number(event.get("t")),
+                f"event {event['seq']}: t must be a finite number")
+        require(isinstance(event.get("text"), str),
+                f"event {event['seq']}: text must be a string")
+        if previous is not None:
+            require(event["seq"] > previous["seq"],
+                    f"event seq {event['seq']} not strictly after "
+                    f"{previous['seq']}")
+            require(event["t"] >= previous["t"],
+                    f"event {event['seq']}: t {event['t']} goes "
+                    f"backwards from {previous['t']}")
+        previous = event
+    return len(events)
+
+
+def main(argv):
+    args = argv[1:]
+    flight = False
+    require_ancestor = None
+    scope = None
+    paths = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--flight":
+            flight = True
+        elif arg == "--require-ancestor":
+            index += 1
+            if index >= len(args):
+                print("--require-ancestor needs a span name",
+                      file=sys.stderr)
+                return 2
+            require_ancestor = args[index]
+        elif arg == "--scope":
+            index += 1
+            if index >= len(args):
+                print("--scope needs a category list",
+                      file=sys.stderr)
+                return 2
+            scope = {c for c in args[index].split(",") if c}
+        else:
+            paths.append(arg)
+        index += 1
+
+    if len(paths) != 1 or (require_ancestor is None) != (scope is
+                                                         None):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if flight and require_ancestor is not None:
+        print("--require-ancestor does not apply to --flight",
+              file=sys.stderr)
+        return 2
+
+    path = paths[0]
+    try:
+        doc = json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: {error}", file=sys.stderr)
+        return 1
+    try:
+        if flight:
+            count = check_flight(doc)
+            print(f"{path}: valid {FLIGHT_SCHEMA} dump "
+                  f"({count} events)")
+        else:
+            count = check_trace(doc, require_ancestor, scope)
+            print(f"{path}: valid {TRACE_SCHEMA} dump "
+                  f"({count} spans)")
+    except Invalid as error:
+        print(f"{path}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
